@@ -1,0 +1,164 @@
+//! Micro-benchmarks of kernel primitives: FEL operations, partitioning,
+//! mailboxes, scheduling, routing-table construction and raw event
+//! throughput per kernel.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use unison_core::{
+    fine_grained_partition, kernel, Event, EventKey, Fel, LinkGraph, NodeId, Rng, RunConfig,
+    SimCtx, SimNode, Time, WorldBuilder,
+};
+
+/// FEL push+pop of a shuffled batch.
+fn bench_fel(c: &mut Criterion) {
+    let mut rng = Rng::new(1);
+    let mut keys: Vec<u64> = (0..1_000).collect();
+    rng.shuffle(&mut keys);
+    c.bench_function("fel_push_pop_1k", |b| {
+        b.iter_batched(
+            || keys.clone(),
+            |keys| {
+                let mut fel: Fel<u64> = Fel::with_capacity(keys.len());
+                for &k in &keys {
+                    fel.push(Event {
+                        key: EventKey::external(Time(k), k),
+                        node: NodeId(0),
+                        payload: k,
+                    });
+                }
+                let mut sum = 0u64;
+                while let Some(ev) = fel.pop() {
+                    sum = sum.wrapping_add(ev.payload);
+                }
+                black_box(sum)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// Algorithm 1 over the k=8 fat-tree graph.
+fn bench_partition(c: &mut Criterion) {
+    let topo = unison_topology::fat_tree(8);
+    let mut graph = LinkGraph::new(topo.node_count());
+    for l in &topo.links {
+        graph.add_link(NodeId(l.a as u32), NodeId(l.b as u32), l.delay);
+    }
+    c.bench_function("fine_grained_partition_k8", |b| {
+        b.iter(|| black_box(fine_grained_partition(&graph)))
+    });
+}
+
+/// Mailbox round trip.
+fn bench_mailbox(c: &mut Criterion) {
+    use unison_core::mailbox::Mailboxes;
+    let m: Mailboxes<u64> = Mailboxes::new(8, &[(0, 1), (2, 1), (3, 1)]);
+    c.bench_function("mailbox_push_drain_100", |b| {
+        b.iter(|| {
+            for i in 0..100u64 {
+                m.try_push(
+                    0,
+                    1,
+                    Event {
+                        key: EventKey::external(Time(i), i),
+                        node: NodeId(1),
+                        payload: i,
+                    },
+                )
+                .unwrap();
+            }
+            let mut n = 0;
+            m.drain(1, |_| n += 1);
+            black_box(n)
+        })
+    });
+}
+
+/// LPT scheduling of 256 LPs on 16 cores.
+fn bench_sched(c: &mut Criterion) {
+    use unison_core::sched::{lpt_makespan, order_by_estimate};
+    let mut rng = Rng::new(3);
+    let est: Vec<u64> = (0..256).map(|_| rng.next_below(10_000)).collect();
+    let actual: Vec<f64> = est.iter().map(|&e| e as f64 + 5.0).collect();
+    c.bench_function("lpt_schedule_256x16", |b| {
+        b.iter(|| {
+            let order = order_by_estimate(&est);
+            black_box(lpt_makespan(&order, &actual, 16))
+        })
+    });
+}
+
+/// ECMP static-table construction for the k=4 fat-tree.
+fn bench_routes(c: &mut Criterion) {
+    let topo = unison_topology::fat_tree(4);
+    let mut adj: Vec<Vec<(u32, u8)>> = vec![Vec::new(); topo.node_count()];
+    for l in &topo.links {
+        let da = adj[l.a].len() as u8;
+        let db = adj[l.b].len() as u8;
+        adj[l.a].push((l.b as u32, da));
+        adj[l.b].push((l.a as u32, db));
+    }
+    c.bench_function("static_routes_k4", |b| {
+        b.iter(|| black_box(unison_netsim::route::compute_static_tables(&adj)))
+    });
+}
+
+/// Token-ring hop node for raw event-throughput measurements.
+struct Hop {
+    next: NodeId,
+    count: u64,
+}
+
+impl SimNode for Hop {
+    type Payload = ();
+    fn handle(&mut self, _p: (), ctx: &mut dyn SimCtx<Self>) {
+        self.count += 1;
+        ctx.schedule(Time(1_000), self.next, ());
+    }
+}
+
+fn ring(n: usize, events: u64) -> unison_core::World<Hop> {
+    let mut b = WorldBuilder::new();
+    for i in 0..n {
+        b.add_node(Hop {
+            next: NodeId(((i + 1) % n) as u32),
+            count: 0,
+        });
+    }
+    for i in 0..n {
+        b.add_link(NodeId(i as u32), NodeId(((i + 1) % n) as u32), Time(1_000));
+    }
+    b.schedule(Time::ZERO, NodeId(0), ());
+    b.stop_at(Time(events * 1_000));
+    b.build()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_event_throughput");
+    group.sample_size(10);
+    for (name, cfg) in [
+        ("sequential_10k", RunConfig::sequential()),
+        ("unison1_10k", RunConfig::unison(1)),
+        ("unison2_10k", RunConfig::unison(2)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let (_, report) = kernel::run(ring(16, 10_000), &cfg).unwrap();
+                black_box(report.events)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fel,
+    bench_partition,
+    bench_mailbox,
+    bench_sched,
+    bench_routes,
+    bench_kernels
+);
+criterion_main!(benches);

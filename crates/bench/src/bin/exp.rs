@@ -1,0 +1,79 @@
+//! Artifact-style experiment runner: maps the paper artifact's experiment
+//! names (Appendix B.4.2, `exp.py <name>`) to this reproduction's harness
+//! binaries and executes them.
+//!
+//! ```text
+//! cargo run --release -p unison-bench --bin exp -- <name> [--full]
+//! cargo run --release -p unison-bench --bin exp -- --list
+//! ```
+
+use std::process::Command;
+
+/// `(artifact name, paper experiment, our harness binary)`.
+const MAP: &[(&str, &str, &str)] = &[
+    ("fat-tree-distributed", "Exp 1 (Fig. 1)", "fig01"),
+    ("fat-tree-default", "Exp 2 (Fig. 1, sequential)", "fig01"),
+    ("mpi-sync-incast", "Exp 3 (Fig. 5a)", "fig05a"),
+    ("mpi-sync", "Exp 4 (Fig. 5b)", "fig05b"),
+    ("mpi-sync-delay", "Exp 5 (Fig. 5c)", "fig05c"),
+    ("mpi-sync-bandwidth", "Exp 6 (Fig. 5d)", "fig05d"),
+    ("mtp-sync-incast", "Exp 7 (Fig. 9a)", "fig09a"),
+    ("mtp-sync", "Exp 8 (Fig. 9b)", "fig09b"),
+    ("flexible", "Exp 9 (Fig. 8b)", "fig08b"),
+    ("flexible-barrier", "Exp 10 (Fig. 8b, barrier)", "fig08b"),
+    ("flexible-default", "Exp 11 (Fig. 8b, sequential)", "fig08b"),
+    ("bcube", "Exp 12 (Fig. 10b)", "fig10b"),
+    ("bcube-old", "Exp 13 (Fig. 10b, baselines)", "fig10b"),
+    ("bcube-default", "Exp 14 (Fig. 10b, sequential)", "fig10b"),
+    ("deterministic", "Exp 15 (Fig. 11)", "fig11"),
+    ("partition-cache", "Exp 16 (Fig. 12a)", "fig12a"),
+    ("scheduling-metrics", "Exp 17 (Fig. 12c)", "fig12c"),
+    ("torus", "Fig. 10a", "fig10a"),
+    ("wan", "Fig. 10c", "fig10c"),
+    ("reconfigurable", "Fig. 10d", "fig10d"),
+    ("partition-schemes", "Fig. 12b", "fig12b"),
+    ("scheduling-periods", "Fig. 12d", "fig12d"),
+    ("processing-time", "Fig. 13 (appendix A)", "fig13"),
+    ("loc-change", "Table 1", "table1"),
+    ("accuracy", "Table 2", "table2"),
+    ("dqn-comparison", "Fig. 8a", "fig08a"),
+];
+
+fn list() {
+    println!("{:<22} {:<28} harness", "artifact name", "paper experiment");
+    println!("{}", "-".repeat(64));
+    for (name, exp, bin) in MAP {
+        println!("{name:<22} {exp:<28} {bin}");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(name) = args.first() else {
+        eprintln!("usage: exp <experiment-name> [--full] | exp --list");
+        list();
+        std::process::exit(2);
+    };
+    if name == "--list" {
+        list();
+        return;
+    }
+    let Some((_, exp, bin)) = MAP.iter().find(|(n, _, _)| n == name) else {
+        eprintln!("unknown experiment `{name}`; use --list");
+        std::process::exit(2);
+    };
+    println!(">> {name} = {exp} -> {bin}\n");
+    let me = std::env::current_exe().expect("own path");
+    let target = me.parent().expect("target dir").join(bin);
+    let status = Command::new(&target)
+        .args(args.iter().skip(1))
+        .status()
+        .unwrap_or_else(|e| {
+            panic!(
+                "could not launch {}: {e}; build the harnesses first \
+                 (cargo build --release -p unison-bench)",
+                target.display()
+            )
+        });
+    std::process::exit(status.code().unwrap_or(1));
+}

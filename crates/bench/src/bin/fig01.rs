@@ -1,0 +1,71 @@
+//! Figure 1: total simulation time of sequential DES, barrier PDES,
+//! null-message PDES and Unison on cluster fat-trees under pure incast
+//! traffic, with #cores = #clusters.
+//!
+//! Paper scale: 48–144 clusters × 16 hosts, 100 Gbps, 0.1 s — days of
+//! compute. Reproduction scale: 4–16 clusters × 4 hosts (…× 8 with
+//! `--full`), a few simulated milliseconds; the per-round cost matrices are
+//! measured for real and each algorithm's synchronization structure is
+//! replayed over them (DESIGN.md §3.2).
+//!
+//! Expected shape: Unison ≫ barrier ≈ nullmsg > sequential, with ≥ several-
+//! fold Unison-vs-PDES advantage growing with cluster count.
+
+use unison_bench::harness::{header, row, secs, Scale, Scenario};
+use unison_core::{PartitionMode, PerfModel, SchedConfig, Time};
+use unison_topology::{fat_tree_clusters, manual};
+use unison_traffic::TrafficConfig;
+
+fn main() {
+    let scale = Scale::from_args();
+    let clusters = scale.pick(vec![8usize, 16, 24, 32], vec![16usize, 32, 48, 64, 96]);
+    let hosts_per_cluster = scale.pick(4, 8);
+    let window = scale.pick(Time::from_millis(2), Time::from_millis(5));
+
+    println!(
+        "Figure 1: incast traffic, cluster fat-trees ({hosts_per_cluster} hosts/cluster), \
+         cores = clusters"
+    );
+    let widths = [9, 6, 12, 12, 12, 12, 10];
+    header(
+        &["#cluster", "#lp", "seq(s)", "barrier(s)", "nullmsg(s)", "unison(s)", "uni-spdup"],
+        &widths,
+    );
+    for &c in &clusters {
+        let topo = fat_tree_clusters(c, hosts_per_cluster);
+        let traffic = TrafficConfig::incast(0.4, 1.0)
+            .with_seed(42)
+            .with_window(Time::ZERO, window);
+        let scenario = Scenario::new(topo.clone(), traffic, window + Time::from_millis(2));
+
+        // Baselines: the static symmetric partition (one LP per cluster).
+        let base = scenario.profile(PartitionMode::Manual(manual::by_cluster(&topo)));
+        let model_b = PerfModel::new(&base.profile);
+        let seq = model_b.sequential();
+        let bar = model_b.barrier();
+        let nm = model_b.nullmsg(&base.neighbors);
+
+        // Unison: automatic fine-grained partition, #cores = #clusters.
+        let auto = scenario.profile(PartitionMode::Auto);
+        let model_u = PerfModel::new(&auto.profile);
+        let uni = model_u.unison(c, SchedConfig::default());
+
+        let best_pdes = bar.total_ns.min(nm.total_ns);
+        row(
+            &[
+                c.to_string(),
+                auto.partition.lp_count.to_string(),
+                secs(seq.total_ns),
+                secs(bar.total_ns),
+                secs(nm.total_ns),
+                secs(uni.total_ns),
+                format!("{:.1}x", best_pdes / uni.total_ns),
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "\n(uni-spdup = best PDES baseline time / Unison time at equal core count; \
+         paper reports ~10x at 48+ clusters)"
+    );
+}

@@ -1,0 +1,42 @@
+//! Figure 5a: P/S decomposition of the barrier and null-message baselines
+//! as the incast traffic ratio sweeps 0 → 1 on a k-ary fat-tree with the
+//! static pod partition.
+//!
+//! Expected shape: S grows with the incast ratio and dominates T (paper:
+//! > 70% at ratio 1); P stays roughly flat.
+
+use unison_bench::harness::{fat_tree_manual, fat_tree_scenario, header, row, secs, Scale};
+use unison_core::{DataRate, PartitionMode, PerfModel, Time};
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Figure 5a: P/S of barrier (B) and null message (N) vs incast ratio");
+    let widths = [7, 10, 10, 10, 10, 10, 8];
+    header(
+        &["ratio", "P_B(s)", "S_B(s)", "P_N(s)", "S_N(s)", "T_B(s)", "S_B/T"],
+        &widths,
+    );
+    for ratio in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let scenario =
+            fat_tree_scenario(scale, ratio, DataRate::gbps(100), Time::from_micros(3));
+        let run = scenario.profile(PartitionMode::Manual(fat_tree_manual(&scenario)));
+        let model = PerfModel::new(&run.profile);
+        let bar = model.barrier();
+        let nm = model.nullmsg(&run.neighbors);
+        // Paper plots the *sum over LPs*; T here is the wall time of one LP
+        // (they all span the same wall interval under barriers).
+        row(
+            &[
+                format!("{ratio:.2}"),
+                secs(bar.p_total()),
+                secs(bar.s_total()),
+                secs(nm.p_total()),
+                secs(nm.s_total()),
+                secs(bar.total_ns),
+                format!("{:.0}%", bar.s_ratio() * 100.0),
+            ],
+            &widths,
+        );
+    }
+    println!("\n(paper: S_B/T rises above 70% as the incast ratio approaches 1)");
+}

@@ -1,0 +1,35 @@
+//! Figure 5b: per-round synchronization share S/T of the barrier baseline
+//! under *balanced* traffic, first 1000 rounds.
+//!
+//! Expected shape: S/T fluctuates but stays high (~20%+ on average) even
+//! though the macro traffic is balanced — Observation 2's transient
+//! imbalance.
+
+use unison_bench::harness::{fat_tree_manual, fat_tree_scenario, Scale};
+use unison_core::{DataRate, PartitionMode, PerfModel, Time};
+use unison_stats::Summary;
+
+fn main() {
+    let scale = Scale::from_args();
+    let scenario = fat_tree_scenario(scale, 0.0, DataRate::gbps(100), Time::from_micros(3));
+    let run = scenario.profile(PartitionMode::Manual(fat_tree_manual(&scenario)));
+    let model = PerfModel::new(&run.profile);
+    let bar = model.barrier();
+    println!("Figure 5b: barrier per-round S/T under balanced traffic (first 1000 rounds)");
+    println!("round  S_B/T");
+    let mut summary = Summary::new();
+    for (r, &s) in bar.s_ratio_per_round.iter().take(1000).enumerate() {
+        summary.add(s as f64);
+        if r % 25 == 0 {
+            println!("{r:>5}  {:.3}", s);
+        }
+    }
+    println!(
+        "\nmean S/T over {} rounds: {:.1}% (min {:.1}%, max {:.1}%)",
+        summary.count(),
+        summary.mean() * 100.0,
+        summary.min() * 100.0,
+        summary.max() * 100.0
+    );
+    println!("(paper: mostly above 20% despite balanced macro traffic)");
+}

@@ -1,0 +1,32 @@
+//! Figure 5c: aggregate S/T of the baselines vs link propagation delay
+//! (10 Gbps fat-tree).
+//!
+//! Expected shape: S/T decreases as the delay grows — larger lookahead ⇒
+//! larger windows ⇒ less synchronization per unit of work.
+
+use unison_bench::harness::{fat_tree_manual, fat_tree_scenario, header, row, Scale};
+use unison_core::{DataRate, PartitionMode, PerfModel, Time};
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Figure 5c: baseline S/T vs link delay (10 Gbps fat-tree)");
+    let widths = [12, 10, 10];
+    header(&["delay", "S_B/T", "S_N/T"], &widths);
+    for delay_us in [0.3f64, 3.0, 30.0, 300.0, 3000.0] {
+        let delay = Time::from_nanos((delay_us * 1000.0) as u64);
+        let scenario = fat_tree_scenario(scale, 0.0, DataRate::gbps(10), delay);
+        let run = scenario.profile(PartitionMode::Manual(fat_tree_manual(&scenario)));
+        let model = PerfModel::new(&run.profile);
+        let bar = model.barrier();
+        let nm = model.nullmsg(&run.neighbors);
+        row(
+            &[
+                format!("{delay_us}us"),
+                format!("{:.3}", bar.s_ratio()),
+                format!("{:.3}", nm.s_ratio()),
+            ],
+            &widths,
+        );
+    }
+    println!("\n(paper: S/T falls as delay — and thus the window — grows)");
+}

@@ -1,0 +1,44 @@
+//! Figure 5d: aggregate S/T of the baselines vs link bandwidth at a fixed
+//! offered traffic volume (30 µs delay fat-tree).
+//!
+//! Expected shape: S/T increases with bandwidth — more events per fixed
+//! window, but the same synchronization boundary, concentrates transient
+//! imbalance.
+
+use unison_bench::harness::{header, row, Scale, Scenario};
+use unison_core::{DataRate, PartitionMode, PerfModel, Time};
+use unison_topology::{fat_tree, manual};
+use unison_traffic::TrafficConfig;
+
+fn main() {
+    let scale = Scale::from_args();
+    let k = scale.pick(4, 8);
+    let window = scale.pick(Time::from_millis(2), Time::from_millis(5));
+    println!("Figure 5d: baseline S/T vs link bandwidth (fixed traffic volume)");
+    let widths = [10, 10, 10];
+    header(&["bw(Gbps)", "S_B/T", "S_N/T"], &widths);
+    for gbps in [2u64, 4, 6, 8, 10] {
+        let topo = fat_tree(k)
+            .with_rate(DataRate::gbps(gbps))
+            .with_delay(Time::from_micros(30));
+        // Fixed absolute volume: load scales inversely with bandwidth.
+        let load = 0.3 * 10.0 / gbps as f64;
+        let traffic = TrafficConfig::random_uniform(load)
+            .with_seed(7)
+            .with_window(Time::ZERO, window);
+        let scenario = Scenario::new(topo.clone(), traffic, window + Time::from_millis(1));
+        let run = scenario.profile(PartitionMode::Manual(manual::by_cluster(&topo)));
+        let model = PerfModel::new(&run.profile);
+        let bar = model.barrier();
+        let nm = model.nullmsg(&run.neighbors);
+        row(
+            &[
+                gbps.to_string(),
+                format!("{:.3}", bar.s_ratio()),
+                format!("{:.3}", nm.s_ratio()),
+            ],
+            &widths,
+        );
+    }
+    println!("\n(paper: S/T rises with bandwidth at constant volume)");
+}

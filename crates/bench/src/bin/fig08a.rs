@@ -1,0 +1,68 @@
+//! Figure 8a: total simulation time of the PDES baselines, sequential DES,
+//! Unison (16 threads) and the data-driven surrogate (DeepQueueNet
+//! stand-in, DESIGN.md §3.4) on fat-tree 16 / 64 / 128 with 100 Mbps,
+//! 500 µs links.
+//!
+//! Expected shape: the surrogate's time is proportional to packets, so it
+//! loses at small scale and becomes competitive with sequential DES at
+//! large scale — while Unison beats everything with full fidelity.
+
+use unison_bench::harness::{header, row, secs, Scale, Scenario};
+use unison_bench::surrogate;
+use unison_core::{DataRate, PartitionMode, PerfModel, SchedConfig, Time};
+use unison_topology::{fat_tree_clusters, manual};
+use unison_traffic::{SizeDist, TrafficConfig};
+
+fn main() {
+    let scale = Scale::from_args();
+    let configs: Vec<(&str, usize, usize)> = vec![
+        ("fat-tree 16", 4, 4),
+        ("fat-tree 64", 8, 8),
+        ("fat-tree 128", 16, 8),
+    ];
+    let window = scale.pick(Time::from_millis(40), Time::from_millis(200));
+    let threads = 16;
+
+    println!("Figure 8a: simulation time on DeepQueueNet-style fat-trees (100 Mbps, 500 us)");
+    let widths = [13, 10, 12, 12, 12, 12, 12];
+    header(
+        &["topology", "packets", "barrier(s)", "nullmsg(s)", "DQN*(s)", "seq(s)", "unison(s)"],
+        &widths,
+    );
+    for (name, clusters, hosts) in configs {
+        let topo = fat_tree_clusters(clusters, hosts)
+            .with_rate(DataRate::mbps(100))
+            .with_delay(Time::from_micros(500));
+        let traffic = TrafficConfig::random_uniform(0.5)
+            .with_seed(11)
+            .with_sizes(SizeDist::Grpc)
+            .with_window(Time::ZERO, window);
+        let host_rate = DataRate::mbps(100);
+        let flows = traffic.generate(&topo, host_rate);
+        let scenario = Scenario::new(topo.clone(), traffic, window + Time::from_millis(20));
+
+        let base = scenario.profile(PartitionMode::Manual(manual::by_cluster(&topo)));
+        let model_b = PerfModel::new(&base.profile);
+        let auto = scenario.profile(PartitionMode::Auto);
+        let model_u = PerfModel::new(&auto.profile);
+        let dqn = surrogate::predict(&topo, &flows, window);
+
+        row(
+            &[
+                name.to_string(),
+                dqn.packets.to_string(),
+                secs(model_b.barrier().total_ns),
+                secs(model_b.nullmsg(&base.neighbors).total_ns),
+                format!("{:.3}", dqn.inference_secs),
+                secs(model_b.sequential().total_ns),
+                secs(model_u.unison(threads, SchedConfig::default()).total_ns),
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "\n(DQN* = calibrated surrogate, {} ns/packet; paper: PDES beats DQN at small \
+         scale, Unison beats everything at every scale)",
+        surrogate::INFERENCE_NS_PER_PACKET
+    );
+}

@@ -1,0 +1,39 @@
+//! Figure 9b: Unison's per-round S/T under balanced traffic, next to the
+//! barrier baseline's (Fig. 5b counterpart).
+//!
+//! Expected shape: Unison's per-round S/T stays near zero (paper: mostly
+//! under 1%) while the barrier baseline fluctuates around 20%+.
+
+use unison_bench::harness::{fat_tree_manual, fat_tree_scenario, Scale};
+use unison_core::{DataRate, PartitionMode, PerfModel, SchedConfig, Time};
+use unison_stats::Summary;
+
+fn main() {
+    let scale = Scale::from_args();
+    let threads = scale.pick(4, 8);
+    let scenario = fat_tree_scenario(scale, 0.0, DataRate::gbps(100), Time::from_micros(3));
+    let auto = scenario.profile(PartitionMode::Auto);
+    let uni = PerfModel::new(&auto.profile).unison(threads, SchedConfig::default());
+    let base = scenario.profile(PartitionMode::Manual(fat_tree_manual(&scenario)));
+    let bar = PerfModel::new(&base.profile).barrier();
+
+    println!("Figure 9b: per-round S/T, Unison({threads}) vs barrier, balanced traffic");
+    println!("round  S_U/T   S_B/T");
+    let mut su = Summary::new();
+    let mut sb = Summary::new();
+    for r in 0..uni.s_ratio_per_round.len().min(1000) {
+        let u = uni.s_ratio_per_round[r] as f64;
+        let b = bar.s_ratio_per_round.get(r).copied().unwrap_or(0.0) as f64;
+        su.add(u);
+        sb.add(b);
+        if r % 25 == 0 {
+            println!("{r:>5}  {u:.3}   {b:.3}");
+        }
+    }
+    println!(
+        "\nmean: Unison {:.1}% vs barrier {:.1}%",
+        su.mean() * 100.0,
+        sb.mean() * 100.0
+    );
+    println!("(paper: Unison mostly under 1% per round)");
+}

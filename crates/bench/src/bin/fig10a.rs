@@ -1,0 +1,49 @@
+//! Figure 10a: 2-D torus — total simulation time vs core count for the
+//! baselines and Unison (30% bisection load, 10 Gbps, 30 µs).
+//!
+//! The baselines' partition splits the node-id range into #core equal
+//! sub-arrays (the paper's manual scheme); Unison partitions per node.
+//! Expected shape: Unison several-fold below both baselines at every core
+//! count.
+
+use unison_bench::harness::{header, row, secs, Scale, Scenario};
+use unison_core::{DataRate, PartitionMode, PerfModel, SchedConfig, Time};
+use unison_topology::{manual, torus2d};
+use unison_traffic::{SizeDist, TrafficConfig};
+
+fn main() {
+    let scale = Scale::from_args();
+    let side = scale.pick(12, 24);
+    let window = scale.pick(Time::from_millis(2), Time::from_millis(5));
+    let cores = scale.pick(vec![4usize, 8, 12, 16, 24], vec![8usize, 16, 24, 48, 72]);
+    let topo = torus2d(side, side, DataRate::gbps(10), Time::from_micros(30));
+    let traffic = TrafficConfig::random_uniform(0.3)
+        .with_seed(5)
+        .with_sizes(SizeDist::WebSearch)
+        .with_window(Time::ZERO, window);
+    let scenario = Scenario::new(topo.clone(), traffic, window + Time::from_millis(1));
+
+    let auto = scenario.profile(PartitionMode::Auto);
+    let model_u = PerfModel::new(&auto.profile);
+    let seq = model_u.sequential().total_ns;
+
+    println!("Figure 10a: {side}x{side} torus, time vs #core (seq = {})", secs(seq));
+    let widths = [6, 12, 12, 12];
+    header(&["#core", "barrier(s)", "nullmsg(s)", "unison(s)"], &widths);
+    for &c in &cores {
+        let assignment = manual::by_id_range(&topo, c as u32);
+        let base = scenario.profile(PartitionMode::Manual(assignment));
+        let model_b = PerfModel::new(&base.profile);
+        let uni = model_u.unison(c, SchedConfig::default());
+        row(
+            &[
+                c.to_string(),
+                secs(model_b.barrier().total_ns),
+                secs(model_b.nullmsg(&base.neighbors).total_ns),
+                secs(uni.total_ns),
+            ],
+            &widths,
+        );
+    }
+    println!("\n(paper: Unison ~4x below both baselines across core counts)");
+}

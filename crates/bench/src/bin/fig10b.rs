@@ -1,0 +1,51 @@
+//! Figure 10b: BCube — speedup over sequential DES under web-search and
+//! gRPC traffic (plus incast), for the baselines at the BCube0 partition
+//! and Unison at 8/16 threads.
+//!
+//! Expected shape: Unison highest under both traffic mixes; 16 threads
+//! beat 8 (paper: ~10x and ~15x under gRPC).
+
+use unison_bench::harness::{header, row, Scale, Scenario};
+use unison_core::{DataRate, PartitionMode, PerfModel, SchedConfig, Time};
+use unison_topology::{bcube, manual};
+use unison_traffic::{SizeDist, TrafficConfig};
+
+fn main() {
+    let scale = Scale::from_args();
+    let n = scale.pick(4, 8);
+    let window = scale.pick(Time::from_millis(2), Time::from_millis(4));
+    let topo = bcube(n, 2, DataRate::gbps(10), Time::from_micros(3));
+
+    println!("Figure 10b: BCube(n={n}, 2 levels) speedup over sequential DES");
+    let widths = [12, 9, 9, 11, 11];
+    header(
+        &["traffic", "barrier", "nullmsg", "unison(8)", "unison(16)"],
+        &widths,
+    );
+    for (name, dist) in [("web-search", SizeDist::WebSearch), ("gRPC", SizeDist::Grpc)] {
+        let traffic = TrafficConfig::incast(0.3, 0.1)
+            .with_seed(3)
+            .with_sizes(dist)
+            .with_window(Time::ZERO, window);
+        let scenario = Scenario::new(topo.clone(), traffic, window + Time::from_millis(1));
+        let base = scenario.profile(PartitionMode::Manual(manual::by_cluster(&topo)));
+        let model_b = PerfModel::new(&base.profile);
+        let seq = model_b.sequential().total_ns;
+        let auto = scenario.profile(PartitionMode::Auto);
+        let model_u = PerfModel::new(&auto.profile);
+        row(
+            &[
+                name.to_string(),
+                format!("{:.1}x", seq / model_b.barrier().total_ns),
+                format!("{:.1}x", seq / model_b.nullmsg(&base.neighbors).total_ns),
+                format!("{:.1}x", seq / model_u.unison(8, SchedConfig::default()).total_ns),
+                format!(
+                    "{:.1}x",
+                    seq / model_u.unison(16, SchedConfig::default()).total_ns
+                ),
+            ],
+            &widths,
+        );
+    }
+    println!("\n(paper: Unison ~10x at 8 cores, ~15x at 16 cores under gRPC)");
+}

@@ -1,0 +1,61 @@
+//! Figure 10c: wide-area networks (GEANT, ChinaNet) with RIP dynamic
+//! routing and web-search traffic at 50% load — sequential DES vs Unison
+//! with 8 threads.
+//!
+//! No symmetric manual partition exists for these irregular graphs (the
+//! paper opts the baselines out for the same reason). Expected shape:
+//! Unison several-fold faster (paper: >10x incl. cache effects).
+
+use unison_bench::harness::{header, row, secs, Scale};
+use unison_core::{PartitionMode, PerfModel, SchedConfig, Time};
+use unison_netsim::RoutingKind;
+use unison_topology::{chinanet, geant};
+use unison_traffic::{SizeDist, TrafficConfig};
+use unison_core::{KernelKind, MetricsLevel, RunConfig};
+use unison_netsim::NetworkBuilder;
+
+fn main() {
+    let scale = Scale::from_args();
+    let window = scale.pick(Time::from_millis(30), Time::from_millis(120));
+
+    println!("Figure 10c: WAN with RIP routing, sequential vs Unison(8)");
+    let widths = [10, 9, 12, 12, 10];
+    header(&["network", "#lp", "seq(s)", "unison(s)", "speedup"], &widths);
+    for topo in [geant(), chinanet()] {
+        let traffic = TrafficConfig::random_uniform(0.5)
+            .with_seed(17)
+            .with_sizes(SizeDist::WebSearch)
+            .with_window(Time::from_millis(20), window);
+        // RIP needs its own builder (routing kind), so assemble manually.
+        let sim = NetworkBuilder::new(&topo)
+            .routing(RoutingKind::Rip {
+                update_interval: Time::from_millis(10),
+            })
+            .traffic(&traffic)
+            .stop_at(Time::from_millis(20) + window + Time::from_millis(10))
+            .build();
+        let res = sim
+            .run_with(&RunConfig {
+                kernel: KernelKind::Unison { threads: 1 },
+                partition: PartitionMode::Auto,
+                sched: unison_core::SchedConfig::default(),
+                metrics: MetricsLevel::PerRound,
+            })
+            .expect("profiled run");
+        let profile = res.kernel.rounds_profile.as_deref().unwrap_or(&[]);
+        let model = PerfModel::new(profile);
+        let seq = model.sequential().total_ns;
+        let uni = model.unison(8, SchedConfig::default()).total_ns;
+        row(
+            &[
+                topo.name.clone(),
+                res.kernel.lp_count.to_string(),
+                secs(seq),
+                secs(uni),
+                format!("{:.1}x", seq / uni),
+            ],
+            &widths,
+        );
+    }
+    println!("\n(paper: >10x over sequential DES with 8 threads incl. cache gains)");
+}

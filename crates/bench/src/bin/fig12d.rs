@@ -1,0 +1,41 @@
+//! Figure 12d: simulation time vs scheduling period (k-ary fat-tree,
+//! 8 virtual cores).
+//!
+//! Expected shape: a shallow U — short periods pay re-sort overhead, long
+//! periods pay stale schedules; the automatic `ceil(log2(n))` period sits
+//! near the minimum.
+
+use unison_bench::harness::{fat_tree_scenario, header, row, Scale};
+use unison_core::{DataRate, PartitionMode, PerfModel, SchedConfig, SchedMetric, Time};
+
+fn main() {
+    let scale = Scale::from_args();
+    let scenario = fat_tree_scenario(scale, 0.0, DataRate::gbps(100), Time::from_micros(3));
+    let auto = scenario.profile(PartitionMode::Auto);
+    let model = PerfModel::new(&auto.profile);
+    let auto_period = SchedConfig::default().effective_period(auto.partition.lp_count as usize);
+
+    println!(
+        "Figure 12d: time vs scheduling period (8 cores; auto period = {auto_period})"
+    );
+    let widths = [8, 12, 14];
+    header(&["period", "T(s)", "sched-cost(s)"], &widths);
+    for period in [1u32, 2, 4, 8, 16, 32, 64] {
+        let detail = model.unison_detailed(
+            8,
+            SchedConfig {
+                metric: SchedMetric::ByLastRoundTime,
+                period: Some(period),
+            },
+        );
+        row(
+            &[
+                period.to_string(),
+                format!("{:.6}", detail.result.total_ns / 1e9),
+                format!("{:.6}", detail.sched_cost_ns / 1e9),
+            ],
+            &widths,
+        );
+    }
+    println!("\n(paper: best around period 16; larger periods degrade slightly)");
+}

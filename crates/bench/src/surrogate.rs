@@ -1,0 +1,171 @@
+//! Data-driven simulator surrogate (stand-in for DeepQueueNet / MimicNet).
+//!
+//! The paper compares against GPU-based ML simulators. Per the substitution
+//! rule (DESIGN.md §3.4), this module reproduces their two relevant
+//! behaviors without GPUs or training:
+//!
+//! 1. **Runtime** proportional to the number of injected packets (the
+//!    paper's observation about DeepQueueNet: "its simulation time is
+//!    proportional to the number of packets"), with a per-packet inference
+//!    cost calibrated to the published 2-GPU A100 throughput relative to a
+//!    CPU event rate.
+//! 2. **Accuracy at the stable point only**: flow metrics are predicted
+//!    from an M/M/1-style queueing approximation that is good for balanced
+//!    traffic but ignores transient incast dynamics, so its RTT/throughput
+//!    error grows in skewed scenarios — Table 2's observed pattern.
+
+use unison_core::{DataRate, Time};
+use unison_netsim::MSS;
+use unison_topology::{NodeKind, Topology};
+use unison_traffic::FlowSpec;
+
+/// Modeled per-packet DNN inference cost (both GPUs busy). Together with
+/// [`INFERENCE_STARTUP_NS`], calibrated so that the surrogate's runtime
+/// curve crosses sequential DES between the small and large fat-trees, as
+/// in Fig. 8a.
+pub const INFERENCE_NS_PER_PACKET: f64 = 2_500.0;
+
+/// Fixed per-run cost of standing up the GPU inference pipeline (model
+/// load, device-queue warm-up, batching latency floor).
+pub const INFERENCE_STARTUP_NS: f64 = 20_000_000.0;
+
+/// Predicted metrics for one flow.
+#[derive(Clone, Copy, Debug)]
+pub struct SurrogateFlow {
+    /// Flow completion time.
+    pub fct: Time,
+    /// Predicted steady-state RTT.
+    pub rtt: Time,
+    /// Predicted goodput, bits/sec.
+    pub throughput_bps: f64,
+}
+
+/// Aggregate prediction for a workload.
+#[derive(Clone, Debug, Default)]
+pub struct SurrogateReport {
+    /// Mean FCT over flows, milliseconds.
+    pub mean_fct_ms: f64,
+    /// Mean RTT, milliseconds.
+    pub mean_rtt_ms: f64,
+    /// Mean per-flow goodput, Mbit/s.
+    pub mean_throughput_mbps: f64,
+    /// Modeled inference wall time for the whole workload, seconds.
+    pub inference_secs: f64,
+    /// Total packets "inferred".
+    pub packets: u64,
+}
+
+/// Runs the surrogate over a workload.
+///
+/// The queueing abstraction: every flow crosses one access link (rate `r`)
+/// and a shared fabric whose utilization is the offered load; per-hop
+/// delay is the propagation delay plus an M/M/1 waiting term
+/// `ρ/(1-ρ) * packet_service_time`. Incast concentration beyond the stable
+/// point is *not* modeled (the surrogate's documented blind spot).
+pub fn predict(topo: &Topology, flows: &[FlowSpec], window: Time) -> SurrogateReport {
+    if flows.is_empty() {
+        return SurrogateReport::default();
+    }
+    let hosts = topo.hosts();
+    let host_rate = topo
+        .links
+        .iter()
+        .find(|l| topo.nodes[l.a] == NodeKind::Host || topo.nodes[l.b] == NodeKind::Host)
+        .map(|l| l.rate)
+        .unwrap_or(DataRate::gbps(10));
+    let mean_delay_ns = topo
+        .links
+        .iter()
+        .map(|l| l.delay.as_nanos() as f64)
+        .sum::<f64>()
+        / topo.links.len().max(1) as f64;
+    // Offered utilization of the fabric at the stable point.
+    let total_bytes: f64 = flows.iter().map(|f| f.bytes as f64).sum();
+    let capacity = host_rate.as_bps() as f64 * hosts.len() as f64 / 8.0;
+    let duration = window.as_secs_f64().max(1e-9);
+    let rho = (total_bytes / duration / capacity).min(0.95);
+
+    // Per-hop queueing wait (M/M/1 residual): rho/(1-rho) * service time.
+    let service_ns = host_rate.tx_time(MSS + 52).as_nanos() as f64;
+    let wait_ns = rho / (1.0 - rho) * service_ns;
+    // Typical inter-pod path in a three-tier fat-tree: 6 links.
+    let hops = 6.0;
+    let base_rtt_ns = 2.0 * hops * (mean_delay_ns + wait_ns + service_ns);
+
+    // Ground truth only observes flows that complete inside the
+    // measurement horizon; apply the same cut to the predictions.
+    let horizon_ns = window.as_nanos() as f64;
+    let mut fct_sum = 0.0;
+    let mut tput_sum = 0.0;
+    let mut observed = 0u64;
+    let mut packets: u64 = 0;
+    for f in flows {
+        let pkts = (f.bytes as f64 / MSS as f64).ceil().max(1.0);
+        packets += 2 * pkts as u64; // data + ack
+        // M/G/1-PS slowdown: residual capacity shared processor-style.
+        let fair_share = host_rate.as_bps() as f64 * (1.0 - rho).max(0.05);
+        // Slow-start ramp: log2 of the window count adds RTTs.
+        let ramp_rtts = (pkts / 10.0).log2().clamp(0.0, 10.0);
+        let fct_ns =
+            f.bytes as f64 * 8.0 / fair_share * 1e9 + (1.0 + ramp_rtts) * base_rtt_ns;
+        if fct_ns <= horizon_ns {
+            fct_sum += fct_ns;
+            tput_sum += f.bytes as f64 * 8.0 / (fct_ns / 1e9);
+            observed += 1;
+        }
+    }
+    let n = observed.max(1) as f64;
+    SurrogateReport {
+        mean_fct_ms: fct_sum / n / 1e6,
+        mean_rtt_ms: base_rtt_ns / 1e6,
+        mean_throughput_mbps: tput_sum / n / 1e6,
+        inference_secs: (INFERENCE_STARTUP_NS + packets as f64 * INFERENCE_NS_PER_PACKET)
+            / 1e9,
+        packets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unison_topology::fat_tree_clusters;
+
+    fn flows(topo: &Topology, n: usize, bytes: u64) -> Vec<FlowSpec> {
+        let hosts = topo.hosts();
+        (0..n)
+            .map(|i| FlowSpec {
+                src: hosts[i % hosts.len()],
+                dst: hosts[(i + 1) % hosts.len()],
+                bytes,
+                start: Time::from_micros(i as u64),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn inference_time_proportional_to_packets() {
+        let topo = fat_tree_clusters(4, 4);
+        let a = predict(&topo, &flows(&topo, 100, 14_480), Time::from_millis(100));
+        let b = predict(&topo, &flows(&topo, 200, 14_480), Time::from_millis(100));
+        let startup = INFERENCE_STARTUP_NS / 1e9;
+        let ratio = (b.inference_secs - startup) / (a.inference_secs - startup);
+        assert!((ratio - 2.0).abs() < 0.01, "marginal cost per packet: {ratio}");
+        assert_eq!(a.packets, 2 * 100 * 10);
+    }
+
+    #[test]
+    fn higher_load_predicts_higher_rtt() {
+        let topo = fat_tree_clusters(4, 4);
+        let light = predict(&topo, &flows(&topo, 10, 100_000), Time::from_millis(100));
+        let heavy = predict(&topo, &flows(&topo, 500, 100_000), Time::from_millis(10));
+        assert!(heavy.mean_rtt_ms > light.mean_rtt_ms);
+        assert!(heavy.mean_throughput_mbps < light.mean_throughput_mbps);
+    }
+
+    #[test]
+    fn empty_workload() {
+        let topo = fat_tree_clusters(2, 4);
+        let r = predict(&topo, &[], Time::from_millis(1));
+        assert_eq!(r.packets, 0);
+    }
+}

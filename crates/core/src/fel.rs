@@ -1,0 +1,200 @@
+//! The future event list (FEL).
+//!
+//! A min-priority queue of events ordered by [`EventKey`]. Every LP owns one
+//! FEL; the sequential kernel owns a single global FEL.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::event::{Event, EventKey};
+use crate::time::Time;
+
+/// Wrapper inverting the event order so `BinaryHeap` acts as a min-heap.
+struct HeapEntry<P>(Event<P>);
+
+impl<P> PartialEq for HeapEntry<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.key == other.0.key
+    }
+}
+
+impl<P> Eq for HeapEntry<P> {}
+
+impl<P> PartialOrd for HeapEntry<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<P> Ord for HeapEntry<P> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: the smallest key is the "greatest" heap element.
+        other.0.key.cmp(&self.0.key)
+    }
+}
+
+/// A future event list: a min-priority queue over the deterministic
+/// [`EventKey`] order.
+///
+/// # Examples
+///
+/// ```
+/// use unison_core::{Event, EventKey, Fel, NodeId, Time};
+///
+/// let mut fel: Fel<&str> = Fel::new();
+/// fel.push(Event { key: EventKey::external(Time(20), 1), node: NodeId(0), payload: "b" });
+/// fel.push(Event { key: EventKey::external(Time(10), 0), node: NodeId(0), payload: "a" });
+/// assert_eq!(fel.pop().unwrap().payload, "a");
+/// assert_eq!(fel.pop().unwrap().payload, "b");
+/// assert!(fel.is_empty());
+/// ```
+pub struct Fel<P> {
+    heap: BinaryHeap<HeapEntry<P>>,
+}
+
+impl<P> Default for Fel<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P> Fel<P> {
+    /// Creates an empty FEL.
+    pub fn new() -> Self {
+        Fel {
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Creates an empty FEL with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Fel {
+            heap: BinaryHeap::with_capacity(cap),
+        }
+    }
+
+    /// Inserts an event.
+    #[inline]
+    pub fn push(&mut self, ev: Event<P>) {
+        self.heap.push(HeapEntry(ev));
+    }
+
+    /// Removes and returns the event with the smallest key.
+    #[inline]
+    pub fn pop(&mut self) -> Option<Event<P>> {
+        self.heap.pop().map(|e| e.0)
+    }
+
+    /// Timestamp of the next event, or [`Time::MAX`] when empty.
+    #[inline]
+    pub fn next_ts(&self) -> Time {
+        self.heap.peek().map_or(Time::MAX, |e| e.0.key.ts)
+    }
+
+    /// Key of the next event, if any.
+    #[inline]
+    pub fn peek_key(&self) -> Option<EventKey> {
+        self.heap.peek().map(|e| e.0.key)
+    }
+
+    /// Removes and returns the next event only if its timestamp is strictly
+    /// below `bound`.
+    #[inline]
+    pub fn pop_below(&mut self, bound: Time) -> Option<Event<P>> {
+        if self.next_ts() < bound {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Number of stored events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the FEL holds no events.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Number of stored events with timestamp strictly below `bound`.
+    ///
+    /// Used by the `ByPendingEvents` scheduling metric; linear in the FEL
+    /// size.
+    pub fn count_below(&self, bound: Time) -> usize {
+        self.heap.iter().filter(|e| e.0.key.ts < bound).count()
+    }
+
+    /// Drops all events (used on kernel teardown).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{LpId, NodeId};
+
+    fn ev(ts: u64, lp: u32, seq: u64) -> Event<u64> {
+        Event {
+            key: EventKey {
+                ts: Time(ts),
+                sender_ts: Time(ts.saturating_sub(1)),
+                sender_lp: LpId(lp),
+                seq,
+            },
+            node: NodeId(0),
+            payload: ts * 1000 + seq,
+        }
+    }
+
+    #[test]
+    fn pops_in_key_order() {
+        let mut fel = Fel::new();
+        fel.push(ev(5, 0, 0));
+        fel.push(ev(1, 0, 1));
+        fel.push(ev(3, 0, 2));
+        let order: Vec<u64> = std::iter::from_fn(|| fel.pop().map(|e| e.ts().0)).collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn simultaneous_events_use_tie_break() {
+        let mut fel = Fel::new();
+        fel.push(ev(7, 2, 9));
+        fel.push(ev(7, 1, 3));
+        fel.push(ev(7, 1, 2));
+        assert_eq!(fel.pop().unwrap().key.seq, 2);
+        assert_eq!(fel.pop().unwrap().key.seq, 3);
+        assert_eq!(fel.pop().unwrap().key.sender_lp, LpId(2));
+    }
+
+    #[test]
+    fn next_ts_of_empty_is_max() {
+        let fel: Fel<u64> = Fel::new();
+        assert_eq!(fel.next_ts(), Time::MAX);
+    }
+
+    #[test]
+    fn pop_below_respects_bound() {
+        let mut fel = Fel::new();
+        fel.push(ev(10, 0, 0));
+        assert!(fel.pop_below(Time(10)).is_none());
+        assert!(fel.pop_below(Time(11)).is_some());
+    }
+
+    #[test]
+    fn count_below() {
+        let mut fel = Fel::new();
+        for t in [1u64, 5, 9, 13] {
+            fel.push(ev(t, 0, t));
+        }
+        assert_eq!(fel.count_below(Time(9)), 2);
+        assert_eq!(fel.count_below(Time(100)), 4);
+        assert_eq!(fel.count_below(Time(0)), 0);
+    }
+}

@@ -1,0 +1,288 @@
+//! The barrier-synchronization PDES baseline (ns-3's distributed simulator).
+//!
+//! One OS thread is pinned to each LP of a *static* partition. Execution
+//! proceeds in rounds: all threads compute the LBTS (Eq. 1), process their
+//! events inside the window, then meet at a global barrier before exchanging
+//! cross-LP events and starting the next round.
+//!
+//! Faithful to the baseline it models:
+//!
+//! - simultaneous events run in *insertion order* (ns-3 semantics), and the
+//!   insertion order of cross-LP events depends on real-time arrival
+//!   interleaving — so repeated parallel runs are **not deterministic**
+//!   (reproducing Fig. 11's observation);
+//! - global events are not supported (only stopping at a fixed time);
+//! - the partition is fixed: LP count = thread count, chosen by the user.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+use crossbeam::queue::SegQueue;
+
+use crate::event::{Event, EventKey, LpId, NodeId};
+use crate::fel::Fel;
+use crate::global::GlobalFn;
+use crate::lp::LpState;
+use crate::metrics::{LpTotals, MetricsLevel, Psm, RoundRecord, RunReport};
+use crate::sync::SpinBarrier;
+use crate::time::Time;
+use crate::world::{NodeDirectory, SimCtx, SimNode, World};
+
+use super::{build_lps, build_partition, reassemble_world, KernelError, RunConfig};
+
+/// Per-LP thread result: final state, P/S/M, samples, end time, rounds.
+type LpResult<N> = (LpState<N>, Psm, Vec<RoundSample>, Time, u64);
+
+/// Per-thread, per-round sample kept for `MetricsLevel::PerRound`.
+struct RoundSample {
+    window_start: Time,
+    window_end: Time,
+    cost_ns: f32,
+    events: u32,
+    recv: u32,
+}
+
+/// [`SimCtx`] for the LP-pinned baselines: ns-3 insertion-order keys.
+pub(crate) struct PinnedCtx<'a, N: SimNode> {
+    pub now: Time,
+    pub self_node: NodeId,
+    pub lp_id: LpId,
+    pub fel: &'a mut Fel<N::Payload>,
+    /// Local insertion counter (FIFO among simultaneous events).
+    pub insert_seq: &'a mut u64,
+    pub dir: &'a NodeDirectory,
+    /// One shared inbox per LP; arrival order is real-time interleaved.
+    pub inboxes: &'a [SegQueue<Event<N::Payload>>],
+    pub stop_flag: &'a AtomicBool,
+    pub kernel_name: &'static str,
+}
+
+impl<N: SimNode> SimCtx<N> for PinnedCtx<'_, N> {
+    fn now(&self) -> Time {
+        self.now
+    }
+
+    fn self_node(&self) -> NodeId {
+        self.self_node
+    }
+
+    fn schedule(&mut self, delay: Time, target: NodeId, payload: N::Payload) {
+        let ts = self.now.saturating_add(delay);
+        let dst = self.dir.lp_of(target);
+        if dst == self.lp_id {
+            let key = EventKey {
+                ts,
+                sender_ts: Time::ZERO,
+                sender_lp: LpId(0),
+                seq: *self.insert_seq,
+            };
+            *self.insert_seq += 1;
+            self.fel.push(Event {
+                key,
+                node: target,
+                payload,
+            });
+        } else {
+            // The receiver assigns the insertion sequence when it drains its
+            // inbox; only the timestamp travels.
+            self.inboxes[dst.index()].push(Event {
+                key: EventKey {
+                    ts,
+                    sender_ts: Time::ZERO,
+                    sender_lp: LpId(0),
+                    seq: 0,
+                },
+                node: target,
+                payload,
+            });
+        }
+    }
+
+    fn schedule_global(&mut self, _delay: Time, _f: GlobalFn<N>) {
+        panic!(
+            "kernel `{}` does not support global events scheduled from \
+             node handlers; use the Unison kernel",
+            self.kernel_name
+        );
+    }
+
+    fn request_stop(&mut self) {
+        self.stop_flag.store(true, Ordering::Release);
+    }
+}
+
+pub(super) fn run<N: SimNode>(
+    world: World<N>,
+    cfg: &RunConfig,
+) -> Result<(World<N>, RunReport), KernelError> {
+    if !world.init_globals.is_empty() {
+        return Err(KernelError::GlobalEventsUnsupported("barrier"));
+    }
+    let partition = build_partition(&world, &cfg.partition)?;
+    let (lps, dir, graph, _globals, stop_at) = build_lps(world, &partition);
+    let lp_count = lps.len();
+    if lp_count == 0 {
+        return Err(KernelError::InvalidPartition("world has no nodes".into()));
+    }
+    let lookahead = partition.lookahead;
+    let bound = stop_at.unwrap_or(Time::MAX);
+    let per_round = cfg.metrics == MetricsLevel::PerRound;
+
+    let inboxes: Vec<SegQueue<Event<N::Payload>>> =
+        (0..lp_count).map(|_| SegQueue::new()).collect();
+    let next_ts: Vec<AtomicU64> = lps
+        .iter()
+        .map(|lp| AtomicU64::new(lp.next_ts.0))
+        .collect();
+    let barrier = SpinBarrier::new(lp_count);
+    let stop_flag = AtomicBool::new(false);
+
+    let started = Instant::now();
+    let mut results: Vec<LpResult<N>> = Vec::with_capacity(lp_count);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (idx, mut lp) in lps.into_iter().enumerate() {
+            let inboxes = &inboxes;
+            let next_ts = &next_ts;
+            let barrier = &barrier;
+            let stop_flag = &stop_flag;
+            let dir = &dir;
+            handles.push(scope.spawn(move || {
+                let mut psm = Psm::default();
+                let mut samples: Vec<RoundSample> = Vec::new();
+                let mut insert_seq: u64 = lp.fel.len() as u64;
+                let mut end_time = Time::ZERO;
+                let mut rounds: u64 = 0;
+                loop {
+                    // LBTS: min over all LPs' next timestamps + lookahead.
+                    let mut min = Time::MAX;
+                    for a in next_ts.iter() {
+                        min = min.min(Time(a.load(Ordering::Acquire)));
+                    }
+                    if min >= bound || min == Time::MAX || stop_flag.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let window_end = min.saturating_add(lookahead).min(bound);
+                    rounds += 1;
+
+                    // Process.
+                    let t0 = Instant::now();
+                    let mut round_events: u32 = 0;
+                    while let Some(ev) = lp.fel.pop_below(window_end) {
+                        if ev.node.0 != lp.last_node {
+                            lp.node_switches += 1;
+                            lp.last_node = ev.node.0;
+                        }
+                        end_time = end_time.max(ev.key.ts);
+                        let (owner, local) = dir.locate(ev.node);
+                        debug_assert_eq!(owner, lp.id);
+                        let node = &mut lp.nodes[local as usize];
+                        let mut ctx = PinnedCtx::<N> {
+                            now: ev.key.ts,
+                            self_node: ev.node,
+                            lp_id: lp.id,
+                            fel: &mut lp.fel,
+                            insert_seq: &mut insert_seq,
+                            dir,
+                            inboxes,
+                            stop_flag,
+                            kernel_name: "barrier",
+                        };
+                        node.handle(ev.payload, &mut ctx);
+                        round_events += 1;
+                    }
+                    lp.total_events += round_events as u64;
+                    let cost = t0.elapsed().as_nanos() as u64;
+                    psm.p_ns += cost;
+
+                    // Synchronize: everyone must finish sending first.
+                    let t0 = Instant::now();
+                    barrier.wait();
+                    psm.s_ns += t0.elapsed().as_nanos() as u64;
+
+                    // Receive: drain the shared inbox in arrival order.
+                    let t0 = Instant::now();
+                    let mut recv: u32 = 0;
+                    while let Some(mut ev) = inboxes[idx].pop() {
+                        ev.key.seq = insert_seq;
+                        insert_seq += 1;
+                        lp.fel.push(ev);
+                        recv += 1;
+                    }
+                    next_ts[idx].store(lp.fel.next_ts().0, Ordering::Release);
+                    psm.m_ns += t0.elapsed().as_nanos() as u64;
+
+                    if per_round {
+                        samples.push(RoundSample {
+                            window_start: min,
+                            window_end,
+                            cost_ns: cost as f32,
+                            events: round_events,
+                            recv,
+                        });
+                    }
+
+                    // Second barrier: next timestamps are published.
+                    let t0 = Instant::now();
+                    barrier.wait();
+                    psm.s_ns += t0.elapsed().as_nanos() as u64;
+                }
+                (lp, psm, samples, end_time, rounds)
+            }));
+        }
+        for h in handles {
+            results.push(h.join().expect("LP thread panicked"));
+        }
+    });
+
+    let wall = started.elapsed();
+    // Threads finish in join order; restore LP order by id.
+    results.sort_by_key(|(lp, ..)| lp.id);
+    let rounds = results.first().map_or(0, |r| r.4);
+    let rounds_profile = if per_round {
+        let n_rounds = results[0].2.len();
+        let mut profile = Vec::with_capacity(n_rounds);
+        for r in 0..n_rounds {
+            profile.push(RoundRecord {
+                window_start: results[0].2[r].window_start,
+                window_end: results[0].2[r].window_end,
+                lp_cost_ns: results.iter().map(|(_, _, s, ..)| s[r].cost_ns).collect(),
+                lp_events: results.iter().map(|(_, _, s, ..)| s[r].events).collect(),
+                lp_recv: results.iter().map(|(_, _, s, ..)| s[r].recv).collect(),
+            });
+        }
+        Some(profile)
+    } else {
+        None
+    };
+
+    let end_time = results
+        .iter()
+        .map(|(_, _, _, t, _)| *t)
+        .fold(Time::ZERO, Time::max);
+    let psm: Vec<Psm> = results.iter().map(|(_, p, ..)| *p).collect();
+    let lps: Vec<LpState<N>> = results.into_iter().map(|(lp, ..)| lp).collect();
+    let lp_totals = LpTotals {
+        events: lps.iter().map(|lp| lp.total_events).collect(),
+        cost_ns: vec![0; lp_count],
+        node_switches: lps.iter().map(|lp| lp.node_switches).collect(),
+    };
+    let events = lp_totals.events.iter().sum();
+    let report = RunReport {
+        kernel: "barrier".into(),
+        wall,
+        events,
+        global_events: 0,
+        rounds,
+        lp_count: lp_count as u32,
+        threads: lp_count as u32,
+        lookahead,
+        end_time,
+        psm,
+        lp_totals,
+        rounds_profile,
+    };
+    let world = reassemble_world(lps, &partition, graph, stop_at);
+    Ok((world, report))
+}

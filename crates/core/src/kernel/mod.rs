@@ -1,0 +1,387 @@
+//! Simulation kernels.
+//!
+//! Four interchangeable kernels execute a [`World`]:
+//!
+//! - [`sequential`]: classic single-threaded DES (the ns-3 default kernel in
+//!   the paper's comparisons);
+//! - [`barrier`]: conservative PDES with a static partition, one thread per
+//!   LP, and global barrier synchronization per window (ns-3's distributed
+//!   simulator);
+//! - [`nullmsg`]: conservative PDES with Chandy–Misra–Bryant null messages
+//!   between neighbor LPs;
+//! - [`unison`]: the paper's kernel — automatic fine-grained partition,
+//!   load-adaptive LP scheduling on a thread pool, lock-free four-phase
+//!   rounds, deterministic tie-breaking, and public-LP global events.
+//!
+//! The model code is identical for all kernels (*user transparency*): pick a
+//! kernel by configuration only.
+
+pub mod barrier;
+pub mod hybrid;
+pub mod nullmsg;
+pub mod sequential;
+pub mod unison;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::event::{Event, EventKey, LpId, NodeId};
+use crate::fel::Fel;
+use crate::global::GlobalFn;
+use crate::lp::{LpState, PendingGlobal};
+use crate::mailbox::Mailboxes;
+use crate::metrics::{MetricsLevel, RunReport};
+use crate::partition::{
+    fine_grained_partition, manual_partition, partition_below_bound, single_lp_partition,
+    Partition,
+};
+use crate::sched::SchedConfig;
+use crate::time::Time;
+use crate::world::{NodeDirectory, SimCtx, SimNode, World};
+
+/// Which kernel executes the run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KernelKind {
+    /// Single-threaded DES. `compat_keys = false` reproduces ns-3's
+    /// insertion-order tie-breaking; `true` uses Unison's deterministic
+    /// tie-break keys, making results bit-identical to the Unison kernel.
+    Sequential {
+        /// Use Unison-compatible tie-break keys.
+        compat_keys: bool,
+    },
+    /// Barrier-synchronized PDES, one thread pinned per LP.
+    Barrier,
+    /// Null-message (CMB) PDES, one thread pinned per LP.
+    NullMessage,
+    /// The Unison kernel with a worker pool of `threads`.
+    Unison {
+        /// Worker thread count (≥ 1). LPs are scheduled onto these threads
+        /// adaptively each round.
+        threads: usize,
+    },
+    /// The hybrid distributed kernel (§5.2): the topology is first divided
+    /// into `hosts` coarse partitions synchronized with the barrier
+    /// algorithm; inside each host a Unison instance runs `threads_per_host`
+    /// workers over a fine-grained sub-partition.
+    Hybrid {
+        /// Number of simulated cluster hosts.
+        hosts: usize,
+        /// Unison worker threads per host.
+        threads_per_host: usize,
+    },
+}
+
+impl KernelKind {
+    /// Display name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KernelKind::Sequential { compat_keys: false } => "sequential",
+            KernelKind::Sequential { compat_keys: true } => "sequential(compat)",
+            KernelKind::Barrier => "barrier",
+            KernelKind::NullMessage => "nullmsg",
+            KernelKind::Unison { .. } => "unison",
+            KernelKind::Hybrid { .. } => "hybrid",
+        }
+    }
+}
+
+/// How the topology is split into LPs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PartitionMode {
+    /// The paper's Algorithm 1 (median-delay fine-grained partition).
+    Auto,
+    /// Flood across links with delay strictly below the bound (granularity
+    /// sweeps, Fig. 12a).
+    Bound(Time),
+    /// Explicit node → LP assignment (the baselines' manual schemes).
+    Manual(Vec<u32>),
+    /// Everything in one LP.
+    SingleLp,
+}
+
+/// Full run configuration.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Kernel selection.
+    pub kernel: KernelKind,
+    /// Partitioning scheme.
+    pub partition: PartitionMode,
+    /// Scheduling heuristics (Unison kernel only).
+    pub sched: SchedConfig,
+    /// Instrumentation level.
+    pub metrics: MetricsLevel,
+}
+
+impl RunConfig {
+    /// A sequential run with ns-3-style insertion-order tie-breaking.
+    pub fn sequential() -> Self {
+        RunConfig {
+            kernel: KernelKind::Sequential { compat_keys: false },
+            partition: PartitionMode::SingleLp,
+            sched: SchedConfig::default(),
+            metrics: MetricsLevel::Summary,
+        }
+    }
+
+    /// A Unison run with `threads` workers and automatic partitioning.
+    pub fn unison(threads: usize) -> Self {
+        RunConfig {
+            kernel: KernelKind::Unison { threads },
+            partition: PartitionMode::Auto,
+            sched: SchedConfig::default(),
+            metrics: MetricsLevel::Summary,
+        }
+    }
+
+    /// A barrier-PDES run over a manual partition.
+    pub fn barrier(assignment: Vec<u32>) -> Self {
+        RunConfig {
+            kernel: KernelKind::Barrier,
+            partition: PartitionMode::Manual(assignment),
+            sched: SchedConfig::default(),
+            metrics: MetricsLevel::Summary,
+        }
+    }
+
+    /// A null-message-PDES run over a manual partition.
+    pub fn nullmsg(assignment: Vec<u32>) -> Self {
+        RunConfig {
+            kernel: KernelKind::NullMessage,
+            partition: PartitionMode::Manual(assignment),
+            sched: SchedConfig::default(),
+            metrics: MetricsLevel::Summary,
+        }
+    }
+
+    /// Enables per-round profiling (input to the virtual-core model).
+    pub fn with_per_round_metrics(mut self) -> Self {
+        self.metrics = MetricsLevel::PerRound;
+        self
+    }
+
+    /// Overrides the scheduling configuration.
+    pub fn with_sched(mut self, sched: SchedConfig) -> Self {
+        self.sched = sched;
+        self
+    }
+}
+
+/// Errors surfaced before a run starts.
+#[derive(Debug, PartialEq, Eq)]
+pub enum KernelError {
+    /// The chosen baseline kernel cannot execute global events (topology
+    /// changes etc.); only Unison and the sequential kernel support them.
+    GlobalEventsUnsupported(&'static str),
+    /// A partition parameter is inconsistent with the world.
+    InvalidPartition(String),
+    /// A kernel parameter is out of range.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for KernelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KernelError::GlobalEventsUnsupported(k) => {
+                write!(f, "kernel `{k}` does not support global events; use Unison")
+            }
+            KernelError::InvalidPartition(m) => write!(f, "invalid partition: {m}"),
+            KernelError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+/// Runs `world` under `cfg`, returning the final world (with all node state,
+/// e.g. statistics) and a [`RunReport`].
+pub fn run<N: SimNode>(
+    world: World<N>,
+    cfg: &RunConfig,
+) -> Result<(World<N>, RunReport), KernelError> {
+    match &cfg.kernel {
+        KernelKind::Sequential { compat_keys } => {
+            sequential::run(world, cfg, *compat_keys)
+        }
+        KernelKind::Barrier => barrier::run(world, cfg),
+        KernelKind::NullMessage => nullmsg::run(world, cfg),
+        KernelKind::Unison { threads } => unison::run(world, cfg, *threads),
+        KernelKind::Hybrid {
+            hosts,
+            threads_per_host,
+        } => hybrid::run(world, cfg, *hosts, *threads_per_host),
+    }
+}
+
+/// Builds the configured partition for a world.
+pub(crate) fn build_partition<N: SimNode>(
+    world: &World<N>,
+    mode: &PartitionMode,
+) -> Result<Partition, KernelError> {
+    let graph = &world.graph;
+    let p = match mode {
+        PartitionMode::Auto => fine_grained_partition(graph),
+        PartitionMode::Bound(bound) => partition_below_bound(graph, *bound),
+        PartitionMode::SingleLp => single_lp_partition(graph),
+        PartitionMode::Manual(assign) => {
+            if assign.len() != graph.node_count() {
+                return Err(KernelError::InvalidPartition(format!(
+                    "assignment covers {} nodes, world has {}",
+                    assign.len(),
+                    graph.node_count()
+                )));
+            }
+            manual_partition(graph, assign)
+        }
+    };
+    Ok(p)
+}
+
+/// Everything a kernel needs from a dismantled world: per-LP states, the
+/// node directory, the link graph, pending global events, and the stop time.
+pub(crate) type BuiltLps<N> = (
+    Vec<LpState<N>>,
+    NodeDirectory,
+    crate::graph::LinkGraph,
+    Vec<(Time, GlobalFn<N>)>,
+    Option<Time>,
+);
+
+/// Distributes a world's nodes and initial events into per-LP states.
+pub(crate) fn build_lps<N: SimNode>(world: World<N>, partition: &Partition) -> BuiltLps<N> {
+    let World {
+        nodes,
+        graph,
+        init_events,
+        init_globals,
+        stop_at,
+    } = world;
+    let directory = NodeDirectory::from_lp_nodes(nodes.len(), &partition.lp_nodes);
+    let mut lps: Vec<LpState<N>> = (0..partition.lp_count)
+        .map(|i| LpState::new(LpId(i)))
+        .collect();
+    // Nodes move into their LPs in ascending node order (matching
+    // `Partition::lp_nodes` and the directory's local indices).
+    for (i, node) in nodes.into_iter().enumerate() {
+        let (lp, local) = directory.locate(NodeId(i as u32));
+        debug_assert_eq!(lps[lp.index()].nodes.len(), local as usize);
+        lps[lp.index()].nodes.push(node);
+    }
+    for ev in init_events {
+        let (lp, _) = directory.locate(ev.node);
+        lps[lp.index()].fel.push(ev);
+    }
+    for lp in &mut lps {
+        lp.refresh_next_ts();
+    }
+    let globals = init_globals.into_iter().map(|g| (g.ts, g.f)).collect();
+    (lps, directory, graph, globals, stop_at)
+}
+
+/// Reassembles a [`World`] from finished LP states (nodes return to their
+/// original ascending-id order; event lists are dropped).
+pub(crate) fn reassemble_world<N: SimNode>(
+    lps: Vec<LpState<N>>,
+    partition: &Partition,
+    graph: crate::graph::LinkGraph,
+    stop_at: Option<Time>,
+) -> World<N> {
+    let node_count: usize = partition.lp_nodes.iter().map(|v| v.len()).sum();
+    let mut slots: Vec<Option<N>> = (0..node_count).map(|_| None).collect();
+    for (lp_idx, lp) in lps.into_iter().enumerate() {
+        for (local, node) in lp.nodes.into_iter().enumerate() {
+            let id = partition.lp_nodes[lp_idx][local];
+            slots[id.index()] = Some(node);
+        }
+    }
+    World {
+        nodes: slots
+            .into_iter()
+            .map(|n| n.expect("every node slot filled"))
+            .collect(),
+        graph,
+        init_events: Vec::new(),
+        init_globals: Vec::new(),
+        stop_at,
+    }
+}
+
+/// The [`SimCtx`] implementation used by the round-based kernels (Unison and
+/// the instrumented single-thread engine). Borrows disjoint fields of the
+/// current [`LpState`] so the executing node and the scheduler can coexist.
+pub(crate) struct RoundCtx<'a, N: SimNode> {
+    pub now: Time,
+    pub self_node: NodeId,
+    pub lp_id: LpId,
+    pub window_end: Time,
+    pub fel: &'a mut Fel<N::Payload>,
+    pub seq: &'a mut u64,
+    pub outflow: &'a mut Vec<Event<N::Payload>>,
+    pub pending_globals: &'a mut Vec<PendingGlobal<N>>,
+    pub dir: &'a NodeDirectory,
+    pub mailboxes: Option<&'a Mailboxes<N::Payload>>,
+    pub stop_flag: &'a AtomicBool,
+}
+
+impl<N: SimNode> SimCtx<N> for RoundCtx<'_, N> {
+    fn now(&self) -> Time {
+        self.now
+    }
+
+    fn self_node(&self) -> NodeId {
+        self.self_node
+    }
+
+    fn schedule(&mut self, delay: Time, target: NodeId, payload: N::Payload) {
+        let ts = self.now.saturating_add(delay);
+        let key = EventKey {
+            ts,
+            sender_ts: self.now,
+            sender_lp: self.lp_id,
+            seq: *self.seq,
+        };
+        *self.seq += 1;
+        let ev = Event {
+            key,
+            node: target,
+            payload,
+        };
+        let dst = self.dir.lp_of(target);
+        if dst == self.lp_id {
+            self.fel.push(ev);
+            return;
+        }
+        // Causality: a cross-LP event may not land inside the current
+        // window — guaranteed when the model routes packets across cut
+        // links with at least the link's propagation delay (≥ lookahead).
+        debug_assert!(
+            ts >= self.window_end,
+            "cross-LP event at {ts:?} lands inside the current window \
+             (ends {:?}); the scheduling delay must be >= the lookahead",
+            self.window_end
+        );
+        match self.mailboxes {
+            Some(m) => {
+                if let Err(ev) = m.try_push(self.lp_id.0, dst.0, ev) {
+                    self.outflow.push(ev);
+                }
+            }
+            None => self.outflow.push(ev),
+        }
+    }
+
+    fn schedule_global(&mut self, delay: Time, f: GlobalFn<N>) {
+        // Global events run on the public LP no earlier than the end of the
+        // current window; the kernel clamps the timestamp accordingly (the
+        // paper's model only creates globals before the run or from other
+        // globals, where no clamping ever applies).
+        let ts = self.now.saturating_add(delay);
+        self.pending_globals.push(PendingGlobal {
+            ts,
+            sender_ts: self.now,
+            f,
+        });
+    }
+
+    fn request_stop(&mut self) {
+        self.stop_flag.store(true, Ordering::Release);
+    }
+}

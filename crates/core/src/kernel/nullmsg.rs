@@ -1,0 +1,276 @@
+//! The null-message (Chandy–Misra–Bryant) PDES baseline.
+//!
+//! One OS thread is pinned to each LP of a static partition. Instead of
+//! global barriers, neighbor LPs exchange *channel clock* promises ("no
+//! event earlier than t will ever arrive from this neighbor"): an LP may
+//! safely process events up to the minimum of its input channel clocks.
+//! After each processing step an LP eagerly refreshes its output promises —
+//! the null messages — to `min(next local event, input safety) + channel
+//! lookahead`, which is monotonically non-decreasing, so simulations with
+//! positive lookahead on every channel never deadlock.
+//!
+//! Cross-LP events are delivered through a per-destination inbox and merged
+//! into the destination FEL whenever the destination iterates; the channel
+//! clocks alone bound what may be *processed*, so early delivery is safe
+//! (every event's timestamp is at least the promise its sender had already
+//! published).
+//!
+//! As with the barrier baseline, cross-LP arrival interleaving makes
+//! repeated parallel runs nondeterministic, and global events are not
+//! supported.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+use crossbeam::queue::SegQueue;
+use parking_lot::{Condvar, Mutex};
+
+use crate::event::Event;
+use crate::lp::LpState;
+use crate::metrics::{LpTotals, Psm, RunReport};
+use crate::time::Time;
+use crate::world::{SimNode, World};
+
+use super::barrier::PinnedCtx;
+use super::{build_lps, build_partition, reassemble_world, KernelError, RunConfig};
+
+/// Wake-up channel for one LP thread: version counter + condvar.
+struct Waker {
+    version: Mutex<u64>,
+    cond: Condvar,
+}
+
+impl Waker {
+    fn new() -> Self {
+        Waker {
+            version: Mutex::new(0),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Signals the owner that some input changed.
+    fn bump(&self) {
+        let mut v = self.version.lock();
+        *v += 1;
+        self.cond.notify_all();
+    }
+}
+
+pub(super) fn run<N: SimNode>(
+    world: World<N>,
+    cfg: &RunConfig,
+) -> Result<(World<N>, RunReport), KernelError> {
+    if !world.init_globals.is_empty() {
+        return Err(KernelError::GlobalEventsUnsupported("nullmsg"));
+    }
+    let partition = build_partition(&world, &cfg.partition)?;
+    let channels = partition.lp_channels(&world.graph);
+    let (lps, dir, graph, _globals, stop_at) = build_lps(world, &partition);
+    let lp_count = lps.len();
+    if lp_count == 0 {
+        return Err(KernelError::InvalidPartition("world has no nodes".into()));
+    }
+    // Without a stop time, promise propagation on an empty FEL would creep
+    // forward by one lookahead per exchange and never terminate; the CMB
+    // kernel therefore requires an explicit horizon (as ns-3's does).
+    let bound = match stop_at {
+        Some(t) => t,
+        None => {
+            return Err(KernelError::InvalidConfig(
+                "the null-message kernel requires a stop time".into(),
+            ))
+        }
+    };
+
+    // Directed channels: two per undirected LP pair. `chan_clock[c]` holds
+    // the source's promise for that direction.
+    let mut chan_src: Vec<u32> = Vec::new();
+    let mut chan_dst: Vec<u32> = Vec::new();
+    let mut chan_la: Vec<Time> = Vec::new();
+    for (a, b, la) in &channels {
+        chan_src.push(a.0);
+        chan_dst.push(b.0);
+        chan_la.push(*la);
+        chan_src.push(b.0);
+        chan_dst.push(a.0);
+        chan_la.push(*la);
+    }
+    let chan_count = chan_src.len();
+    let chan_clock: Vec<AtomicU64> = (0..chan_count).map(|_| AtomicU64::new(0)).collect();
+    let mut in_chans: Vec<Vec<usize>> = vec![Vec::new(); lp_count];
+    let mut out_chans: Vec<Vec<usize>> = vec![Vec::new(); lp_count];
+    for c in 0..chan_count {
+        out_chans[chan_src[c] as usize].push(c);
+        in_chans[chan_dst[c] as usize].push(c);
+    }
+
+    let wakers: Vec<Waker> = (0..lp_count).map(|_| Waker::new()).collect();
+    let stop_flag = AtomicBool::new(false);
+    // Per-destination inboxes (arrival order is real-time interleaved).
+    let inboxes: Vec<SegQueue<Event<N::Payload>>> =
+        (0..lp_count).map(|_| SegQueue::new()).collect();
+
+    let started = Instant::now();
+    let mut results: Vec<(LpState<N>, Psm, Time, u64)> = Vec::with_capacity(lp_count);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (idx, mut lp) in lps.into_iter().enumerate() {
+            let chan_clock = &chan_clock;
+            let chan_la = &chan_la;
+            let chan_dst = &chan_dst;
+            let in_chans = &in_chans[idx];
+            let out_chans = &out_chans[idx];
+            let wakers = &wakers;
+            let inboxes = &inboxes;
+            let stop_flag = &stop_flag;
+            let dir = &dir;
+            handles.push(scope.spawn(move || {
+                let mut psm = Psm::default();
+                let mut insert_seq: u64 = lp.fel.len() as u64;
+                let mut end_time = Time::ZERO;
+                let mut iterations: u64 = 0;
+                loop {
+                    iterations += 1;
+                    // Receive every delivered event (messaging time).
+                    let t0 = Instant::now();
+                    while let Some(mut ev) = inboxes[idx].pop() {
+                        ev.key.seq = insert_seq;
+                        insert_seq += 1;
+                        lp.fel.push(ev);
+                    }
+                    psm.m_ns += t0.elapsed().as_nanos() as u64;
+
+                    // Safety bound: min over input channel clocks.
+                    let mut safe = Time::MAX;
+                    for &c in in_chans {
+                        safe = safe.min(Time(chan_clock[c].load(Ordering::Acquire)));
+                    }
+                    let limit = safe.min(bound);
+
+                    // Process events strictly below the limit.
+                    let t0 = Instant::now();
+                    let mut processed: u64 = 0;
+                    while let Some(ev) = lp.fel.pop_below(limit) {
+                        if ev.node.0 != lp.last_node {
+                            lp.node_switches += 1;
+                            lp.last_node = ev.node.0;
+                        }
+                        end_time = end_time.max(ev.key.ts);
+                        let (owner, local) = dir.locate(ev.node);
+                        debug_assert_eq!(owner, lp.id);
+                        let node = &mut lp.nodes[local as usize];
+                        let mut ctx = PinnedCtx::<N> {
+                            now: ev.key.ts,
+                            self_node: ev.node,
+                            lp_id: lp.id,
+                            fel: &mut lp.fel,
+                            insert_seq: &mut insert_seq,
+                            dir,
+                            inboxes,
+                            stop_flag,
+                            kernel_name: "nullmsg",
+                        };
+                        node.handle(ev.payload, &mut ctx);
+                        processed += 1;
+                    }
+                    lp.total_events += processed;
+                    psm.p_ns += t0.elapsed().as_nanos() as u64;
+
+                    // Null messages: refresh output promises. `lb` is a lower
+                    // bound on the timestamp of anything this LP may still
+                    // process, hence `lb + lookahead` bounds future sends.
+                    let t0 = Instant::now();
+                    let lb = lp.fel.next_ts().min(safe);
+                    let finished = safe >= bound && lp.fel.next_ts() >= bound;
+                    let mut wake: Vec<u32> = Vec::with_capacity(out_chans.len());
+                    for &c in out_chans {
+                        let promise = if finished {
+                            Time::MAX
+                        } else {
+                            lb.saturating_add(chan_la[c])
+                        };
+                        let prev = chan_clock[c].fetch_max(promise.0, Ordering::AcqRel);
+                        if prev < promise.0 || processed > 0 {
+                            // A neighbor must re-check when our promise rose
+                            // or when we may have sent it events.
+                            let dst = chan_dst[c];
+                            if !wake.contains(&dst) {
+                                wake.push(dst);
+                            }
+                        }
+                    }
+                    for dst in wake {
+                        wakers[dst as usize].bump();
+                    }
+                    psm.m_ns += t0.elapsed().as_nanos() as u64;
+
+                    if finished || stop_flag.load(Ordering::Acquire) {
+                        for &c in out_chans {
+                            chan_clock[c].store(u64::MAX, Ordering::Release);
+                            wakers[chan_dst[c] as usize].bump();
+                        }
+                        break;
+                    }
+
+                    if processed == 0 {
+                        // No progress: sleep until an input changes. The
+                        // version lock is held while re-checking, and every
+                        // writer bumps under the same lock, so wake-ups are
+                        // never lost.
+                        let t0 = Instant::now();
+                        let mut guard = wakers[idx].version.lock();
+                        let mut cur = Time::MAX;
+                        for &c in in_chans {
+                            cur = cur.min(Time(chan_clock[c].load(Ordering::Acquire)));
+                        }
+                        if cur <= safe
+                            && inboxes[idx].is_empty()
+                            && !stop_flag.load(Ordering::Acquire)
+                        {
+                            wakers[idx].cond.wait(&mut guard);
+                        }
+                        drop(guard);
+                        psm.s_ns += t0.elapsed().as_nanos() as u64;
+                    }
+                }
+                (lp, psm, end_time, iterations)
+            }));
+        }
+        for h in handles {
+            results.push(h.join().expect("LP thread panicked"));
+        }
+    });
+
+    let wall = started.elapsed();
+    results.sort_by_key(|(lp, ..)| lp.id);
+    let rounds = results.iter().map(|r| r.3).max().unwrap_or(0);
+    let end_time = results
+        .iter()
+        .map(|(_, _, t, _)| *t)
+        .fold(Time::ZERO, Time::max);
+    let psm: Vec<Psm> = results.iter().map(|(_, p, ..)| *p).collect();
+    let lps: Vec<LpState<N>> = results.into_iter().map(|(lp, ..)| lp).collect();
+    let lp_totals = LpTotals {
+        events: lps.iter().map(|lp| lp.total_events).collect(),
+        cost_ns: vec![0; lp_count],
+        node_switches: lps.iter().map(|lp| lp.node_switches).collect(),
+    };
+    let events = lp_totals.events.iter().sum();
+    let report = RunReport {
+        kernel: "nullmsg".into(),
+        wall,
+        events,
+        global_events: 0,
+        rounds,
+        lp_count: lp_count as u32,
+        threads: lp_count as u32,
+        lookahead: partition.lookahead,
+        end_time,
+        psm,
+        lp_totals,
+        rounds_profile: None,
+    };
+    let world = reassemble_world(lps, &partition, graph, stop_at);
+    Ok((world, report))
+}

@@ -1,0 +1,287 @@
+//! The sequential DES kernel (the ns-3 default in the paper's comparisons).
+//!
+//! A single thread pops events from one global future event list. Two
+//! tie-breaking modes are provided:
+//!
+//! - **insertion order** (`compat_keys = false`): simultaneous events run in
+//!   the order they were scheduled, reproducing ns-3's default semantics;
+//! - **compat keys** (`compat_keys = true`): events carry the same
+//!   deterministic tie-break keys the Unison kernel assigns, which makes a
+//!   sequential run *bit-identical* to a parallel Unison run of the same
+//!   world — the strongest form of the paper's determinism claim.
+//!
+//! Global events (public LP) are fully supported: they run inline whenever
+//! their timestamp precedes the next node event.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use crate::event::{Event, EventKey, LpId, NodeId};
+use crate::fel::Fel;
+use crate::global::{GlobalFn, WorldAccess};
+use crate::lp::{LpSlots, PendingGlobal};
+use crate::metrics::{LpTotals, Psm, RunReport};
+use crate::time::Time;
+use crate::world::{NodeDirectory, SimCtx, SimNode, World};
+
+use super::{build_lps, build_partition, reassemble_world, KernelError, RunConfig};
+
+/// Sequential [`SimCtx`]: one global FEL, insertion-order or compat keys.
+struct SeqCtx<'a, N: SimNode> {
+    now: Time,
+    self_node: NodeId,
+    lp_id: LpId,
+    compat: bool,
+    fel: &'a mut Fel<N::Payload>,
+    /// Per-LP sequence counters (compat mode) — index 0 doubles as the
+    /// global insertion counter in insertion mode.
+    seqs: &'a mut [u64],
+    #[allow(dead_code)]
+    dir: &'a NodeDirectory,
+    pending_globals: &'a mut Vec<PendingGlobal<N>>,
+    stop_flag: &'a AtomicBool,
+}
+
+impl<N: SimNode> SimCtx<N> for SeqCtx<'_, N> {
+    fn now(&self) -> Time {
+        self.now
+    }
+
+    fn self_node(&self) -> NodeId {
+        self.self_node
+    }
+
+    fn schedule(&mut self, delay: Time, target: NodeId, payload: N::Payload) {
+        let ts = self.now.saturating_add(delay);
+        let key = if self.compat {
+            let lp = self.lp_id;
+            let seq = &mut self.seqs[lp.index()];
+            let k = EventKey {
+                ts,
+                sender_ts: self.now,
+                sender_lp: lp,
+                seq: *seq,
+            };
+            *seq += 1;
+            k
+        } else {
+            // ns-3 semantics: FIFO among simultaneous events, global
+            // insertion counter.
+            let seq = &mut self.seqs[0];
+            let k = EventKey {
+                ts,
+                sender_ts: Time::ZERO,
+                sender_lp: LpId(0),
+                seq: *seq,
+            };
+            *seq += 1;
+            k
+        };
+        self.fel.push(Event {
+            key,
+            node: target,
+            payload,
+        });
+    }
+
+    fn schedule_global(&mut self, delay: Time, f: GlobalFn<N>) {
+        self.pending_globals.push(PendingGlobal {
+            ts: self.now.saturating_add(delay),
+            sender_ts: self.now,
+            f,
+        });
+    }
+
+    fn request_stop(&mut self) {
+        self.stop_flag.store(true, Ordering::Release);
+    }
+}
+
+pub(super) fn run<N: SimNode>(
+    world: World<N>,
+    cfg: &RunConfig,
+    compat_keys: bool,
+) -> Result<(World<N>, RunReport), KernelError> {
+    let mut partition = build_partition(&world, &cfg.partition)?;
+    let (lps, dir, mut graph, init_globals, stop_at) = build_lps(world, &partition);
+    let lp_count = lps.len();
+
+    // Pull all initial events out of the per-LP FELs into the global FEL.
+    let mut lps = lps;
+    let mut fel: Fel<N::Payload> = Fel::new();
+    for lp in &mut lps {
+        while let Some(ev) = lp.fel.pop() {
+            fel.push(ev);
+        }
+    }
+    let slots = LpSlots::new(lps, dir.clone());
+
+    // Public LP: global events, including the kernel-inserted stop event.
+    let mut public: Fel<GlobalFn<N>> = Fel::new();
+    let mut ext_seq: u64 = 0;
+    for (ts, f) in init_globals {
+        public.push(Event {
+            key: EventKey::external(ts, ext_seq),
+            node: NodeId(u32::MAX),
+            payload: f,
+        });
+        ext_seq += 1;
+    }
+    if let Some(stop) = stop_at {
+        public.push(Event {
+            key: EventKey::external(stop, ext_seq),
+            node: NodeId(u32::MAX),
+            payload: Box::new(|wa: &mut WorldAccess<'_, N>| wa.stop()),
+        });
+        ext_seq += 1;
+    }
+
+    let stop_flag = AtomicBool::new(false);
+    let mut seqs = vec![0u64; lp_count.max(1)];
+    let mut pending_globals: Vec<PendingGlobal<N>> = Vec::new();
+    let mut topology_dirty = false;
+
+    let mut events: u64 = 0;
+    let mut global_events: u64 = 0;
+    let mut node_switches: u64 = 0;
+    let mut last_node = u32::MAX;
+    let mut now = Time::ZERO;
+    let started = Instant::now();
+
+    loop {
+        if stop_flag.load(Ordering::Acquire) {
+            break;
+        }
+        let next_ev = fel.next_ts();
+        let next_pub = public.next_ts();
+        if next_ev == Time::MAX && next_pub == Time::MAX {
+            break;
+        }
+        if next_pub <= next_ev {
+            // Global events run before node events at the same instant,
+            // matching the windowed kernels (a window never extends past
+            // N_pub).
+            let g = public.pop().expect("public FEL non-empty");
+            now = g.key.ts;
+            let mut stop = false;
+            let mut new_globals: Vec<(Time, GlobalFn<N>)> = Vec::new();
+            {
+                // SAFETY: single-threaded kernel; nothing else accesses the
+                // slots while the world view exists.
+                let mut wa = unsafe {
+                    WorldAccess::new(
+                        now,
+                        &slots,
+                        &mut graph,
+                        &mut partition,
+                        &mut topology_dirty,
+                        &mut stop,
+                        &mut new_globals,
+                        &mut ext_seq,
+                    )
+                };
+                (g.payload)(&mut wa);
+            }
+            global_events += 1;
+            for (ts, f) in new_globals {
+                public.push(Event {
+                    key: EventKey::external(ts, ext_seq),
+                    node: NodeId(u32::MAX),
+                    payload: f,
+                });
+                ext_seq += 1;
+            }
+            if topology_dirty {
+                partition.recompute_lookahead(&graph);
+                topology_dirty = false;
+            }
+            // Sweep events a global handler injected into per-LP FELs.
+            for i in 0..slots.len() {
+                // SAFETY: single-threaded kernel.
+                let lp = unsafe { slots.get_mut(i) };
+                while let Some(ev) = lp.fel.pop() {
+                    fel.push(ev);
+                }
+            }
+            if stop {
+                stop_flag.store(true, Ordering::Release);
+            }
+            continue;
+        }
+
+        let ev = fel.pop().expect("FEL non-empty");
+        now = ev.key.ts;
+        if ev.node.0 != last_node {
+            node_switches += 1;
+            last_node = ev.node.0;
+        }
+        let (lp_id, local) = dir.locate(ev.node);
+        // SAFETY: single-threaded kernel; exclusive by construction.
+        let lp = unsafe { slots.get_mut(lp_id.index()) };
+        let node = &mut lp.nodes[local as usize];
+        let mut ctx = SeqCtx::<N> {
+            now,
+            self_node: ev.node,
+            lp_id,
+            compat: compat_keys,
+            fel: &mut fel,
+            seqs: &mut seqs,
+            dir: &dir,
+            pending_globals: &mut pending_globals,
+            stop_flag: &stop_flag,
+        };
+        node.handle(ev.payload, &mut ctx);
+        lp.total_events += 1;
+        events += 1;
+
+        // Merge globals scheduled by the handler.
+        for pg in pending_globals.drain(..) {
+            public.push(Event {
+                key: EventKey {
+                    ts: pg.ts,
+                    sender_ts: pg.sender_ts,
+                    sender_lp: lp_id,
+                    seq: ext_seq,
+                },
+                node: NodeId(u32::MAX),
+                payload: pg.f,
+            });
+            ext_seq += 1;
+        }
+    }
+
+    let wall = started.elapsed();
+    let (lps, _) = slots.into_inner();
+    let mut lp_totals = LpTotals {
+        events: lps.iter().map(|lp| lp.total_events).collect(),
+        cost_ns: vec![0; lp_count],
+        node_switches: vec![0; lp_count],
+    };
+    if lp_count > 0 {
+        lp_totals.node_switches[0] = node_switches;
+    }
+    let report = RunReport {
+        kernel: if compat_keys {
+            "sequential(compat)".into()
+        } else {
+            "sequential".into()
+        },
+        wall,
+        events,
+        global_events,
+        rounds: 1,
+        lp_count: lp_count as u32,
+        threads: 1,
+        lookahead: partition.lookahead,
+        end_time: now,
+        psm: vec![Psm {
+            p_ns: wall.as_nanos() as u64,
+            s_ns: 0,
+            m_ns: 0,
+        }],
+        lp_totals,
+        rounds_profile: None,
+    };
+    let world = reassemble_world(lps, &partition, graph, stop_at);
+    Ok((world, report))
+}

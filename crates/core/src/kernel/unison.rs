@@ -1,0 +1,568 @@
+//! The Unison kernel (§4–§5 of the paper).
+//!
+//! Fine-grained LPs are scheduled onto a pool of worker threads each round.
+//! A round has four phases separated by atomic barriers (Fig. 7):
+//!
+//! 1. **Process events** — workers claim LPs in longest-estimated-job-first
+//!    order through an atomic cursor and execute each claimed LP's events
+//!    inside the window. Cross-LP events go to lock-free mailboxes.
+//! 2. **Handle global events** — the main thread routes overflow events,
+//!    merges node-scheduled globals into the public LP, executes due global
+//!    events (which may mutate the topology → lookahead recompute).
+//! 3. **Receive events** — workers claim LPs again and drain their
+//!    mailboxes into their FELs (deterministic source order).
+//! 4. **Update window** — the main thread reduces the per-LP next-event
+//!    timestamps into the next LBTS (Eq. 2), re-sorts the LP schedule every
+//!    scheduling period, and records metrics.
+//!
+//! Determinism: event keys are assigned from per-LP monotone counters and
+//! ordered by the §5.2 tie-breaking rule, so results are identical for any
+//! worker count (including 1) and identical to the compat-keys sequential
+//! kernel.
+//!
+//! The same machinery also powers the *hybrid* kernel (§5.2): LPs are
+//! grouped into simulated hosts and each host's workers only claim LPs of
+//! their own group, modeling the cluster deployment where load balancing
+//! happens within a host and only the window all-reduce is global.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Instant;
+
+use crossbeam::utils::CachePadded;
+
+use crate::event::{Event, EventKey, LpId, NodeId};
+use crate::fel::Fel;
+use crate::global::{GlobalFn, WorldAccess};
+use crate::lp::LpSlots;
+use crate::mailbox::Mailboxes;
+use crate::metrics::{LpTotals, MetricsLevel, Psm, RoundRecord, RunReport};
+use crate::sched::{order_by_estimate, SchedMetric};
+use crate::sync::SpinBarrier;
+use crate::time::Time;
+use crate::world::{SimNode, World};
+
+use super::{build_lps, build_partition, reassemble_world, KernelError, RoundCtx, RunConfig};
+
+/// How LPs and workers are grouped (single group = plain Unison; one group
+/// per simulated host = hybrid kernel).
+pub(super) struct Grouping {
+    /// Group of each LP.
+    pub lp_group: Vec<u32>,
+    /// Group of each worker thread (worker 0 is the main thread).
+    pub worker_group: Vec<u32>,
+    /// Number of groups.
+    pub groups: usize,
+}
+
+impl Grouping {
+    /// Everything in one group with `threads` workers.
+    pub fn single(lp_count: usize, threads: usize) -> Self {
+        Grouping {
+            lp_group: vec![0; lp_count],
+            worker_group: vec![0; threads],
+            groups: 1,
+        }
+    }
+}
+
+/// Round plan published by the main thread between rounds.
+struct RoundPlan {
+    /// Per-group LP visit order for the processing phase.
+    order: Vec<Vec<u32>>,
+    /// Per-group LP list for the receive phase (static).
+    group_lps: Vec<Vec<u32>>,
+    /// Start of the current window.
+    window_start: Time,
+    /// End of the current window (the LBTS).
+    window_end: Time,
+    /// Set when the simulation is complete.
+    done: bool,
+}
+
+/// Shared cell for the round plan.
+///
+/// Mutated exclusively by the main thread between the round's last barrier
+/// and the next round's first barrier (while all workers wait); read-only
+/// during parallel phases. The barriers provide the happens-before edges.
+struct PlanCell(UnsafeCell<RoundPlan>);
+
+// SAFETY: see the access discipline above — main-thread writes and worker
+// reads are separated by `SpinBarrier::wait`, which performs an acquire/
+// release handshake.
+unsafe impl Sync for PlanCell {}
+
+pub(super) fn run<N: SimNode>(
+    world: World<N>,
+    cfg: &RunConfig,
+    threads: usize,
+) -> Result<(World<N>, RunReport), KernelError> {
+    if threads == 0 {
+        return Err(KernelError::InvalidConfig("threads must be >= 1".into()));
+    }
+    run_grouped(world, cfg, threads, None, "unison")
+}
+
+/// Shared implementation for the Unison and hybrid kernels.
+pub(super) fn run_grouped<N: SimNode>(
+    world: World<N>,
+    cfg: &RunConfig,
+    threads: usize,
+    grouping: Option<Grouping>,
+    kernel_name: &str,
+) -> Result<(World<N>, RunReport), KernelError> {
+    let mut partition = build_partition(&world, &cfg.partition)?;
+    let (lps, dir, mut graph, init_globals, stop_at) = build_lps(world, &partition);
+    let lp_count = lps.len();
+    if lp_count == 0 {
+        return Err(KernelError::InvalidPartition("world has no nodes".into()));
+    }
+    let grouping = grouping.unwrap_or_else(|| Grouping::single(lp_count, threads));
+    if grouping.worker_group.len() != threads || grouping.lp_group.len() != lp_count {
+        return Err(KernelError::InvalidConfig(
+            "grouping does not match thread/LP counts".into(),
+        ));
+    }
+    let groups = grouping.groups;
+
+    let channels: Vec<(u32, u32)> = partition
+        .lp_channels(&graph)
+        .into_iter()
+        .map(|(a, b, _)| (a.0, b.0))
+        .collect();
+    let mailboxes: Mailboxes<N::Payload> = Mailboxes::new(lp_count, &channels);
+    let slots = LpSlots::new(lps, dir);
+
+    // Public LP.
+    let mut public: Fel<GlobalFn<N>> = Fel::new();
+    let mut ext_seq: u64 = 0;
+    for (ts, f) in init_globals {
+        public.push(Event {
+            key: EventKey::external(ts, ext_seq),
+            node: NodeId(u32::MAX),
+            payload: f,
+        });
+        ext_seq += 1;
+    }
+    if let Some(stop) = stop_at {
+        public.push(Event {
+            key: EventKey::external(stop, ext_seq),
+            node: NodeId(u32::MAX),
+            payload: Box::new(|wa: &mut WorldAccess<'_, N>| wa.stop()),
+        });
+        ext_seq += 1;
+    }
+
+    // Static per-group LP lists and initial (identity) orders.
+    let mut group_lps: Vec<Vec<u32>> = vec![Vec::new(); groups];
+    for (lp, &g) in grouping.lp_group.iter().enumerate() {
+        group_lps[g as usize].push(lp as u32);
+    }
+    let initial_order = group_lps.clone();
+
+    // Initial window.
+    let initial_min = {
+        let mut m = Time::MAX;
+        for i in 0..lp_count {
+            // SAFETY: no worker threads exist yet.
+            m = m.min(unsafe { slots.get_mut(i) }.next_ts);
+        }
+        m
+    };
+    let initial_window = public
+        .next_ts()
+        .min(initial_min.saturating_add(partition.lookahead));
+    let plan = PlanCell(UnsafeCell::new(RoundPlan {
+        order: initial_order,
+        group_lps,
+        window_start: Time::ZERO,
+        window_end: initial_window,
+        done: initial_min == Time::MAX && public.next_ts() == Time::MAX,
+    }));
+
+    let barrier = SpinBarrier::new(threads);
+    let cursor_proc: Vec<CachePadded<AtomicUsize>> =
+        (0..groups).map(|_| CachePadded::new(AtomicUsize::new(0))).collect();
+    let cursor_recv: Vec<CachePadded<AtomicUsize>> =
+        (0..groups).map(|_| CachePadded::new(AtomicUsize::new(0))).collect();
+    let stop_flag = AtomicBool::new(false);
+    let sched_period = cfg.sched.effective_period(lp_count);
+
+    let mut rounds_profile: Option<Vec<RoundRecord>> = match cfg.metrics {
+        MetricsLevel::PerRound => Some(Vec::new()),
+        MetricsLevel::Summary => None,
+    };
+    let mut rounds: u64 = 0;
+    let mut global_events: u64 = 0;
+    let mut end_time = Time::ZERO;
+    let started = Instant::now();
+
+    let mut worker_psm: Vec<Psm> = Vec::new();
+    let mut main_psm = Psm::default();
+    let main_group = grouping.worker_group[0] as usize;
+
+    std::thread::scope(|scope| {
+        // Spawn `threads - 1` workers; the main thread is worker 0 and also
+        // runs the serial phases.
+        let mut handles = Vec::new();
+        for w in 1..threads {
+            let g = grouping.worker_group[w] as usize;
+            let slots = &slots;
+            let plan = &plan;
+            let barrier = &barrier;
+            let cursor_proc = &cursor_proc;
+            let cursor_recv = &cursor_recv;
+            let stop_flag = &stop_flag;
+            let mailboxes = &mailboxes;
+            handles.push(scope.spawn(move || {
+                let mut psm = Psm::default();
+                loop {
+                    wait_timed(barrier, &mut psm.s_ns); // B0: plan published
+                    // SAFETY: read-only access during parallel phases.
+                    let p = unsafe { &*plan.0.get() };
+                    if p.done {
+                        break;
+                    }
+                    let t0 = Instant::now();
+                    process_phase(slots, mailboxes, &cursor_proc[g], &p.order[g], p, stop_flag);
+                    psm.p_ns += t0.elapsed().as_nanos() as u64;
+                    wait_timed(barrier, &mut psm.s_ns); // B1
+                    wait_timed(barrier, &mut psm.s_ns); // B2 (main ran globals)
+                    let t0 = Instant::now();
+                    receive_phase(slots, mailboxes, &cursor_recv[g], &p.group_lps[g]);
+                    psm.m_ns += t0.elapsed().as_nanos() as u64;
+                    wait_timed(barrier, &mut psm.s_ns); // B3
+                }
+                psm
+            }));
+        }
+
+        // Main thread control loop.
+        loop {
+            wait_timed(&barrier, &mut main_psm.s_ns); // B0
+            // SAFETY: parallel-phase read.
+            let p = unsafe { &*plan.0.get() };
+            if p.done {
+                break;
+            }
+            let window_start = p.window_start;
+            let window_end = p.window_end;
+            let t0 = Instant::now();
+            process_phase(
+                &slots,
+                &mailboxes,
+                &cursor_proc[main_group],
+                &p.order[main_group],
+                p,
+                &stop_flag,
+            );
+            main_psm.p_ns += t0.elapsed().as_nanos() as u64;
+            wait_timed(&barrier, &mut main_psm.s_ns); // B1
+
+            // ---- Phase 2: global events (main thread only) ----
+            let t0 = Instant::now();
+            let mut topology_dirty = false;
+            let mut stopped = stop_flag.load(Ordering::Acquire);
+            for c in cursor_recv.iter() {
+                c.store(0, Ordering::Relaxed);
+            }
+            // Route overflow events and merge node-scheduled globals.
+            for i in 0..lp_count {
+                let (outflow, pending) = {
+                    // SAFETY: workers wait at B2; main is exclusive. The
+                    // borrow ends inside this block, before any other slot
+                    // is touched.
+                    let lp = unsafe { slots.get_mut(i) };
+                    if lp.outflow.is_empty() && lp.pending_globals.is_empty() {
+                        continue;
+                    }
+                    (
+                        std::mem::take(&mut lp.outflow),
+                        std::mem::take(&mut lp.pending_globals),
+                    )
+                };
+                for ev in outflow {
+                    let dst = slots.directory().lp_of(ev.node);
+                    // SAFETY: main-thread exclusivity; the source LP borrow
+                    // above has already ended.
+                    let dst_lp = unsafe { slots.get_mut(dst.index()) };
+                    dst_lp.fel.push(ev);
+                }
+                for pg in pending {
+                    public.push(Event {
+                        key: EventKey {
+                            // Clamp: globals cannot precede the end of the
+                            // window that scheduled them.
+                            ts: pg.ts.max(window_end),
+                            sender_ts: pg.sender_ts,
+                            sender_lp: LpId(i as u32),
+                            seq: ext_seq,
+                        },
+                        node: NodeId(u32::MAX),
+                        payload: pg.f,
+                    });
+                    ext_seq += 1;
+                }
+            }
+            // Execute due global events.
+            // `Time::MAX` means "no global event" — it must not satisfy the
+            // bound even when the window itself is unbounded (linkless
+            // worlds have an infinite lookahead).
+            while !stopped && public.next_ts() != Time::MAX && public.next_ts() <= window_end {
+                let g = public.pop().expect("public FEL non-empty");
+                let now = g.key.ts;
+                end_time = end_time.max(now);
+                let mut stop = false;
+                let mut new_globals: Vec<(Time, GlobalFn<N>)> = Vec::new();
+                {
+                    // SAFETY: workers wait at B2; the main thread holds
+                    // exclusive access to every LP slot.
+                    let mut wa = unsafe {
+                        WorldAccess::new(
+                            now,
+                            &slots,
+                            &mut graph,
+                            &mut partition,
+                            &mut topology_dirty,
+                            &mut stop,
+                            &mut new_globals,
+                            &mut ext_seq,
+                        )
+                    };
+                    (g.payload)(&mut wa);
+                }
+                global_events += 1;
+                for (ts, f) in new_globals {
+                    public.push(Event {
+                        key: EventKey::external(ts, ext_seq),
+                        node: NodeId(u32::MAX),
+                        payload: f,
+                    });
+                    ext_seq += 1;
+                }
+                if stop {
+                    stopped = true;
+                }
+            }
+            if topology_dirty {
+                partition.recompute_lookahead(&graph);
+            }
+            main_psm.p_ns += t0.elapsed().as_nanos() as u64;
+            wait_timed(&barrier, &mut main_psm.s_ns); // B2
+
+            // ---- Phase 3: receive (parallel) ----
+            let t0 = Instant::now();
+            receive_phase(
+                &slots,
+                &mailboxes,
+                &cursor_recv[main_group],
+                &p.group_lps[main_group],
+            );
+            main_psm.m_ns += t0.elapsed().as_nanos() as u64;
+            wait_timed(&barrier, &mut main_psm.s_ns); // B3
+
+            // ---- Phase 4: update window + schedule (main thread only) ----
+            let t0 = Instant::now();
+            rounds += 1;
+            let mut min_next = Time::MAX;
+            for i in 0..lp_count {
+                // SAFETY: workers are between B3 and B0; main is exclusive.
+                let lp = unsafe { slots.get_mut(i) };
+                min_next = min_next.min(lp.next_ts);
+            }
+            let n_pub = public.next_ts();
+            let next_window = n_pub.min(min_next.saturating_add(partition.lookahead));
+            let done = stopped || (min_next == Time::MAX && n_pub == Time::MAX);
+
+            // Record this round's profile and reset per-round fields.
+            if let Some(profile) = rounds_profile.as_mut() {
+                let mut rec = RoundRecord {
+                    window_start,
+                    window_end,
+                    lp_cost_ns: Vec::with_capacity(lp_count),
+                    lp_events: Vec::with_capacity(lp_count),
+                    lp_recv: Vec::with_capacity(lp_count),
+                };
+                for i in 0..lp_count {
+                    // SAFETY: main-thread exclusivity between barriers.
+                    let lp = unsafe { slots.get_mut(i) };
+                    rec.lp_cost_ns.push(lp.last_cost_ns as f32);
+                    rec.lp_events.push(lp.round_events as u32);
+                    rec.lp_recv.push(lp.round_recv as u32);
+                }
+                profile.push(rec);
+            }
+
+            // Load-adaptive scheduling: re-sort the LP order every period.
+            if !done && cfg.sched.metric != SchedMetric::None && rounds.is_multiple_of(sched_period as u64)
+            {
+                let mut estimates = vec![0u64; lp_count];
+                match cfg.sched.metric {
+                    SchedMetric::ByLastRoundTime => {
+                        for (i, e) in estimates.iter_mut().enumerate() {
+                            // SAFETY: main-thread exclusivity.
+                            *e = unsafe { slots.get_mut(i) }.last_cost_ns;
+                        }
+                    }
+                    SchedMetric::ByPendingEvents => {
+                        for (i, e) in estimates.iter_mut().enumerate() {
+                            // SAFETY: main-thread exclusivity.
+                            let lp = unsafe { slots.get_mut(i) };
+                            *e = lp.fel.count_below(next_window) as u64;
+                        }
+                    }
+                    SchedMetric::None => unreachable!(),
+                }
+                // SAFETY: main-thread exclusivity between B3 and B0.
+                let plan_mut = unsafe { &mut *plan.0.get() };
+                for (g, lps_of_g) in plan_mut.group_lps.iter().enumerate() {
+                    let group_est: Vec<u64> =
+                        lps_of_g.iter().map(|&l| estimates[l as usize]).collect();
+                    let local_order = order_by_estimate(&group_est);
+                    plan_mut.order[g] = local_order
+                        .into_iter()
+                        .map(|i| lps_of_g[i as usize])
+                        .collect();
+                }
+            }
+
+            if !done {
+                end_time = end_time.max(window_end);
+            }
+            // Publish the next round's plan.
+            {
+                // SAFETY: main-thread exclusivity between B3 and B0.
+                let plan_mut = unsafe { &mut *plan.0.get() };
+                plan_mut.window_start = window_end;
+                plan_mut.window_end = next_window;
+                plan_mut.done = done;
+            }
+            for c in cursor_proc.iter() {
+                c.store(0, Ordering::Relaxed);
+            }
+            main_psm.m_ns += t0.elapsed().as_nanos() as u64;
+        }
+
+        for h in handles {
+            worker_psm.push(h.join().expect("worker panicked"));
+        }
+    });
+
+    let wall = started.elapsed();
+    let (lps, _) = slots.into_inner();
+    let lp_totals = LpTotals {
+        events: lps.iter().map(|lp| lp.total_events).collect(),
+        cost_ns: lps.iter().map(|lp| lp.last_cost_ns).collect(),
+        node_switches: lps.iter().map(|lp| lp.node_switches).collect(),
+    };
+    let events: u64 = lp_totals.events.iter().sum();
+    let mut psm = vec![main_psm];
+    psm.extend(worker_psm);
+    let report = RunReport {
+        kernel: format!("{kernel_name}({threads})"),
+        wall,
+        events,
+        global_events,
+        rounds,
+        lp_count: lp_count as u32,
+        threads: threads as u32,
+        lookahead: partition.lookahead,
+        end_time,
+        psm,
+        lp_totals,
+        rounds_profile,
+    };
+    let world = reassemble_world(lps, &partition, graph, stop_at);
+    Ok((world, report))
+}
+
+/// Barrier wait with the blocked time charged to `s_ns`.
+#[inline]
+fn wait_timed(barrier: &SpinBarrier, s_ns: &mut u64) {
+    let t0 = Instant::now();
+    barrier.wait();
+    *s_ns += t0.elapsed().as_nanos() as u64;
+}
+
+/// Phase 1: claim LPs in schedule order and execute their window events.
+fn process_phase<N: SimNode>(
+    slots: &LpSlots<N>,
+    mailboxes: &Mailboxes<N::Payload>,
+    cursor: &AtomicUsize,
+    order: &[u32],
+    plan: &RoundPlan,
+    stop_flag: &AtomicBool,
+) {
+    let dir = slots.directory();
+    loop {
+        let i = cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= order.len() {
+            break;
+        }
+        let lp_idx = order[i] as usize;
+        // SAFETY: the atomic cursor hands each index to exactly one thread
+        // per phase; phases are separated by barriers.
+        let lp = unsafe { slots.get_mut(lp_idx) };
+        if lp.fel.next_ts() >= plan.window_end {
+            // Idle this round: skip the clock calls entirely so idle LPs
+            // record zero cost (and cost nothing).
+            lp.round_events = 0;
+            lp.last_cost_ns = 0;
+            continue;
+        }
+        let t0 = Instant::now();
+        let mut round_events: u64 = 0;
+        while let Some(ev) = lp.fel.pop_below(plan.window_end) {
+            if ev.node.0 != lp.last_node {
+                lp.node_switches += 1;
+                lp.last_node = ev.node.0;
+            }
+            let (owner, local) = dir.locate(ev.node);
+            debug_assert_eq!(owner, lp.id, "event routed to wrong LP");
+            let node = &mut lp.nodes[local as usize];
+            let mut ctx = RoundCtx::<N> {
+                now: ev.key.ts,
+                self_node: ev.node,
+                lp_id: lp.id,
+                window_end: plan.window_end,
+                fel: &mut lp.fel,
+                seq: &mut lp.seq,
+                outflow: &mut lp.outflow,
+                pending_globals: &mut lp.pending_globals,
+                dir,
+                mailboxes: Some(mailboxes),
+                stop_flag,
+            };
+            node.handle(ev.payload, &mut ctx);
+            round_events += 1;
+        }
+        lp.round_events = round_events;
+        lp.total_events += round_events;
+        lp.last_cost_ns = t0.elapsed().as_nanos() as u64;
+    }
+}
+
+/// Phase 3: claim LPs and drain their mailboxes into their FELs.
+fn receive_phase<N: SimNode>(
+    slots: &LpSlots<N>,
+    mailboxes: &Mailboxes<N::Payload>,
+    cursor: &AtomicUsize,
+    group_lps: &[u32],
+) {
+    loop {
+        let i = cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= group_lps.len() {
+            break;
+        }
+        let lp_idx = group_lps[i] as usize;
+        // SAFETY: unique claim via the cursor, as in `process_phase`.
+        let lp = unsafe { slots.get_mut(lp_idx) };
+        let mut recv: u64 = 0;
+        mailboxes.drain(lp_idx as u32, |ev| {
+            lp.fel.push(ev);
+            recv += 1;
+        });
+        lp.round_recv = recv;
+        lp.refresh_next_ts();
+    }
+}

@@ -1,0 +1,120 @@
+//! Mailboxes: lock-free cross-LP event transfer (§5.1).
+//!
+//! Before the simulation starts, a queue is created for every *directed* LP
+//! pair joined by at least one link. During the processing phase, inter-LP
+//! events are appended to the mailbox of the (source, destination) pair;
+//! during the receive phase the destination LP drains its mailboxes — in
+//! ascending source-LP order, so the merged FEL contents are deterministic —
+//! and inserts the events into its FEL. Each mailbox has a single producer
+//! (the thread executing the source LP that round) and a single consumer
+//! (the thread executing the destination LP in the receive phase), with the
+//! phase barrier establishing the happens-before edge.
+
+use crossbeam::queue::SegQueue;
+
+use crate::event::Event;
+
+/// All mailboxes of a run, indexed by destination LP.
+pub struct Mailboxes<P> {
+    /// `inboxes[dst]` = mailboxes feeding LP `dst`, sorted by source LP id.
+    inboxes: Vec<Vec<(u32, SegQueue<Event<P>>)>>,
+}
+
+impl<P> Mailboxes<P> {
+    /// Builds mailboxes from the undirected LP channel list (both directions
+    /// are created for every channel).
+    pub fn new(lp_count: usize, channels: &[(u32, u32)]) -> Self {
+        let mut inboxes: Vec<Vec<(u32, SegQueue<Event<P>>)>> =
+            (0..lp_count).map(|_| Vec::new()).collect();
+        for &(a, b) in channels {
+            inboxes[b as usize].push((a, SegQueue::new()));
+            inboxes[a as usize].push((b, SegQueue::new()));
+        }
+        for inbox in &mut inboxes {
+            inbox.sort_unstable_by_key(|(src, _)| *src);
+            inbox.dedup_by_key(|(src, _)| *src);
+        }
+        Mailboxes { inboxes }
+    }
+
+    /// Attempts to deliver `ev` into the `(src, dst)` mailbox. Returns the
+    /// event back when no mailbox exists for the pair (the caller then uses
+    /// the main-thread overflow lane).
+    #[inline]
+    pub fn try_push(&self, src: u32, dst: u32, ev: Event<P>) -> Result<(), Event<P>> {
+        let inbox = &self.inboxes[dst as usize];
+        match inbox.binary_search_by_key(&src, |(s, _)| *s) {
+            Ok(i) => {
+                inbox[i].1.push(ev);
+                Ok(())
+            }
+            Err(_) => Err(ev),
+        }
+    }
+
+    /// Drains every mailbox of `dst` in ascending source order, invoking `f`
+    /// for each event in FIFO (per source) order.
+    ///
+    /// Must only be called by the thread holding the exclusive claim on LP
+    /// `dst` during the receive phase.
+    pub fn drain(&self, dst: u32, mut f: impl FnMut(Event<P>)) {
+        for (_, q) in &self.inboxes[dst as usize] {
+            while let Some(ev) = q.pop() {
+                f(ev);
+            }
+        }
+    }
+
+    /// Number of LPs covered.
+    pub fn lp_count(&self) -> usize {
+        self.inboxes.len()
+    }
+
+    /// Number of mailboxes feeding `dst`.
+    pub fn fan_in(&self, dst: u32) -> usize {
+        self.inboxes[dst as usize].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKey, NodeId};
+    use crate::time::Time;
+
+    fn ev(ts: u64, seq: u64) -> Event<u32> {
+        Event {
+            key: EventKey::external(Time(ts), seq),
+            node: NodeId(0),
+            payload: seq as u32,
+        }
+    }
+
+    #[test]
+    fn push_and_drain_in_source_order() {
+        let m: Mailboxes<u32> = Mailboxes::new(3, &[(0, 2), (1, 2)]);
+        m.try_push(1, 2, ev(5, 10)).unwrap();
+        m.try_push(0, 2, ev(9, 20)).unwrap();
+        m.try_push(0, 2, ev(1, 21)).unwrap();
+        let mut got = Vec::new();
+        m.drain(2, |e| got.push(e.payload));
+        // Source 0 first (FIFO within source), then source 1.
+        assert_eq!(got, vec![20, 21, 10]);
+    }
+
+    #[test]
+    fn missing_pair_returns_event() {
+        let m: Mailboxes<u32> = Mailboxes::new(3, &[(0, 1)]);
+        assert!(m.try_push(0, 2, ev(1, 0)).is_err());
+        assert!(m.try_push(0, 1, ev(1, 0)).is_ok());
+        // Channels are bidirectional.
+        assert!(m.try_push(1, 0, ev(1, 1)).is_ok());
+    }
+
+    #[test]
+    fn duplicate_channels_deduped() {
+        let m: Mailboxes<u32> = Mailboxes::new(2, &[(0, 1), (0, 1), (1, 0)]);
+        assert_eq!(m.fan_in(0), 1);
+        assert_eq!(m.fan_in(1), 1);
+    }
+}

@@ -1,0 +1,197 @@
+//! Run metrics: the P/S/M decomposition and per-round load profiles.
+//!
+//! Following §3.2 of the paper, the running time of an LP (or thread) is
+//! decomposed into *processing* time `P` (executing events), *synchronization*
+//! time `S` (waiting for other LPs/threads at window boundaries), and
+//! *messaging* time `M` (receiving cross-LP events). Kernels record these
+//! per thread; with [`MetricsLevel::PerRound`] they additionally record each
+//! LP's processing cost per round, the input to the virtual-core performance
+//! model (`perfmodel`).
+
+use std::time::Duration;
+
+use crate::time::Time;
+
+/// How much instrumentation a run records.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum MetricsLevel {
+    /// No per-round data; only totals.
+    #[default]
+    Summary,
+    /// Totals plus a per-round, per-LP cost/event profile (needed by the
+    /// virtual-core replay and Figs. 5b, 9b, 13).
+    PerRound,
+}
+
+/// P/S/M accumulators for one thread (or one LP in LP-pinned kernels).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Psm {
+    /// Nanoseconds spent processing events (phases 1–2).
+    pub p_ns: u64,
+    /// Nanoseconds spent waiting at synchronization points.
+    pub s_ns: u64,
+    /// Nanoseconds spent receiving events / updating the window (phases 3–4).
+    pub m_ns: u64,
+}
+
+impl Psm {
+    /// Total accounted time.
+    pub fn total_ns(&self) -> u64 {
+        self.p_ns + self.s_ns + self.m_ns
+    }
+
+    /// Fraction of total time spent synchronizing (0 when idle).
+    pub fn s_ratio(&self) -> f64 {
+        let t = self.total_ns();
+        if t == 0 {
+            0.0
+        } else {
+            self.s_ns as f64 / t as f64
+        }
+    }
+}
+
+/// One round's load profile across LPs.
+#[derive(Clone, Debug)]
+pub struct RoundRecord {
+    /// Window start (virtual time).
+    pub window_start: Time,
+    /// Window end (the LBTS of this round).
+    pub window_end: Time,
+    /// Measured (or modeled) processing cost per LP, nanoseconds.
+    pub lp_cost_ns: Vec<f32>,
+    /// Events processed per LP.
+    pub lp_events: Vec<u32>,
+    /// Events received from mailboxes per LP.
+    pub lp_recv: Vec<u32>,
+}
+
+impl RoundRecord {
+    /// Sum of per-LP costs (the sequential cost of this round).
+    pub fn total_cost_ns(&self) -> f64 {
+        self.lp_cost_ns.iter().map(|&c| c as f64).sum()
+    }
+
+    /// Maximum per-LP cost (the barrier-kernel critical path).
+    pub fn max_cost_ns(&self) -> f64 {
+        self.lp_cost_ns.iter().fold(0.0f64, |m, &c| m.max(c as f64))
+    }
+}
+
+/// Per-LP totals over a run.
+#[derive(Clone, Debug, Default)]
+pub struct LpTotals {
+    /// Events processed per LP.
+    pub events: Vec<u64>,
+    /// Cumulative processing cost per LP, nanoseconds.
+    pub cost_ns: Vec<u64>,
+    /// Locality proxy: consecutive-event node switches per LP.
+    pub node_switches: Vec<u64>,
+}
+
+/// The result of one kernel run.
+#[derive(Debug, Default)]
+pub struct RunReport {
+    /// Kernel that produced the run (for display).
+    pub kernel: String,
+    /// Real wall-clock duration of the run.
+    pub wall: Duration,
+    /// Total events executed (node events; global events counted separately).
+    pub events: u64,
+    /// Global events executed.
+    pub global_events: u64,
+    /// Synchronization rounds executed (1 for the sequential kernel).
+    pub rounds: u64,
+    /// Number of LPs.
+    pub lp_count: u32,
+    /// Number of worker threads used.
+    pub threads: u32,
+    /// Partition lookahead.
+    pub lookahead: Time,
+    /// Virtual time reached when the run ended.
+    pub end_time: Time,
+    /// P/S/M per thread (index = thread id) — or per LP for LP-pinned
+    /// kernels (barrier, null message), matching the paper's methodology.
+    pub psm: Vec<Psm>,
+    /// Per-LP totals.
+    pub lp_totals: LpTotals,
+    /// Per-round profile, when requested.
+    pub rounds_profile: Option<Vec<RoundRecord>>,
+}
+
+impl RunReport {
+    /// Events per wall-clock second (the headline throughput number).
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.events as f64 / secs
+        }
+    }
+
+    /// Aggregate P/S/M over all threads.
+    pub fn psm_total(&self) -> Psm {
+        let mut total = Psm::default();
+        for p in &self.psm {
+            total.p_ns += p.p_ns;
+            total.s_ns += p.s_ns;
+            total.m_ns += p.m_ns;
+        }
+        total
+    }
+
+    /// Total node switches (locality proxy) over all LPs.
+    pub fn node_switches(&self) -> u64 {
+        self.lp_totals.node_switches.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn psm_ratios() {
+        let psm = Psm {
+            p_ns: 70,
+            s_ns: 20,
+            m_ns: 10,
+        };
+        assert_eq!(psm.total_ns(), 100);
+        assert!((psm.s_ratio() - 0.2).abs() < 1e-12);
+        assert_eq!(Psm::default().s_ratio(), 0.0);
+    }
+
+    #[test]
+    fn round_record_aggregates() {
+        let r = RoundRecord {
+            window_start: Time(0),
+            window_end: Time(10),
+            lp_cost_ns: vec![1.0, 5.0, 2.0],
+            lp_events: vec![1, 5, 2],
+            lp_recv: vec![0, 0, 0],
+        };
+        assert_eq!(r.total_cost_ns(), 8.0);
+        assert_eq!(r.max_cost_ns(), 5.0);
+    }
+
+    #[test]
+    fn report_totals() {
+        let mut rep = RunReport::default();
+        rep.psm.push(Psm {
+            p_ns: 5,
+            s_ns: 1,
+            m_ns: 0,
+        });
+        rep.psm.push(Psm {
+            p_ns: 3,
+            s_ns: 2,
+            m_ns: 1,
+        });
+        let total = rep.psm_total();
+        assert_eq!(total.p_ns, 8);
+        assert_eq!(total.s_ns, 3);
+        assert_eq!(total.m_ns, 1);
+    }
+}

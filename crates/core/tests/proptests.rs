@@ -1,0 +1,209 @@
+//! Property-based tests of the kernel's core data structures and
+//! invariants.
+
+use proptest::prelude::*;
+
+use unison_core::{
+    fine_grained_partition, Event, EventKey, Fel, LinkGraph, LpId, NodeId, Rng, Time,
+};
+use unison_core::sched::{ideal_makespan, lpt_makespan, order_by_estimate};
+
+fn arb_key() -> impl Strategy<Value = EventKey> {
+    (0u64..1_000, 0u64..1_000, 0u32..8, 0u64..10_000).prop_map(|(ts, sts, lp, seq)| EventKey {
+        ts: Time(ts),
+        sender_ts: Time(sts),
+        sender_lp: LpId(lp),
+        seq,
+    })
+}
+
+proptest! {
+    /// The FEL pops events in exactly sorted key order.
+    #[test]
+    fn fel_pops_sorted(keys in proptest::collection::vec(arb_key(), 0..200)) {
+        let mut fel: Fel<usize> = Fel::new();
+        for (i, k) in keys.iter().enumerate() {
+            fel.push(Event { key: *k, node: NodeId(0), payload: i });
+        }
+        let mut sorted = keys.clone();
+        sorted.sort();
+        let mut popped = Vec::new();
+        while let Some(ev) = fel.pop() {
+            popped.push(ev.key);
+        }
+        prop_assert_eq!(popped, sorted);
+    }
+
+    /// `count_below` agrees with a linear scan, and `pop_below` respects
+    /// its bound.
+    #[test]
+    fn fel_bounds(keys in proptest::collection::vec(arb_key(), 0..100), bound in 0u64..1_200) {
+        let mut fel: Fel<usize> = Fel::new();
+        for (i, k) in keys.iter().enumerate() {
+            fel.push(Event { key: *k, node: NodeId(0), payload: i });
+        }
+        let expected = keys.iter().filter(|k| k.ts < Time(bound)).count();
+        prop_assert_eq!(fel.count_below(Time(bound)), expected);
+        let mut n = 0;
+        while let Some(ev) = fel.pop_below(Time(bound)) {
+            prop_assert!(ev.key.ts < Time(bound));
+            n += 1;
+        }
+        prop_assert_eq!(n, expected);
+    }
+
+    /// Partition invariants on arbitrary graphs: LP ids are dense, every
+    /// link below the (effective) bound is intra-LP, and the lookahead is
+    /// the minimum inter-LP link delay.
+    #[test]
+    fn partition_invariants(
+        n in 2usize..40,
+        edges in proptest::collection::vec((0usize..40, 0usize..40, 0u64..10_000), 0..120),
+    ) {
+        let mut g = LinkGraph::new(n);
+        for (a, b, d) in edges {
+            let (a, b) = (a % n, b % n);
+            if a != b {
+                g.add_link(NodeId(a as u32), NodeId(b as u32), Time(d));
+            }
+        }
+        let p = fine_grained_partition(&g);
+        // Dense ids covering 0..lp_count.
+        let mut seen = vec![false; p.lp_count as usize];
+        for lp in &p.node_lp {
+            prop_assert!(lp.0 < p.lp_count);
+            seen[lp.index()] = true;
+        }
+        prop_assert!(seen.iter().all(|s| *s));
+        // The effective bound: max(median, 1ns).
+        let mut delays: Vec<u64> = g.live_links().map(|(_, l)| l.delay.0).collect();
+        if !delays.is_empty() {
+            delays.sort_unstable();
+            let bound = delays[(delays.len() - 1) / 2].max(1);
+            let mut min_cut = u64::MAX;
+            for (_, l) in g.live_links() {
+                let same = p.lp_of(l.a) == p.lp_of(l.b);
+                if l.delay.0 < bound {
+                    prop_assert!(same, "link below bound must be intra-LP");
+                }
+                if !same {
+                    min_cut = min_cut.min(l.delay.0);
+                }
+            }
+            prop_assert_eq!(p.lookahead.0, min_cut);
+        }
+    }
+
+    /// LPT makespan bounds: at least the largest job and the mean load, at
+    /// most the total work; and never better than the exact-knowledge
+    /// ideal by more than floating noise.
+    #[test]
+    fn lpt_bounds(
+        jobs in proptest::collection::vec(0u64..10_000, 1..100),
+        threads in 1usize..24,
+    ) {
+        let actual: Vec<f64> = jobs.iter().map(|&j| j as f64).collect();
+        let order = order_by_estimate(&jobs);
+        let ms = lpt_makespan(&order, &actual, threads);
+        let total: f64 = actual.iter().sum();
+        let max = actual.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(ms >= max - 1e-9);
+        prop_assert!(ms >= total / threads as f64 - 1e-9);
+        prop_assert!(ms <= total + 1e-9);
+        let ideal = ideal_makespan(&actual, threads);
+        prop_assert!(ms + 1e-9 >= ideal);
+    }
+
+    /// The deterministic RNG respects bounds and is reproducible.
+    #[test]
+    fn rng_bounds(seed in any::<u64>(), bound in 1u64..u64::MAX) {
+        let mut a = Rng::new(seed);
+        let mut b = Rng::new(seed);
+        for _ in 0..50 {
+            let x = a.next_below(bound);
+            prop_assert!(x < bound);
+            prop_assert_eq!(x, b.next_below(bound));
+        }
+    }
+
+    /// Time arithmetic never panics on extreme values.
+    #[test]
+    fn time_saturating(a in any::<u64>(), b in any::<u64>()) {
+        let (ta, tb) = (Time(a), Time(b));
+        let _ = ta.saturating_add(tb);
+        let _ = ta.saturating_sub(tb);
+        let _ = ta.min(tb);
+        let _ = ta.max(tb);
+        prop_assert_eq!(ta.saturating_add(Time::ZERO), ta);
+        prop_assert_eq!(ta.saturating_sub(Time::ZERO), ta);
+    }
+}
+
+/// Determinism property at the kernel level: a token-routing world produces
+/// identical checksums on 1 and 3 threads for arbitrary seeds/sizes.
+mod kernel_determinism {
+    use super::*;
+    use unison_core::{kernel, RunConfig, SimCtx, SimNode, WorldBuilder};
+
+    struct Router {
+        neighbors: Vec<NodeId>,
+        delay: Time,
+        checksum: u64,
+    }
+
+    #[derive(Debug)]
+    struct Token(Rng, u64);
+
+    impl SimNode for Router {
+        type Payload = Token;
+        fn handle(&mut self, mut t: Token, ctx: &mut dyn SimCtx<Self>) {
+            self.checksum = self
+                .checksum
+                .wrapping_mul(31)
+                .wrapping_add(ctx.now().as_nanos())
+                .wrapping_add(t.1);
+            let next = self.neighbors[t.0.next_below(self.neighbors.len() as u64) as usize];
+            ctx.schedule(self.delay, next, t);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn unison_thread_count_invariant(
+            seed in any::<u64>(),
+            n in 3usize..10,
+            tokens in 1u64..8,
+        ) {
+            let build = || {
+                let mut b = WorldBuilder::new();
+                let delay = Time(1_000);
+                for i in 0..n {
+                    b.add_node(Router {
+                        neighbors: vec![
+                            NodeId(((i + 1) % n) as u32),
+                            NodeId(((i + n - 1) % n) as u32),
+                        ],
+                        delay,
+                        checksum: 0,
+                    });
+                }
+                for i in 0..n {
+                    b.add_link(NodeId(i as u32), NodeId(((i + 1) % n) as u32), delay);
+                }
+                let mut rng = Rng::new(seed);
+                for t in 0..tokens {
+                    b.schedule(Time(t), NodeId((t % n as u64) as u32), Token(rng.fork(t), t));
+                }
+                b.stop_at(Time(200_000));
+                b.build()
+            };
+            let run = |threads| {
+                let (w, r) = kernel::run(build(), &RunConfig::unison(threads)).unwrap();
+                let sums: Vec<u64> = w.nodes().map(|n| n.checksum).collect();
+                (sums, r.events)
+            };
+            prop_assert_eq!(run(1), run(3));
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Applications beyond finite TCP flows: UDP On/Off sources.
+//!
+//! An On/Off source alternates exponentially distributed ON and OFF
+//! periods; while ON it emits fixed-size UDP datagrams at a constant rate.
+//! Bursty aggregates of such sources model the extreme scenarios the paper
+//! motivates (DDoS-like floods, synchronized bursts) that stateful TCP
+//! cannot express.
+
+use unison_core::{DataRate, Rng, Time};
+
+/// Configuration of one On/Off UDP source.
+#[derive(Clone, Debug)]
+pub struct OnOffConfig {
+    /// Destination node.
+    pub dst: u32,
+    /// Sending rate while ON.
+    pub rate: DataRate,
+    /// Datagram payload bytes.
+    pub pkt_bytes: u32,
+    /// Mean ON duration.
+    pub mean_on: Time,
+    /// Mean OFF duration.
+    pub mean_off: Time,
+    /// Stop emitting after this time.
+    pub until: Time,
+    /// Per-source RNG seed.
+    pub seed: u64,
+}
+
+/// Runtime state of an On/Off source (owned by its node).
+#[derive(Debug)]
+pub struct OnOffApp {
+    /// Static configuration.
+    pub cfg: OnOffConfig,
+    rng: Rng,
+    /// Whether the source is currently in an ON period.
+    on: bool,
+    /// When the current period ends.
+    period_end: Time,
+    /// Next datagram sequence number.
+    seq: u64,
+    /// Datagrams emitted.
+    pub sent: u64,
+}
+
+/// What the node should do after an On/Off tick.
+#[derive(Debug, PartialEq, Eq)]
+pub enum OnOffAction {
+    /// Emit one datagram of `len` bytes (seq provided) and tick again
+    /// after `next` elapses.
+    Send {
+        /// Sequence number for the datagram.
+        seq: u64,
+        /// Payload length.
+        len: u32,
+        /// Delay until the next tick.
+        next: Time,
+    },
+    /// Idle (OFF period); tick again after `next` elapses.
+    Idle {
+        /// Delay until the next tick.
+        next: Time,
+    },
+    /// Past `until`: stop ticking.
+    Done,
+}
+
+impl OnOffApp {
+    /// Creates a source; the first tick should be scheduled immediately.
+    pub fn new(cfg: OnOffConfig) -> Self {
+        let rng = Rng::new(cfg.seed);
+        OnOffApp {
+            cfg,
+            rng,
+            on: false,
+            period_end: Time::ZERO,
+            seq: 0,
+            sent: 0,
+        }
+    }
+
+    /// Interval between datagrams while ON.
+    fn gap(&self) -> Time {
+        self.cfg.rate.tx_time(self.cfg.pkt_bytes + 52)
+    }
+
+    /// Advances the source at time `now`.
+    pub fn tick(&mut self, now: Time) -> OnOffAction {
+        if now >= self.cfg.until {
+            return OnOffAction::Done;
+        }
+        // Flip periods as needed.
+        while now >= self.period_end {
+            self.on = !self.on;
+            let mean = if self.on {
+                self.cfg.mean_on
+            } else {
+                self.cfg.mean_off
+            };
+            let dur = self.rng.next_exp(mean.as_nanos() as f64).max(1.0) as u64;
+            self.period_end = self.period_end.max(now).saturating_add(Time(dur));
+        }
+        if self.on {
+            let seq = self.seq;
+            self.seq += 1;
+            self.sent += 1;
+            OnOffAction::Send {
+                seq,
+                len: self.cfg.pkt_bytes,
+                next: self.gap(),
+            }
+        } else {
+            OnOffAction::Idle {
+                next: self.period_end.saturating_sub(now).max(Time(1)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> OnOffConfig {
+        OnOffConfig {
+            dst: 5,
+            rate: DataRate::mbps(100),
+            pkt_bytes: 1_000,
+            mean_on: Time::from_micros(500),
+            mean_off: Time::from_micros(500),
+            until: Time::from_millis(10),
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn alternates_on_and_off() {
+        let mut app = OnOffApp::new(cfg());
+        let mut now = Time::ZERO;
+        let mut sends = 0;
+        let mut idles = 0;
+        for _ in 0..10_000 {
+            match app.tick(now) {
+                OnOffAction::Send { next, .. } => {
+                    sends += 1;
+                    now += next;
+                }
+                OnOffAction::Idle { next } => {
+                    idles += 1;
+                    now += next;
+                }
+                OnOffAction::Done => break,
+            }
+        }
+        assert!(sends > 40, "sends {sends}");
+        assert!(idles > 3, "idles {idles}");
+        assert_eq!(app.sent, sends);
+    }
+
+    #[test]
+    fn stops_at_deadline() {
+        let mut app = OnOffApp::new(cfg());
+        assert_eq!(app.tick(Time::from_millis(10)), OnOffAction::Done);
+        assert_eq!(app.tick(Time::from_millis(20)), OnOffAction::Done);
+    }
+
+    #[test]
+    fn on_rate_matches_configuration() {
+        // While ON, gaps equal serialization time at the configured rate.
+        let mut app = OnOffApp::new(OnOffConfig {
+            mean_off: Time(1),
+            mean_on: Time::from_millis(5),
+            ..cfg()
+        });
+        let mut now = Time::ZERO;
+        // Skip to an ON period.
+        let gap = loop {
+            match app.tick(now) {
+                OnOffAction::Send { next, .. } => break next,
+                OnOffAction::Idle { next } => now += next,
+                OnOffAction::Done => panic!("ended too early"),
+            }
+        };
+        // 1052 wire bytes at 100 Mbps = 84.16 us.
+        assert_eq!(gap, DataRate::mbps(100).tx_time(1_052));
+    }
+
+    #[test]
+    fn sequence_numbers_are_dense() {
+        let mut app = OnOffApp::new(cfg());
+        let mut now = Time::ZERO;
+        let mut expect = 0u64;
+        for _ in 0..1_000 {
+            match app.tick(now) {
+                OnOffAction::Send { seq, next, .. } => {
+                    assert_eq!(seq, expect);
+                    expect += 1;
+                    now += next;
+                }
+                OnOffAction::Idle { next } => now += next,
+                OnOffAction::Done => break,
+            }
+        }
+    }
+}

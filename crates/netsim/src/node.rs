@@ -1,0 +1,564 @@
+//! The network node: devices, forwarding, transport glue and timers.
+//!
+//! `NetNode` implements [`SimNode`]; all node interaction happens through
+//! [`NetEvent`]s, which keeps the model runnable unmodified on every kernel
+//! (the paper's user-transparency property).
+
+use std::collections::HashMap;
+
+use unison_core::{NodeId, SimCtx, SimCtxExt, SimNode, Time};
+use unison_stats::Summary;
+
+use crate::app::{OnOffAction, OnOffApp};
+use crate::packet::{FlowId, Packet, PacketKind, RipMsg};
+use crate::trace::{TraceBuffer, TraceEntry, TraceKind};
+use crate::queue::Queue;
+use crate::route::Routing;
+use crate::tcp::{TcpConfig, TcpReceiver, TcpSender};
+
+/// Delay before a RIP triggered update is sent (batches rapid changes).
+const RIP_TRIGGER_DELAY: Time = Time::from_micros(200);
+/// RIP/UDP port used for advertisement packets.
+const RIP_PORT: u16 = 520;
+
+/// Events delivered to a [`NetNode`].
+#[derive(Debug)]
+pub enum NetEvent {
+    /// A packet finished propagating and arrives on device `dev`.
+    Arrive {
+        /// Ingress device index.
+        dev: u8,
+        /// The packet.
+        packet: Packet,
+    },
+    /// Device `dev` finished serializing its current packet.
+    TxDone {
+        /// Egress device index.
+        dev: u8,
+    },
+    /// Application: open a TCP flow of `bytes` towards `dst`.
+    FlowStart {
+        /// Destination node.
+        dst: u32,
+        /// Flow size in bytes.
+        bytes: u64,
+    },
+    /// Retransmission-timer event for `flow` (lazy single-timer scheme).
+    Rto {
+        /// Forward flow id.
+        flow: FlowId,
+    },
+    /// RIP periodic advertisement timer.
+    RipTick,
+    /// RIP triggered-update timer.
+    RipTriggered,
+    /// On/Off UDP application tick.
+    AppTick {
+        /// Index into the node's application list.
+        app: u16,
+    },
+}
+
+/// One attachment point (NIC port) of a node.
+#[derive(Debug)]
+pub struct Device {
+    /// Peer node.
+    pub peer: NodeId,
+    /// Device index on the peer where our packets arrive.
+    pub peer_dev: u8,
+    /// Link bandwidth.
+    pub rate: unison_core::DataRate,
+    /// Link propagation delay.
+    pub delay: Time,
+    /// Egress queue.
+    pub queue: Queue,
+    /// A packet is currently being serialized.
+    pub busy: bool,
+    /// Administrative state.
+    pub up: bool,
+    /// Stable link id in the kernel's [`LinkGraph`](unison_core::LinkGraph).
+    pub link_id: usize,
+}
+
+/// Receiver-side accounting of one UDP flow.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct UdpRx {
+    /// Payload bytes received.
+    pub bytes: u64,
+    /// Datagrams received.
+    pub pkts: u64,
+    /// Highest sequence number seen (gap-based loss estimation).
+    pub max_seq: u64,
+}
+
+/// Per-node measurement shard (merged globally by
+/// [`FlowReport`](crate::flowmon::FlowReport)).
+#[derive(Debug, Default)]
+pub struct NodeMonitor {
+    /// RTT samples observed by local senders, nanoseconds.
+    pub rtt_ns: Summary,
+    /// Queuing delay of packets dequeued from local devices, nanoseconds.
+    pub queue_delay_ns: Summary,
+    /// Packets dropped for lack of a route (or a downed egress).
+    pub routing_drops: u64,
+    /// Retransmission timeouts fired.
+    pub rto_fires: u64,
+    /// Flows originated here.
+    pub flows_started: u64,
+    /// Packets this node routed (originated or forwarded).
+    pub forwarded: u64,
+}
+
+/// A simulated host or switch.
+pub struct NetNode {
+    /// Node id.
+    pub id: NodeId,
+    /// Whether this node terminates traffic.
+    pub is_host: bool,
+    /// Attached devices.
+    pub devices: Vec<Device>,
+    /// Routing state.
+    pub routing: Routing,
+    /// Transport configuration for locally originated flows.
+    pub tcp_cfg: TcpConfig,
+    /// Active and completed senders, keyed by forward flow id.
+    pub senders: HashMap<FlowId, TcpSender>,
+    /// Active and completed receivers, keyed by forward flow id.
+    pub receivers: HashMap<FlowId, TcpReceiver>,
+    /// On/Off UDP sources attached to this node.
+    pub apps: Vec<OnOffApp>,
+    /// UDP receive accounting, keyed by forward flow id.
+    pub udp_rx: HashMap<FlowId, UdpRx>,
+    /// Packet tracing, when enabled for this node.
+    pub trace: Option<TraceBuffer>,
+    /// Measurement shard.
+    pub mon: NodeMonitor,
+    next_sport: u16,
+    /// Reusable packet buffer for transport output.
+    out_buf: Vec<Packet>,
+}
+
+impl NetNode {
+    /// Creates a node with no devices (the builder attaches them).
+    pub fn new(id: NodeId, is_host: bool, routing: Routing, tcp_cfg: TcpConfig) -> Self {
+        NetNode {
+            id,
+            is_host,
+            devices: Vec::new(),
+            routing,
+            tcp_cfg,
+            senders: HashMap::new(),
+            receivers: HashMap::new(),
+            apps: Vec::new(),
+            udp_rx: HashMap::new(),
+            trace: None,
+            mon: NodeMonitor::default(),
+            next_sport: 1_000,
+            out_buf: Vec::new(),
+        }
+    }
+
+    /// Records a trace entry when tracing is enabled.
+    #[inline]
+    fn trace_event(&mut self, ts: Time, dev: u8, kind: TraceKind, packet: &Packet) {
+        if let Some(buf) = &mut self.trace {
+            let backlog = self
+                .devices
+                .get(dev as usize)
+                .map_or(0, |d| d.queue.bytes());
+            buf.push(TraceEntry {
+                ts,
+                node: self.id.0,
+                dev,
+                kind,
+                flow: packet.flow,
+                bytes: packet.bytes,
+                backlog,
+            });
+        }
+    }
+
+    /// Starts serializing `packet` on device `dev_idx` (the device must be
+    /// idle) and schedules both the TxDone and the remote arrival.
+    fn transmit(&mut self, dev_idx: usize, packet: Packet, ctx: &mut dyn SimCtx<Self>) {
+        if self.trace.is_some() {
+            self.trace_event(ctx.now(), dev_idx as u8, TraceKind::TxStart, &packet);
+        }
+        let dev = &mut self.devices[dev_idx];
+        let tx = dev.rate.tx_time(packet.bytes);
+        if tx == Time::MAX {
+            // Zero-rate link: black-hole the packet.
+            self.mon.routing_drops += 1;
+            return;
+        }
+        dev.busy = true;
+        let peer = dev.peer;
+        let peer_dev = dev.peer_dev;
+        let arrival = tx + dev.delay;
+        ctx.schedule_self(tx, NetEvent::TxDone { dev: dev_idx as u8 });
+        ctx.schedule(arrival, peer, NetEvent::Arrive {
+            dev: peer_dev,
+            packet,
+        });
+    }
+
+    /// Sends `packet` out of device `dev_idx`, queueing when busy.
+    fn send_on(&mut self, dev_idx: usize, packet: Packet, ctx: &mut dyn SimCtx<Self>) {
+        let now = ctx.now();
+        let dev = &mut self.devices[dev_idx];
+        if !dev.up {
+            self.mon.routing_drops += 1;
+            return;
+        }
+        if dev.busy {
+            // Drops and marks are counted by the queue itself.
+            if self.trace.is_some() {
+                let dropped = dev.queue.enqueue(packet.clone(), now)
+                    == crate::queue::Enqueue::Dropped;
+                if dropped {
+                    self.trace_event(now, dev_idx as u8, TraceKind::Drop, &packet);
+                }
+            } else {
+                let _ = dev.queue.enqueue(packet, now);
+            }
+        } else {
+            self.transmit(dev_idx, packet, ctx);
+        }
+    }
+
+    /// Routes `packet` towards its destination and sends it.
+    fn route_and_send(&mut self, packet: Packet, ctx: &mut dyn SimCtx<Self>) {
+        let mut buf = [0u8; 16];
+        let n = self.routing.lookup(packet.flow.dst, &mut buf);
+        if n == 0 {
+            self.mon.routing_drops += 1;
+            return;
+        }
+        let pick = (packet.ecmp_hash(self.id.0) % n as u64) as usize;
+        self.mon.forwarded += 1;
+        self.send_on(buf[pick] as usize, packet, ctx);
+    }
+
+    /// Flushes the transport output buffer through routing.
+    fn flush_out(&mut self, ctx: &mut dyn SimCtx<Self>) {
+        let mut out = std::mem::take(&mut self.out_buf);
+        for p in out.drain(..) {
+            self.route_and_send(p, ctx);
+        }
+        // Nothing repopulates the buffer while it is detached
+        // (`route_and_send` never touches it), so the swap-back is lossless.
+        debug_assert!(self.out_buf.is_empty());
+        self.out_buf = out;
+    }
+
+    /// Ensures a single outstanding RTO timer for `flow`, with the deadline
+    /// already stored in the sender.
+    fn arm_timer(&mut self, flow: FlowId, ctx: &mut dyn SimCtx<Self>) {
+        let now = ctx.now();
+        if let Some(s) = self.senders.get_mut(&flow) {
+            if !s.timer_pending && s.completed_at.is_none() {
+                s.timer_pending = true;
+                let delay = s.rto_deadline.saturating_sub(now).max(Time(1));
+                ctx.schedule_self(delay, NetEvent::Rto { flow });
+            }
+        }
+    }
+
+    fn on_flow_start(&mut self, dst: u32, bytes: u64, ctx: &mut dyn SimCtx<Self>) {
+        let flow = FlowId {
+            src: self.id.0,
+            dst,
+            sport: self.next_sport,
+            dport: 80,
+        };
+        self.next_sport = self.next_sport.wrapping_add(1).max(1_000);
+        let mut sender = TcpSender::new(flow, bytes, self.tcp_cfg);
+        let now = ctx.now();
+        let mut out = std::mem::take(&mut self.out_buf);
+        let arm = sender.start(now, &mut out);
+        self.out_buf = out;
+        sender.rto_deadline = now + sender.rto();
+        self.senders.insert(flow, sender);
+        self.mon.flows_started += 1;
+        self.flush_out(ctx);
+        if arm {
+            self.arm_timer(flow, ctx);
+        }
+    }
+
+    fn on_data(
+        &mut self,
+        packet: &Packet,
+        seq: u64,
+        len: u32,
+        size: u64,
+        retx: bool,
+        ctx: &mut dyn SimCtx<Self>,
+    ) {
+        let now = ctx.now();
+        let flow = packet.flow;
+        let rcv = self
+            .receivers
+            .entry(flow)
+            .or_insert_with(|| TcpReceiver::new(flow, size));
+        let ack = rcv.on_data(seq, len, packet.ecn_ce, packet.sent_at, retx, now);
+        let ack_pkt = Packet::ack(flow, ack.ack, ack.ece, ack.echo_ts, ack.echo_retx, now);
+        self.route_and_send(ack_pkt, ctx);
+    }
+
+    fn on_ack(&mut self, packet: &Packet, ack: u64, ece: bool, echo_ts: Time, echo_retx: bool, ctx: &mut dyn SimCtx<Self>) {
+        // The ACK travels on the reversed flow; recover the forward id.
+        let fwd = FlowId {
+            src: packet.flow.dst,
+            dst: packet.flow.src,
+            sport: packet.flow.dport,
+            dport: packet.flow.sport,
+        };
+        let now = ctx.now();
+        let Some(sender) = self.senders.get_mut(&fwd) else {
+            return;
+        };
+        let mut out = std::mem::take(&mut self.out_buf);
+        let up = sender.on_ack(ack, ece, echo_ts, echo_retx, now, &mut out);
+        self.out_buf = out;
+        if let Some(rtt) = up.rtt_sample {
+            self.mon.rtt_ns.add(rtt.as_nanos() as f64);
+        }
+        if up.rearm_rto {
+            sender.rto_deadline = now + sender.rto();
+        }
+        let arm = up.rearm_rto;
+        self.flush_out(ctx);
+        if arm {
+            self.arm_timer(fwd, ctx);
+        }
+    }
+
+    fn on_rto_timer(&mut self, flow: FlowId, ctx: &mut dyn SimCtx<Self>) {
+        let now = ctx.now();
+        let Some(sender) = self.senders.get_mut(&flow) else {
+            return;
+        };
+        sender.timer_pending = false;
+        if sender.completed_at.is_some() {
+            return;
+        }
+        if now < sender.rto_deadline {
+            // The deadline moved forward since this timer was scheduled.
+            self.arm_timer(flow, ctx);
+            return;
+        }
+        let gen = sender.rto_gen;
+        let mut out = std::mem::take(&mut self.out_buf);
+        let fired = sender.on_rto(gen, now, &mut out);
+        self.out_buf = out;
+        if fired {
+            self.mon.rto_fires += 1;
+            sender.rto_deadline = now + sender.rto();
+            self.flush_out(ctx);
+            self.arm_timer(flow, ctx);
+        } else if !sender.is_complete() {
+            // Nothing in flight yet the flow is incomplete (e.g. the window
+            // was empty); keep the timer alive defensively.
+            sender.rto_deadline = now + sender.rto();
+            self.arm_timer(flow, ctx);
+        }
+    }
+
+    fn rip_state(&mut self) -> Option<&mut crate::route::RipState> {
+        match &mut self.routing {
+            Routing::Rip(r) => Some(r),
+            Routing::Static(_) => None,
+        }
+    }
+
+    /// Sends a RIP advertisement on every live device.
+    fn rip_advertise(&mut self, ctx: &mut dyn SimCtx<Self>) {
+        let now = ctx.now();
+        let id = self.id.0;
+        let dev_count = self.devices.len();
+        for dev_idx in 0..dev_count {
+            if !self.devices[dev_idx].up {
+                continue;
+            }
+            let Some(rip) = self.rip_state() else { return };
+            let msg = rip.advertisement(id, dev_idx as u8);
+            let bytes = 32 + 4 * msg.routes.len() as u32;
+            let peer = self.devices[dev_idx].peer;
+            let packet = Packet {
+                flow: FlowId {
+                    src: id,
+                    dst: peer.0,
+                    sport: RIP_PORT,
+                    dport: RIP_PORT,
+                },
+                kind: PacketKind::Rip(Box::new(msg)),
+                bytes,
+                ecn_capable: false,
+                ecn_ce: false,
+                sent_at: now,
+                enqueued_at: now,
+            };
+            self.send_on(dev_idx, packet, ctx);
+        }
+    }
+
+    fn on_rip_msg(&mut self, msg: &RipMsg, in_dev: u8, ctx: &mut dyn SimCtx<Self>) {
+        let Some(rip) = self.rip_state() else { return };
+        let changed = rip.on_advertisement(msg, in_dev);
+        if changed && !rip.triggered_pending {
+            rip.triggered_pending = true;
+            ctx.schedule_self(RIP_TRIGGER_DELAY, NetEvent::RipTriggered);
+        }
+    }
+
+    /// Marks a device up/down and lets RIP react; used by topology-change
+    /// global events.
+    pub fn set_device_state(&mut self, dev: u8, up: bool) {
+        self.devices[dev as usize].up = up;
+        if !up {
+            if let Routing::Rip(r) = &mut self.routing {
+                if r.on_device_down(dev) {
+                    r.triggered_pending = true;
+                    // The next periodic tick will flush it; triggered
+                    // updates cannot be scheduled from global events
+                    // directly, the flag shortens the wait.
+                }
+            }
+        }
+    }
+}
+
+impl SimNode for NetNode {
+    type Payload = NetEvent;
+
+    fn handle(&mut self, payload: NetEvent, ctx: &mut dyn SimCtx<Self>) {
+        match payload {
+            NetEvent::Arrive { dev, packet } => {
+                if self.trace.is_some() {
+                    self.trace_event(ctx.now(), dev, TraceKind::Arrive, &packet);
+                }
+                if packet.flow.dst == self.id.0 {
+                    match packet.kind.clone() {
+                        PacketKind::Data {
+                            seq,
+                            len,
+                            size,
+                            retx,
+                        } => self.on_data(&packet, seq, len, size, retx, ctx),
+                        PacketKind::Ack {
+                            ack,
+                            ece,
+                            echo_ts,
+                            echo_retx,
+                        } => self.on_ack(&packet, ack, ece, echo_ts, echo_retx, ctx),
+                        PacketKind::Rip(msg) => self.on_rip_msg(&msg, dev, ctx),
+                        PacketKind::Datagram { seq, len } => {
+                            let rx = self.udp_rx.entry(packet.flow).or_default();
+                            rx.bytes += len as u64;
+                            rx.pkts += 1;
+                            rx.max_seq = rx.max_seq.max(seq);
+                        }
+                    }
+                } else {
+                    self.route_and_send(packet, ctx);
+                }
+            }
+            NetEvent::TxDone { dev } => {
+                let now = ctx.now();
+                let d = &mut self.devices[dev as usize];
+                d.busy = false;
+                if let Some(p) = d.queue.dequeue() {
+                    self.mon
+                        .queue_delay_ns
+                        .add(now.saturating_sub(p.enqueued_at).as_nanos() as f64);
+                    self.transmit(dev as usize, p, ctx);
+                }
+            }
+            NetEvent::FlowStart { dst, bytes } => self.on_flow_start(dst, bytes, ctx),
+            NetEvent::Rto { flow } => self.on_rto_timer(flow, ctx),
+            NetEvent::RipTick => {
+                self.rip_advertise(ctx);
+                if let Some(rip) = self.rip_state() {
+                    rip.triggered_pending = false;
+                    let interval = rip.update_interval;
+                    ctx.schedule_self(interval, NetEvent::RipTick);
+                }
+            }
+            NetEvent::RipTriggered => {
+                self.rip_advertise(ctx);
+                if let Some(rip) = self.rip_state() {
+                    rip.triggered_pending = false;
+                }
+            }
+            NetEvent::AppTick { app } => {
+                let now = ctx.now();
+                let Some(a) = self.apps.get_mut(app as usize) else {
+                    return;
+                };
+                match a.tick(now) {
+                    OnOffAction::Send { seq, len, next } => {
+                        let flow = FlowId {
+                            src: self.id.0,
+                            dst: a.cfg.dst,
+                            // Port 7000+idx distinguishes concurrent apps.
+                            sport: 7_000 + app,
+                            dport: 7,
+                        };
+                        let pkt = Packet::datagram(flow, seq, len, now);
+                        ctx.schedule_self(next, NetEvent::AppTick { app });
+                        self.route_and_send(pkt, ctx);
+                    }
+                    OnOffAction::Idle { next } => {
+                        ctx.schedule_self(next, NetEvent::AppTick { app });
+                    }
+                    OnOffAction::Done => {}
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::QueueConfig;
+    use crate::route::StaticTable;
+
+    #[test]
+    fn node_construction() {
+        let n = NetNode::new(
+            NodeId(3),
+            true,
+            Routing::Static(StaticTable::default()),
+            TcpConfig::newreno(),
+        );
+        assert!(n.devices.is_empty());
+        assert!(n.is_host);
+        assert_eq!(n.id, NodeId(3));
+    }
+
+    #[test]
+    fn device_state_toggles() {
+        let mut n = NetNode::new(
+            NodeId(0),
+            false,
+            Routing::Static(StaticTable::default()),
+            TcpConfig::newreno(),
+        );
+        n.devices.push(Device {
+            peer: NodeId(1),
+            peer_dev: 0,
+            rate: unison_core::DataRate::gbps(10),
+            delay: Time::from_micros(3),
+            queue: Queue::new(QueueConfig::DropTail { limit_bytes: 1 << 20 }, 1),
+            busy: false,
+            up: true,
+            link_id: 0,
+        });
+        n.set_device_state(0, false);
+        assert!(!n.devices[0].up);
+        n.set_device_state(0, true);
+        assert!(n.devices[0].up);
+    }
+}

@@ -1,0 +1,315 @@
+//! Egress queue disciplines: DropTail and RED (with ECN marking).
+//!
+//! RED follows the classic Floyd/Jacobson algorithm: an EWMA of the queue
+//! length drives a probabilistic early drop (or ECN mark). Setting
+//! `min_th == max_th == K` with `mark_ecn` and instantaneous averaging
+//! (`w_q = 1`) yields the DCTCP step-marking scheme at threshold K.
+
+use std::collections::VecDeque;
+
+use unison_core::{Rng, Time};
+
+use crate::packet::Packet;
+
+/// Outcome of an enqueue attempt.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Enqueue {
+    /// Packet accepted (it may additionally have been CE-marked).
+    Accepted,
+    /// Packet dropped.
+    Dropped,
+}
+
+/// Queue discipline configuration.
+#[derive(Clone, Copy, Debug)]
+pub enum QueueConfig {
+    /// FIFO with a byte capacity.
+    DropTail {
+        /// Maximum queued bytes.
+        limit_bytes: u32,
+    },
+    /// Random Early Detection.
+    Red {
+        /// Maximum queued bytes (hard drop above this).
+        limit_bytes: u32,
+        /// Lower EWMA threshold, bytes.
+        min_th: u32,
+        /// Upper EWMA threshold, bytes.
+        max_th: u32,
+        /// Maximum early-drop/mark probability at `max_th`.
+        max_p: f64,
+        /// EWMA weight in `(0, 1]`; 1.0 = instantaneous queue.
+        w_q: f64,
+        /// Mark ECN-capable packets instead of dropping them.
+        mark_ecn: bool,
+    },
+}
+
+impl QueueConfig {
+    /// The DCTCP step-marking configuration: instantaneous queue, mark at
+    /// threshold `k_bytes`.
+    pub fn dctcp(limit_bytes: u32, k_bytes: u32) -> Self {
+        QueueConfig::Red {
+            limit_bytes,
+            min_th: k_bytes,
+            max_th: k_bytes,
+            max_p: 1.0,
+            w_q: 1.0,
+            mark_ecn: true,
+        }
+    }
+
+    /// A classic RED queue for TCP (drop-based unless `mark_ecn`).
+    pub fn red(limit_bytes: u32, min_th: u32, max_th: u32, mark_ecn: bool) -> Self {
+        QueueConfig::Red {
+            limit_bytes,
+            min_th,
+            max_th,
+            max_p: 0.1,
+            w_q: 0.002,
+            mark_ecn,
+        }
+    }
+}
+
+/// An egress FIFO with a configurable drop/mark policy.
+#[derive(Debug)]
+pub struct Queue {
+    config: QueueConfig,
+    packets: VecDeque<Packet>,
+    bytes: u32,
+    /// RED EWMA of the queue length in bytes.
+    avg: f64,
+    /// Packets since the last early drop/mark (RED's `count`).
+    count: u32,
+    rng: Rng,
+    /// Statistics: total packets dropped.
+    pub drops: u64,
+    /// Statistics: total packets CE-marked.
+    pub marks: u64,
+    /// Statistics: total packets accepted.
+    pub accepted: u64,
+}
+
+impl Queue {
+    /// Creates a queue; `seed` makes RED's probabilistic decisions
+    /// deterministic per queue.
+    pub fn new(config: QueueConfig, seed: u64) -> Self {
+        Queue {
+            config,
+            packets: VecDeque::new(),
+            bytes: 0,
+            avg: 0.0,
+            count: 0,
+            rng: Rng::new(seed),
+            drops: 0,
+            marks: 0,
+            accepted: 0,
+        }
+    }
+
+    /// Queued bytes.
+    pub fn bytes(&self) -> u32 {
+        self.bytes
+    }
+
+    /// Queued packets.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Attempts to enqueue `packet` at time `now`.
+    pub fn enqueue(&mut self, mut packet: Packet, now: Time) -> Enqueue {
+        match self.config {
+            QueueConfig::DropTail { limit_bytes } => {
+                if self.bytes + packet.bytes > limit_bytes {
+                    self.drops += 1;
+                    return Enqueue::Dropped;
+                }
+            }
+            QueueConfig::Red {
+                limit_bytes,
+                min_th,
+                max_th,
+                max_p,
+                w_q,
+                mark_ecn,
+            } => {
+                if self.bytes + packet.bytes > limit_bytes {
+                    self.drops += 1;
+                    return Enqueue::Dropped;
+                }
+                if self.packets.is_empty() {
+                    // Idle adjustment (ns-3's "m packets could have left"
+                    // estimate, coarse form): the EWMA must decay while the
+                    // queue sits empty, or one burst would leave RED in
+                    // drop-everything mode long after the queue drained.
+                    self.avg *= 0.5;
+                }
+                self.avg = (1.0 - w_q) * self.avg + w_q * self.bytes as f64;
+                let early = if self.avg < min_th as f64 {
+                    self.count = 0;
+                    false
+                } else if self.avg >= 2.0 * max_th as f64 {
+                    // Beyond the gentle band RED drops/marks everything.
+                    true
+                } else if self.avg >= max_th as f64 {
+                    // Gentle RED: probability ramps from max_p to 1 between
+                    // max_th and 2*max_th.
+                    let p = max_p
+                        + (1.0 - max_p) * (self.avg - max_th as f64) / max_th.max(1) as f64;
+                    self.count = 0;
+                    self.rng.next_bool(p.clamp(0.0, 1.0))
+                } else {
+                    let pb = max_p * (self.avg - min_th as f64)
+                        / (max_th as f64 - min_th as f64).max(1.0);
+                    let pa = pb / (1.0 - (self.count as f64 * pb).min(0.999));
+                    self.count += 1;
+                    self.rng.next_bool(pa.clamp(0.0, 1.0))
+                };
+                if early {
+                    self.count = 0;
+                    if mark_ecn && packet.ecn_capable {
+                        packet.ecn_ce = true;
+                        self.marks += 1;
+                    } else {
+                        self.drops += 1;
+                        return Enqueue::Dropped;
+                    }
+                }
+            }
+        }
+        packet.enqueued_at = now;
+        self.bytes += packet.bytes;
+        self.accepted += 1;
+        self.packets.push_back(packet);
+        Enqueue::Accepted
+    }
+
+    /// Dequeues the head packet.
+    pub fn dequeue(&mut self) -> Option<Packet> {
+        let p = self.packets.pop_front()?;
+        self.bytes -= p.bytes;
+        Some(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowId, Packet};
+
+    fn pkt(bytes: u32, ecn: bool) -> Packet {
+        let mut p = Packet::data(
+            FlowId {
+                src: 0,
+                dst: 1,
+                sport: 1,
+                dport: 1,
+            },
+            0,
+            bytes - 52,
+            1 << 20,
+            false,
+            ecn,
+            Time::ZERO,
+        );
+        p.bytes = bytes;
+        p
+    }
+
+    #[test]
+    fn droptail_fifo_order() {
+        let mut q = Queue::new(QueueConfig::DropTail { limit_bytes: 10_000 }, 1);
+        for i in 0..3 {
+            let mut p = pkt(1000, false);
+            p.sent_at = Time(i);
+            assert_eq!(q.enqueue(p, Time(0)), Enqueue::Accepted);
+        }
+        assert_eq!(q.bytes(), 3000);
+        assert_eq!(q.dequeue().unwrap().sent_at, Time(0));
+        assert_eq!(q.dequeue().unwrap().sent_at, Time(1));
+        assert_eq!(q.bytes(), 1000);
+    }
+
+    #[test]
+    fn droptail_overflow_drops() {
+        let mut q = Queue::new(QueueConfig::DropTail { limit_bytes: 2500 }, 1);
+        assert_eq!(q.enqueue(pkt(1000, false), Time(0)), Enqueue::Accepted);
+        assert_eq!(q.enqueue(pkt(1000, false), Time(0)), Enqueue::Accepted);
+        assert_eq!(q.enqueue(pkt(1000, false), Time(0)), Enqueue::Dropped);
+        assert_eq!(q.drops, 1);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn dctcp_marks_above_threshold() {
+        let mut q = Queue::new(QueueConfig::dctcp(1_000_000, 3000), 1);
+        // Below K: no marks.
+        assert_eq!(q.enqueue(pkt(1500, true), Time(0)), Enqueue::Accepted);
+        assert_eq!(q.enqueue(pkt(1500, true), Time(0)), Enqueue::Accepted);
+        assert_eq!(q.marks, 0);
+        // Queue now 3000 >= K: subsequent ECN packets get marked.
+        assert_eq!(q.enqueue(pkt(1500, true), Time(0)), Enqueue::Accepted);
+        assert_eq!(q.marks, 1);
+        let _ = q.dequeue();
+        let _ = q.dequeue();
+        let marked = q.dequeue().unwrap();
+        assert!(marked.ecn_ce);
+    }
+
+    #[test]
+    fn dctcp_drops_non_ecn_above_threshold() {
+        let mut q = Queue::new(QueueConfig::dctcp(1_000_000, 1000), 1);
+        assert_eq!(q.enqueue(pkt(1500, false), Time(0)), Enqueue::Accepted);
+        // avg = 1500 >= K, non-ECN packet is dropped instead of marked.
+        assert_eq!(q.enqueue(pkt(1500, false), Time(0)), Enqueue::Dropped);
+    }
+
+    #[test]
+    fn red_early_drops_between_thresholds() {
+        let mut q = Queue::new(
+            QueueConfig::Red {
+                limit_bytes: 1_000_000,
+                min_th: 5_000,
+                max_th: 15_000,
+                max_p: 0.5,
+                w_q: 1.0,
+                mark_ecn: false,
+            },
+            42,
+        );
+        let mut drops = 0;
+        for _ in 0..200 {
+            if q.enqueue(pkt(1500, false), Time(0)) == Enqueue::Dropped {
+                drops += 1;
+            }
+            if q.bytes() > 10_000 {
+                let _ = q.dequeue();
+            }
+        }
+        assert!(drops > 0, "RED should early-drop under sustained load");
+        assert!(drops < 200, "RED must not drop everything");
+    }
+
+    #[test]
+    fn red_queue_never_exceeds_limit() {
+        let mut q = Queue::new(QueueConfig::red(10_000, 2_000, 8_000, false), 7);
+        for _ in 0..100 {
+            let _ = q.enqueue(pkt(1500, false), Time(0));
+        }
+        assert!(q.bytes() <= 10_000);
+    }
+
+    #[test]
+    fn queue_delay_timestamps() {
+        let mut q = Queue::new(QueueConfig::DropTail { limit_bytes: 10_000 }, 1);
+        assert_eq!(q.enqueue(pkt(1000, false), Time(500)), Enqueue::Accepted);
+        assert_eq!(q.dequeue().unwrap().enqueued_at, Time(500));
+    }
+}

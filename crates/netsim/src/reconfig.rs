@@ -1,0 +1,54 @@
+//! Topology-change helpers for global events (§4.2 dynamic topologies).
+//!
+//! Reconfigurable-DCN experiments (Fig. 10d) and WAN convergence runs tear
+//! links down and bring them back mid-simulation. Both the model layer
+//! (device state, routing tables) and the kernel layer (link graph →
+//! lookahead) must see the change; these helpers do both sides from inside
+//! a global event.
+
+use unison_core::{NodeId, WorldAccess};
+
+use crate::build::BuiltLink;
+use crate::node::NetNode;
+use crate::route::{compute_static_tables, Routing};
+
+/// Administratively enables/disables a link: both endpoint devices change
+/// state (RIP reacts by invalidating routes) and the kernel's link graph is
+/// updated for lookahead bookkeeping.
+pub fn set_link_state(wa: &mut WorldAccess<'_, NetNode>, link: &BuiltLink, up: bool) {
+    wa.node_mut(NodeId(link.a as u32))
+        .set_device_state(link.a_dev, up);
+    wa.node_mut(NodeId(link.b as u32))
+        .set_device_state(link.b_dev, up);
+    if up {
+        wa.restore_link(link.core_id);
+    } else {
+        wa.remove_link(link.core_id);
+    }
+}
+
+/// Recomputes every node's static ECMP table from the current device states
+/// (ignored for RIP nodes, which converge on their own). Call after a batch
+/// of [`set_link_state`] changes.
+pub fn recompute_static_routes(wa: &mut WorldAccess<'_, NetNode>) {
+    let n = wa.node_count();
+    let mut adj: Vec<Vec<(u32, u8)>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let node = wa.node_mut(NodeId(i as u32));
+        adj.push(
+            node.devices
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| d.up)
+                .map(|(di, d)| (d.peer.0, di as u8))
+                .collect(),
+        );
+    }
+    let tables = compute_static_tables(&adj);
+    for (i, table) in tables.into_iter().enumerate() {
+        let node = wa.node_mut(NodeId(i as u32));
+        if matches!(node.routing, Routing::Static(_)) {
+            node.routing = Routing::Static(table);
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! Routing: global static shortest paths with ECMP, and RIP dynamic
+//! distance-vector routing.
+//!
+//! Static tables are computed once (and recomputed on demand after topology
+//! changes) from a global adjacency snapshot: one BFS per destination; all
+//! equal-cost next hops are kept and a per-flow hash picks among them
+//! (ECMP). The table layout is CSR-packed to stay compact at torus scales
+//! (thousands of nodes).
+//!
+//! RIP is the classic distance-vector protocol with split horizon and
+//! poisoned reverse, periodic full advertisements, triggered updates on
+//! change, and an infinity metric of 16 — matching ns-3's RIP model closely
+//! enough for the paper's WAN and convergence experiments.
+
+use std::collections::HashMap;
+
+use unison_core::Time;
+
+use crate::packet::RipMsg;
+
+/// RIP's unreachable metric.
+pub const RIP_INFINITY: u8 = 16;
+
+/// Per-node routing state.
+#[derive(Debug)]
+pub enum Routing {
+    /// Pre-computed global shortest paths with ECMP.
+    Static(StaticTable),
+    /// RIP distance-vector.
+    Rip(RipState),
+}
+
+impl Routing {
+    /// Looks up the candidate egress devices for `dst`, writing up to 16
+    /// device indices into `buf`; returns how many.
+    pub fn lookup(&self, dst: u32, buf: &mut [u8; 16]) -> usize {
+        match self {
+            Routing::Static(t) => t.lookup(dst, buf),
+            Routing::Rip(r) => match r.table.get(&dst) {
+                Some(route) if route.metric < RIP_INFINITY => {
+                    buf[0] = route.dev;
+                    1
+                }
+                _ => 0,
+            },
+        }
+    }
+}
+
+/// CSR-packed per-destination next-hop candidates.
+#[derive(Debug, Clone, Default)]
+pub struct StaticTable {
+    offsets: Vec<u32>,
+    devs: Vec<u8>,
+}
+
+impl StaticTable {
+    /// Builds from per-destination candidate lists.
+    pub fn from_candidates(per_dst: &[Vec<u8>]) -> Self {
+        let mut offsets = Vec::with_capacity(per_dst.len() + 1);
+        let mut devs = Vec::new();
+        offsets.push(0u32);
+        for cands in per_dst {
+            devs.extend_from_slice(cands);
+            offsets.push(devs.len() as u32);
+        }
+        StaticTable { offsets, devs }
+    }
+
+    /// Candidate devices for `dst` (up to 16).
+    pub fn lookup(&self, dst: u32, buf: &mut [u8; 16]) -> usize {
+        let d = dst as usize;
+        if d + 1 >= self.offsets.len() {
+            return 0;
+        }
+        let (lo, hi) = (self.offsets[d] as usize, self.offsets[d + 1] as usize);
+        let n = (hi - lo).min(16);
+        buf[..n].copy_from_slice(&self.devs[lo..lo + n]);
+        n
+    }
+}
+
+/// A global adjacency snapshot used to compute static tables: for each node,
+/// `(peer node, local device index)` per *live* device.
+pub fn compute_static_tables(adj: &[Vec<(u32, u8)>]) -> Vec<StaticTable> {
+    let n = adj.len();
+    let mut dist = vec![u32::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    // Iterating destinations in ascending order lets each node's CSR table
+    // be appended directly (dst-major), avoiding O(n²) temporary vectors.
+    let mut tables: Vec<StaticTable> = (0..n)
+        .map(|_| StaticTable {
+            offsets: vec![0],
+            devs: Vec::new(),
+        })
+        .collect();
+    for dst in 0..n {
+        dist.iter_mut().for_each(|d| *d = u32::MAX);
+        dist[dst] = 0;
+        queue.clear();
+        queue.push_back(dst);
+        while let Some(v) = queue.pop_front() {
+            for &(u, _) in &adj[v] {
+                if dist[u as usize] == u32::MAX {
+                    dist[u as usize] = dist[v] + 1;
+                    queue.push_back(u as usize);
+                }
+            }
+        }
+        for (node, table) in tables.iter_mut().enumerate() {
+            if node != dst && dist[node] != u32::MAX {
+                for &(peer, dev) in &adj[node] {
+                    if dist[peer as usize] + 1 == dist[node] {
+                        table.devs.push(dev);
+                    }
+                }
+            }
+            table.offsets.push(table.devs.len() as u32);
+        }
+    }
+    tables
+}
+
+/// One RIP route.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RipRoute {
+    /// Hop-count metric (16 = unreachable).
+    pub metric: u8,
+    /// Egress device.
+    pub dev: u8,
+}
+
+/// Per-node RIP state.
+#[derive(Debug)]
+pub struct RipState {
+    /// Destination → route.
+    pub table: HashMap<u32, RipRoute>,
+    /// Periodic advertisement interval.
+    pub update_interval: Time,
+    /// A triggered update is pending.
+    pub triggered_pending: bool,
+}
+
+impl RipState {
+    /// Fresh state knowing only the self route.
+    pub fn new(self_id: u32, update_interval: Time) -> Self {
+        let mut table = HashMap::new();
+        table.insert(
+            self_id,
+            RipRoute {
+                metric: 0,
+                dev: u8::MAX,
+            },
+        );
+        RipState {
+            table,
+            update_interval,
+            triggered_pending: false,
+        }
+    }
+
+    /// Builds the advertisement for a given egress device, applying split
+    /// horizon with poisoned reverse.
+    pub fn advertisement(&self, self_id: u32, out_dev: u8) -> RipMsg {
+        let mut routes: Vec<(u32, u8)> = self
+            .table
+            .iter()
+            .map(|(&dst, r)| {
+                let metric = if r.dev == out_dev && r.metric != 0 {
+                    RIP_INFINITY
+                } else {
+                    r.metric
+                };
+                (dst, metric)
+            })
+            .collect();
+        // HashMap iteration order is arbitrary; sort for determinism.
+        routes.sort_unstable();
+        RipMsg {
+            from: self_id,
+            routes,
+        }
+    }
+
+    /// Integrates a received advertisement arriving on `in_dev`; returns
+    /// true when the table changed (schedule a triggered update).
+    pub fn on_advertisement(&mut self, msg: &RipMsg, in_dev: u8) -> bool {
+        let mut changed = false;
+        for &(dst, metric) in &msg.routes {
+            let new_metric = metric.saturating_add(1).min(RIP_INFINITY);
+            match self.table.get_mut(&dst) {
+                Some(route) => {
+                    if route.dev == in_dev {
+                        // Updates from the current next hop are authoritative.
+                        if route.metric != new_metric {
+                            route.metric = new_metric;
+                            changed = true;
+                        }
+                    } else if new_metric < route.metric {
+                        *route = RipRoute {
+                            metric: new_metric,
+                            dev: in_dev,
+                        };
+                        changed = true;
+                    }
+                }
+                None => {
+                    if new_metric < RIP_INFINITY {
+                        self.table.insert(
+                            dst,
+                            RipRoute {
+                                metric: new_metric,
+                                dev: in_dev,
+                            },
+                        );
+                        changed = true;
+                    }
+                }
+            }
+        }
+        changed
+    }
+
+    /// Invalidates routes through a device that went down; returns true if
+    /// any route changed.
+    pub fn on_device_down(&mut self, dev: u8) -> bool {
+        let mut changed = false;
+        for route in self.table.values_mut() {
+            if route.dev == dev && route.metric < RIP_INFINITY {
+                route.metric = RIP_INFINITY;
+                changed = true;
+            }
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Line: 0 - 1 - 2, plus a parallel 0 - 3 - 2 path.
+    fn diamond() -> Vec<Vec<(u32, u8)>> {
+        vec![
+            vec![(1, 0), (3, 1)],
+            vec![(0, 0), (2, 1)],
+            vec![(1, 0), (3, 1)],
+            vec![(0, 0), (2, 1)],
+        ]
+    }
+
+    #[test]
+    fn static_tables_shortest_and_ecmp() {
+        let tables = compute_static_tables(&diamond());
+        let mut buf = [0u8; 16];
+        // From 0 to 2: two equal-cost candidates (via 1 and via 3).
+        let n = tables[0].lookup(2, &mut buf);
+        assert_eq!(n, 2);
+        assert_eq!(&buf[..2], &[0, 1]);
+        // From 0 to 1: single next hop, dev 0.
+        let n = tables[0].lookup(1, &mut buf);
+        assert_eq!(n, 1);
+        assert_eq!(buf[0], 0);
+        // No route to self.
+        assert_eq!(tables[0].lookup(0, &mut buf), 0);
+        // Out-of-range dst.
+        assert_eq!(tables[0].lookup(99, &mut buf), 0);
+    }
+
+    #[test]
+    fn static_tables_on_disconnected_graph() {
+        let adj = vec![vec![(1, 0)], vec![(0, 0)], vec![], vec![]];
+        let tables = compute_static_tables(&adj);
+        let mut buf = [0u8; 16];
+        assert_eq!(tables[0].lookup(1, &mut buf), 1);
+        assert_eq!(tables[0].lookup(2, &mut buf), 0);
+    }
+
+    #[test]
+    fn rip_learns_and_prefers_shorter() {
+        let mut r = RipState::new(0, Time::from_millis(10));
+        let changed = r.on_advertisement(
+            &RipMsg {
+                from: 1,
+                routes: vec![(1, 0), (2, 1)],
+            },
+            0,
+        );
+        assert!(changed);
+        assert_eq!(r.table[&1], RipRoute { metric: 1, dev: 0 });
+        assert_eq!(r.table[&2], RipRoute { metric: 2, dev: 0 });
+        // A better route via another device wins.
+        let changed = r.on_advertisement(
+            &RipMsg {
+                from: 3,
+                routes: vec![(2, 0)],
+            },
+            1,
+        );
+        assert!(changed);
+        assert_eq!(r.table[&2], RipRoute { metric: 1, dev: 1 });
+        // A worse route via another device is ignored.
+        let changed = r.on_advertisement(
+            &RipMsg {
+                from: 1,
+                routes: vec![(2, 5)],
+            },
+            0,
+        );
+        assert!(!changed);
+    }
+
+    #[test]
+    fn rip_next_hop_is_authoritative_for_withdrawals() {
+        let mut r = RipState::new(0, Time::from_millis(10));
+        r.on_advertisement(
+            &RipMsg {
+                from: 1,
+                routes: vec![(2, 1)],
+            },
+            0,
+        );
+        // The same next hop now reports the destination unreachable.
+        let changed = r.on_advertisement(
+            &RipMsg {
+                from: 1,
+                routes: vec![(2, RIP_INFINITY)],
+            },
+            0,
+        );
+        assert!(changed);
+        assert_eq!(r.table[&2].metric, RIP_INFINITY);
+        let mut buf = [0u8; 16];
+        assert_eq!(Routing::Rip(r).lookup(2, &mut buf), 0);
+    }
+
+    #[test]
+    fn rip_split_horizon_poisons_reverse() {
+        let mut r = RipState::new(0, Time::from_millis(10));
+        r.on_advertisement(
+            &RipMsg {
+                from: 1,
+                routes: vec![(2, 1)],
+            },
+            0,
+        );
+        let adv = r.advertisement(0, 0);
+        let entry = adv.routes.iter().find(|(d, _)| *d == 2).unwrap();
+        assert_eq!(entry.1, RIP_INFINITY, "poisoned reverse on dev 0");
+        let adv = r.advertisement(0, 1);
+        let entry = adv.routes.iter().find(|(d, _)| *d == 2).unwrap();
+        assert_eq!(entry.1, 2, "normal metric on other devices");
+        // Self route advertised with metric 0.
+        let me = adv.routes.iter().find(|(d, _)| *d == 0).unwrap();
+        assert_eq!(me.1, 0);
+    }
+
+    #[test]
+    fn rip_device_down_invalidates() {
+        let mut r = RipState::new(0, Time::from_millis(10));
+        r.on_advertisement(
+            &RipMsg {
+                from: 1,
+                routes: vec![(2, 1), (3, 2)],
+            },
+            0,
+        );
+        assert!(r.on_device_down(0));
+        assert_eq!(r.table[&2].metric, RIP_INFINITY);
+        assert_eq!(r.table[&3].metric, RIP_INFINITY);
+        assert!(!r.on_device_down(0), "already invalidated");
+    }
+
+    #[test]
+    fn metric_saturates_at_infinity() {
+        let mut r = RipState::new(0, Time::from_millis(10));
+        let changed = r.on_advertisement(
+            &RipMsg {
+                from: 1,
+                routes: vec![(5, RIP_INFINITY - 1)],
+            },
+            0,
+        );
+        // Metric 15 + 1 saturates at infinity: the route is never learned.
+        assert!(!changed);
+        assert!(!r.table.contains_key(&5));
+        let mut buf = [0u8; 16];
+        assert_eq!(Routing::Rip(r).lookup(5, &mut buf), 0);
+    }
+}

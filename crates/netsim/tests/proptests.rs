@@ -1,0 +1,146 @@
+//! Property-based tests of the network-model substrates.
+
+use proptest::prelude::*;
+
+use unison_core::Time;
+use unison_netsim::packet::{FlowId, Packet, MSS};
+use unison_netsim::queue::{Enqueue, Queue, QueueConfig};
+use unison_netsim::route::compute_static_tables;
+use unison_netsim::tcp::TcpReceiver;
+
+fn flow() -> FlowId {
+    FlowId {
+        src: 0,
+        dst: 1,
+        sport: 1,
+        dport: 80,
+    }
+}
+
+proptest! {
+    /// The receiver reassembles any permutation of the segments: the final
+    /// cumulative ACK covers the whole flow and ACKs are monotone.
+    #[test]
+    fn receiver_reassembles_any_order(
+        segments in 1u64..60,
+        perm_seed in any::<u64>(),
+        dups in 0usize..10,
+    ) {
+        let size = segments * MSS as u64;
+        let mut order: Vec<u64> = (0..segments).collect();
+        let mut rng = unison_core::Rng::new(perm_seed);
+        rng.shuffle(&mut order);
+        // Inject some duplicate deliveries.
+        for _ in 0..dups {
+            let dup = order[rng.next_below(order.len() as u64) as usize];
+            order.push(dup);
+        }
+        let mut rcv = TcpReceiver::new(flow(), size);
+        let mut last_ack = 0u64;
+        for (i, seg) in order.iter().enumerate() {
+            let ack = rcv.on_data(seg * MSS as u64, MSS, false, Time(i as u64), false, Time(i as u64 + 1));
+            prop_assert!(ack.ack >= last_ack, "cumulative ACK regressed");
+            last_ack = ack.ack;
+        }
+        prop_assert_eq!(last_ack, size);
+        prop_assert!(rcv.completed_at.is_some());
+    }
+
+    /// Queue byte accounting is exact under arbitrary enqueue/dequeue
+    /// interleavings, and the limit is never exceeded.
+    #[test]
+    fn queue_accounting(ops in proptest::collection::vec((any::<bool>(), 64u32..2_000), 1..200)) {
+        let limit = 10_000u32;
+        let mut q = Queue::new(QueueConfig::DropTail { limit_bytes: limit }, 7);
+        let mut model: std::collections::VecDeque<u32> = Default::default();
+        for (enq, bytes) in ops {
+            if enq {
+                let mut p = Packet::data(flow(), 0, bytes.saturating_sub(52).max(1), 1 << 20, false, false, Time::ZERO);
+                p.bytes = bytes;
+                if q.enqueue(p, Time::ZERO) == Enqueue::Accepted {
+                    model.push_back(bytes);
+                }
+            } else {
+                let popped = q.dequeue().map(|p| p.bytes);
+                prop_assert_eq!(popped, model.pop_front());
+            }
+            let expect: u32 = model.iter().sum();
+            prop_assert_eq!(q.bytes(), expect);
+            prop_assert!(q.bytes() <= limit);
+            prop_assert_eq!(q.len(), model.len());
+        }
+    }
+
+    /// RED with marking never drops an ECN-capable packet below the hard
+    /// limit, and counts marks consistently.
+    #[test]
+    fn red_marks_instead_of_dropping_ecn(packets in 1usize..150) {
+        let mut q = Queue::new(QueueConfig::dctcp(1 << 20, 10_000), 3);
+        let mut accepted = 0u64;
+        for _ in 0..packets {
+            let p = Packet::data(flow(), 0, MSS, 1 << 20, false, true, Time::ZERO);
+            if q.enqueue(p, Time::ZERO) == Enqueue::Accepted {
+                accepted += 1;
+            }
+        }
+        prop_assert_eq!(accepted, packets as u64, "ECN packets must not early-drop");
+        prop_assert_eq!(q.drops, 0);
+        prop_assert_eq!(q.accepted, accepted);
+    }
+
+    /// Static routing on random connected graphs: every candidate next hop
+    /// strictly decreases the BFS distance to the destination.
+    #[test]
+    fn static_routes_decrease_distance(
+        n in 2usize..16,
+        extra in proptest::collection::vec((0usize..16, 0usize..16), 0..24),
+    ) {
+        // Spanning chain guarantees connectivity; extras add ECMP variety.
+        let mut pairs: Vec<(usize, usize)> = (1..n).map(|i| (i - 1, i)).collect();
+        for (a, b) in extra {
+            let (a, b) = (a % n, b % n);
+            if a != b && !pairs.contains(&(a, b)) && !pairs.contains(&(b, a)) {
+                pairs.push((a, b));
+            }
+        }
+        let mut adj: Vec<Vec<(u32, u8)>> = vec![Vec::new(); n];
+        for &(a, b) in &pairs {
+            let da = adj[a].len() as u8;
+            let db = adj[b].len() as u8;
+            adj[a].push((b as u32, da));
+            adj[b].push((a as u32, db));
+        }
+        let tables = compute_static_tables(&adj);
+        // Reference BFS distances per destination.
+        for dst in 0..n {
+            let mut dist = vec![usize::MAX; n];
+            dist[dst] = 0;
+            let mut queue = std::collections::VecDeque::from([dst]);
+            while let Some(v) = queue.pop_front() {
+                for &(u, _) in &adj[v] {
+                    if dist[u as usize] == usize::MAX {
+                        dist[u as usize] = dist[v] + 1;
+                        queue.push_back(u as usize);
+                    }
+                }
+            }
+            let mut buf = [0u8; 16];
+            for node in 0..n {
+                let cands = tables[node].lookup(dst as u32, &mut buf);
+                if node == dst {
+                    prop_assert_eq!(cands, 0);
+                    continue;
+                }
+                prop_assert!(cands > 0, "connected graph must have a route");
+                for &dev in &buf[..cands] {
+                    let (peer, _) = adj[node][dev as usize];
+                    prop_assert_eq!(
+                        dist[peer as usize] + 1,
+                        dist[node],
+                        "next hop must reduce distance"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Piecewise-linear CDF tables.
+//!
+//! Workload generators describe flow-size distributions as empirical CDFs
+//! (as the DCTCP and TIMELY papers publish them). A [`CdfTable`] supports
+//! inverse-transform sampling and mean computation, both used to convert a
+//! target load into a flow arrival rate.
+
+/// An empirical CDF given as `(value, cumulative probability)` points with
+/// linear interpolation between points.
+#[derive(Clone, Debug)]
+pub struct CdfTable {
+    points: Vec<(f64, f64)>,
+}
+
+impl CdfTable {
+    /// Builds a table from `(value, cum_prob)` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the points are non-empty, non-decreasing in both
+    /// coordinates, and end at probability 1.0.
+    pub fn new(points: Vec<(f64, f64)>) -> Self {
+        assert!(!points.is_empty(), "CDF needs at least one point");
+        for w in points.windows(2) {
+            assert!(
+                w[0].0 <= w[1].0 && w[0].1 <= w[1].1,
+                "CDF points must be non-decreasing: {w:?}"
+            );
+        }
+        let last = points.last().expect("non-empty");
+        assert!(
+            (last.1 - 1.0).abs() < 1e-9,
+            "CDF must end at probability 1.0, ends at {}",
+            last.1
+        );
+        CdfTable { points }
+    }
+
+    /// Inverse-transform sampling: maps a uniform `u ∈ [0, 1)` to a value.
+    pub fn sample(&self, u: f64) -> f64 {
+        let u = u.clamp(0.0, 1.0);
+        let first = self.points[0];
+        if u <= first.1 {
+            return first.0;
+        }
+        for w in self.points.windows(2) {
+            let (v0, p0) = w[0];
+            let (v1, p1) = w[1];
+            if u <= p1 {
+                if p1 == p0 {
+                    return v1;
+                }
+                return v0 + (v1 - v0) * (u - p0) / (p1 - p0);
+            }
+        }
+        self.points.last().expect("non-empty").0
+    }
+
+    /// Mean of the distribution (trapezoidal over segments, with the mass at
+    /// the first point treated as an atom).
+    pub fn mean(&self) -> f64 {
+        let first = self.points[0];
+        let mut mean = first.0 * first.1;
+        for w in self.points.windows(2) {
+            let (v0, p0) = w[0];
+            let (v1, p1) = w[1];
+            mean += (p1 - p0) * (v0 + v1) / 2.0;
+        }
+        mean
+    }
+
+    /// The points of the table.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Largest value of the distribution.
+    pub fn max_value(&self) -> f64 {
+        self.points.last().expect("non-empty").0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_0_10() -> CdfTable {
+        CdfTable::new(vec![(0.0, 0.0), (10.0, 1.0)])
+    }
+
+    #[test]
+    fn sample_interpolates_linearly() {
+        let c = uniform_0_10();
+        assert_eq!(c.sample(0.0), 0.0);
+        assert_eq!(c.sample(0.5), 5.0);
+        assert!((c.sample(0.999) - 9.99).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_of_uniform() {
+        assert!((uniform_0_10().mean() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn atom_at_first_point() {
+        // 30% of mass exactly at 4, rest uniform to 10.
+        let c = CdfTable::new(vec![(4.0, 0.3), (10.0, 1.0)]);
+        assert_eq!(c.sample(0.1), 4.0);
+        assert_eq!(c.sample(0.3), 4.0);
+        assert!(c.sample(0.65) > 4.0);
+        let expected_mean = 4.0 * 0.3 + 0.7 * 7.0;
+        assert!((c.mean() - expected_mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_mean_converges_to_analytic_mean() {
+        let c = CdfTable::new(vec![(1.0, 0.5), (100.0, 0.9), (10_000.0, 1.0)]);
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut state = 0x12345u64;
+        for _ in 0..n {
+            // Cheap LCG for test-local uniforms.
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+            sum += c.sample(u);
+        }
+        let sampled = sum / n as f64;
+        let analytic = c.mean();
+        assert!(
+            (sampled / analytic - 1.0).abs() < 0.02,
+            "sampled {sampled}, analytic {analytic}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn rejects_decreasing_points() {
+        CdfTable::new(vec![(5.0, 0.5), (4.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "end at probability")]
+    fn rejects_incomplete_cdf() {
+        CdfTable::new(vec![(5.0, 0.5)]);
+    }
+}

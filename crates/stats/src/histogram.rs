@@ -1,0 +1,199 @@
+//! Log-bucketed histograms with percentile estimation.
+
+/// A histogram over non-negative values with logarithmically spaced buckets
+/// (constant relative error), suited to latency-like quantities spanning
+/// many orders of magnitude.
+///
+/// # Examples
+///
+/// ```
+/// use unison_stats::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in 1..=1000u64 {
+///     h.add(v as f64);
+/// }
+/// let p50 = h.percentile(50.0);
+/// assert!((p50 / 500.0 - 1.0).abs() < 0.1, "p50 ~ 500, got {p50}");
+/// ```
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    /// Bucket `i` covers `[GROWTH^i, GROWTH^(i+1))`; bucket 0 also takes
+    /// everything below 1.0.
+    buckets: Vec<u64>,
+    count: u64,
+    sum: f64,
+    max: f64,
+}
+
+/// Relative bucket growth: 5% per bucket bounds percentile error to ~5%.
+const GROWTH: f64 = 1.05;
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: Vec::new(),
+            count: 0,
+            sum: 0.0,
+            max: 0.0,
+        }
+    }
+
+    fn bucket_of(v: f64) -> usize {
+        if v < 1.0 {
+            0
+        } else {
+            (v.ln() / GROWTH.ln()) as usize
+        }
+    }
+
+    /// Adds one observation (negative values are clamped to 0).
+    pub fn add(&mut self, v: f64) {
+        let v = v.max(0.0);
+        let b = Self::bucket_of(v);
+        if b >= self.buckets.len() {
+            self.buckets.resize(b + 1, 0);
+        }
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Maximum observation.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Estimates the p-th percentile (`p` in `[0, 100]`); 0 when empty.
+    /// Accuracy is bounded by the 5% bucket growth.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                // Geometric midpoint of the bucket.
+                let lo = if i == 0 { 0.0 } else { GROWTH.powi(i as i32) };
+                let hi = GROWTH.powi(i as i32 + 1);
+                return ((lo + hi) / 2.0).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (i, &c) in other.buckets.iter().enumerate() {
+            self.buckets[i] += c;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(99.0), 0.0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_value() {
+        let mut h = Histogram::new();
+        h.add(42.0);
+        let p = h.percentile(50.0);
+        assert!((p / 42.0 - 1.0).abs() < 0.06, "got {p}");
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), 42.0);
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let mut h = Histogram::new();
+        for i in 0..10_000u64 {
+            h.add((i % 977) as f64 + 1.0);
+        }
+        let mut prev = 0.0;
+        for p in [1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9] {
+            let v = h.percentile(p);
+            assert!(v >= prev, "p{p} = {v} < {prev}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn tail_accuracy() {
+        let mut h = Histogram::new();
+        for _ in 0..999 {
+            h.add(10.0);
+        }
+        h.add(10_000.0);
+        let p999 = h.percentile(99.95);
+        assert!((p999 / 10_000.0 - 1.0).abs() < 0.06, "got {p999}");
+    }
+
+    #[test]
+    fn merge_matches_combined() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for i in 0..1_000u64 {
+            let v = (i * 13 % 701) as f64;
+            all.add(v);
+            if i % 2 == 0 {
+                a.add(v)
+            } else {
+                b.add(v)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.percentile(50.0), all.percentile(50.0));
+        assert_eq!(a.percentile(99.0), all.percentile(99.0));
+    }
+
+    #[test]
+    fn sub_one_values_land_in_bucket_zero() {
+        let mut h = Histogram::new();
+        h.add(0.0);
+        h.add(0.5);
+        h.add(-3.0); // clamped
+        assert_eq!(h.count(), 3);
+        assert!(h.percentile(50.0) < 1.05);
+    }
+}

@@ -1,0 +1,14 @@
+//! # unison-stats
+//!
+//! Small statistics toolkit used across the unison-rs workspace: streaming
+//! summaries, log-bucketed histograms with percentile estimation, and
+//! piecewise-linear CDF tables (used for flow-size distributions such as the
+//! web-search and gRPC workloads).
+
+pub mod cdf;
+pub mod histogram;
+pub mod summary;
+
+pub use cdf::CdfTable;
+pub use histogram::Histogram;
+pub use summary::Summary;

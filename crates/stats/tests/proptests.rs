@@ -1,0 +1,91 @@
+//! Property-based tests of the statistics toolkit.
+
+use proptest::prelude::*;
+
+use unison_stats::{CdfTable, Histogram, Summary};
+
+proptest! {
+    /// Summary::merge is equivalent to observing the combined stream.
+    #[test]
+    fn summary_merge_equivalence(
+        xs in proptest::collection::vec(-1e6f64..1e6, 0..100),
+        ys in proptest::collection::vec(-1e6f64..1e6, 0..100),
+    ) {
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        let mut all = Summary::new();
+        for &x in &xs { a.add(x); all.add(x); }
+        for &y in &ys { b.add(y); all.add(y); }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), all.count());
+        if all.count() > 0 {
+            prop_assert!((a.mean() - all.mean()).abs() < 1e-6 * (1.0 + all.mean().abs()));
+            prop_assert!(
+                (a.variance() - all.variance()).abs()
+                    < 1e-5 * (1.0 + all.variance().abs())
+            );
+            prop_assert_eq!(a.min(), all.min());
+            prop_assert_eq!(a.max(), all.max());
+        }
+    }
+
+    /// Histogram percentiles are monotone in p and bounded by the maximum.
+    #[test]
+    fn histogram_percentiles_monotone(
+        xs in proptest::collection::vec(0f64..1e9, 1..300),
+        ps in proptest::collection::vec(0f64..100.0, 2..10),
+    ) {
+        let mut h = Histogram::new();
+        for &x in &xs { h.add(x); }
+        let mut ps = ps;
+        ps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = 0.0;
+        for &p in &ps {
+            let v = h.percentile(p);
+            prop_assert!(v >= prev - 1e-9, "p{p}: {v} < {prev}");
+            prop_assert!(v <= h.max() + 1e-9);
+            prev = v;
+        }
+    }
+
+    /// CDF sampling is monotone in the uniform input and stays within the
+    /// table's value range.
+    #[test]
+    fn cdf_sample_monotone(
+        points in proptest::collection::vec((1f64..1e9, 0.01f64..1.0), 2..12),
+        us in proptest::collection::vec(0f64..1.0, 2..20),
+    ) {
+        // Build a valid CDF: sort and accumulate probabilities to 1.
+        let mut values: Vec<f64> = points.iter().map(|(v, _)| *v).collect();
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let total: f64 = points.iter().map(|(_, w)| *w).sum();
+        let mut cum = 0.0;
+        let table: Vec<(f64, f64)> = values
+            .iter()
+            .zip(points.iter())
+            .enumerate()
+            .map(|(i, (v, (_, w)))| {
+                cum += w / total;
+                if i == points.len() - 1 {
+                    cum = 1.0;
+                }
+                (*v, cum.min(1.0))
+            })
+            .collect();
+        let cdf = CdfTable::new(table);
+        let mut us = us;
+        us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let lo = values[0];
+        let hi = *values.last().unwrap();
+        let mut prev = f64::NEG_INFINITY;
+        for &u in &us {
+            let v = cdf.sample(u);
+            prop_assert!(v >= prev - 1e-9);
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+            prev = v;
+        }
+        // The analytic mean lies within the value range.
+        let m = cdf.mean();
+        prop_assert!(m >= 0.0 && m <= hi + 1e-9);
+    }
+}

@@ -1,0 +1,122 @@
+//! BCube builder (Guo et al., SIGCOMM '09).
+//!
+//! `BCube(n, levels)` has `n^levels` hosts, each with `levels` ports. Hosts
+//! are addressed by `levels` base-`n` digits; the level-`l` switch with
+//! index `j` connects the `n` hosts whose digits agree with `j` except at
+//! digit `l`. The paper's Fig. 10b uses n = 8 with 2 levels (64 hosts);
+//! each level-0 group ("BCube0") is a cluster.
+
+use unison_core::{DataRate, Time};
+
+use crate::{NodeKind, TopoLink, Topology};
+
+/// Builds a BCube with `n` ports per switch and `levels` switch levels
+/// (hosts = `n^levels`).
+///
+/// Node layout: hosts `0..n^levels`, then switches level by level. Cluster
+/// label = host id / n (its BCube0 group); switches inherit the cluster of
+/// their lowest-id attached host, which for level 0 is exactly the group.
+///
+/// # Panics
+///
+/// Panics unless `n >= 2` and `1 <= levels <= 8`.
+pub fn bcube(n: usize, levels: usize, rate: DataRate, delay: Time) -> Topology {
+    assert!(n >= 2, "BCube needs n >= 2");
+    assert!((1..=8).contains(&levels), "BCube levels must be in 1..=8");
+    let hosts = n.pow(levels as u32);
+    let mut nodes = vec![NodeKind::Host; hosts];
+    let mut cluster_of: Vec<u32> = (0..hosts).map(|h| (h / n) as u32).collect();
+    let mut links = Vec::new();
+    // Switches per level: n^(levels-1).
+    let switches_per_level = n.pow(levels as u32 - 1);
+    for level in 0..levels {
+        for j in 0..switches_per_level {
+            let sw = nodes.len();
+            nodes.push(NodeKind::Switch);
+            // The switch's first attached host: insert digit 0 at `level`.
+            let stride = n.pow(level as u32);
+            let high = j / stride;
+            let low = j % stride;
+            let first_host = high * stride * n + low;
+            cluster_of.push((first_host / n) as u32);
+            for d in 0..n {
+                let host = high * stride * n + d * stride + low;
+                debug_assert!(host < hosts);
+                links.push(TopoLink {
+                    a: sw,
+                    b: host,
+                    rate,
+                    delay,
+                });
+            }
+        }
+    }
+    Topology {
+        name: format!("bcube(n={n},levels={levels})"),
+        nodes,
+        links,
+        cluster_of,
+        clusters: (hosts / n) as u32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> (DataRate, Time) {
+        (DataRate::gbps(10), Time::from_micros(3))
+    }
+
+    #[test]
+    fn bcube_8_2_counts() {
+        let (r, d) = cfg();
+        let t = bcube(8, 2, r, d);
+        assert_eq!(t.host_count(), 64);
+        // 8 switches per level x 2 levels.
+        assert_eq!(t.node_count(), 64 + 16);
+        // Every switch has n=8 host links.
+        assert_eq!(t.links.len(), 16 * 8);
+        assert!(t.is_connected());
+        assert_eq!(t.clusters, 8);
+    }
+
+    #[test]
+    fn bcube_4_3_counts() {
+        let (r, d) = cfg();
+        let t = bcube(4, 3, r, d);
+        assert_eq!(t.host_count(), 64);
+        assert_eq!(t.node_count(), 64 + 3 * 16);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn every_host_has_one_port_per_level() {
+        let (r, d) = cfg();
+        let t = bcube(4, 2, r, d);
+        let mut degree = vec![0usize; t.node_count()];
+        for l in &t.links {
+            degree[l.a] += 1;
+            degree[l.b] += 1;
+        }
+        for h in t.hosts() {
+            assert_eq!(degree[h], 2, "host {h}");
+        }
+    }
+
+    #[test]
+    fn level0_switch_serves_one_cluster() {
+        let (r, d) = cfg();
+        let t = bcube(8, 2, r, d);
+        // Level-0 switches are nodes 64..72; their hosts must share cluster.
+        for sw in 64..72 {
+            let clusters: Vec<u32> = t
+                .links
+                .iter()
+                .filter(|l| l.a == sw || l.b == sw)
+                .map(|l| t.cluster_of[if l.a == sw { l.b } else { l.a }])
+                .collect();
+            assert!(clusters.windows(2).all(|w| w[0] == w[1]), "switch {sw}");
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Fat-tree builders.
+//!
+//! [`fat_tree`] builds the classic k-ary fat-tree of Al-Fares et al. (k
+//! pods, each with k/2 edge and k/2 aggregation switches, (k/2)² cores,
+//! k³/4 hosts). [`fat_tree_clusters`] builds the paper's "cluster"
+//! parameterization (Fig. 1 uses 48–144 clusters of 16 hosts; the
+//! DeepQueueNet comparison uses 4–16 clusters of 4–8 hosts), a generalized
+//! fat-tree described by [`FatTreeShape`].
+
+use unison_core::{DataRate, Time};
+
+use crate::{NodeKind, TopoLink, Topology};
+
+/// Shape of a generalized fat-tree.
+///
+/// Every pod (cluster) has `racks_per_pod` edge switches with
+/// `hosts_per_rack` hosts each, and `aggs_per_pod` aggregation switches
+/// fully meshed with the pod's edges. Aggregation switch `j` of every pod
+/// connects to the `cores_per_agg` core switches numbered
+/// `j * cores_per_agg ..`, giving `aggs_per_pod * cores_per_agg` cores.
+#[derive(Clone, Copy, Debug)]
+pub struct FatTreeShape {
+    /// Number of pods (clusters).
+    pub pods: usize,
+    /// Edge switches per pod.
+    pub racks_per_pod: usize,
+    /// Hosts per edge switch.
+    pub hosts_per_rack: usize,
+    /// Aggregation switches per pod.
+    pub aggs_per_pod: usize,
+    /// Core switches attached to each aggregation index.
+    pub cores_per_agg: usize,
+    /// Link bandwidth (uniform).
+    pub rate: DataRate,
+    /// Link delay (uniform).
+    pub delay: Time,
+}
+
+impl FatTreeShape {
+    /// The classic k-ary fat-tree shape.
+    pub fn k_ary(k: usize, rate: DataRate, delay: Time) -> Self {
+        assert!(k >= 2 && k.is_multiple_of(2), "k-ary fat-tree needs even k >= 2");
+        FatTreeShape {
+            pods: k,
+            racks_per_pod: k / 2,
+            hosts_per_rack: k / 2,
+            aggs_per_pod: k / 2,
+            cores_per_agg: k / 2,
+            rate,
+            delay,
+        }
+    }
+
+    /// Total host count.
+    pub fn host_count(&self) -> usize {
+        self.pods * self.racks_per_pod * self.hosts_per_rack
+    }
+
+    /// Total core switch count.
+    pub fn core_count(&self) -> usize {
+        self.aggs_per_pod * self.cores_per_agg
+    }
+
+    /// Builds the topology.
+    ///
+    /// Node layout: cores, then per pod (aggs, edges, hosts). Every node of
+    /// pod `p` gets cluster label `p`; core `c` gets label
+    /// `c % pods` (the round-robin distribution of the core layer used by
+    /// the static partition of Fig. 3).
+    pub fn build(&self) -> Topology {
+        let mut nodes = Vec::new();
+        let mut cluster_of = Vec::new();
+        let mut links = Vec::new();
+        let cores = self.core_count();
+        for c in 0..cores {
+            nodes.push(NodeKind::Switch);
+            cluster_of.push((c % self.pods) as u32);
+        }
+        let link = |a: usize, b: usize| TopoLink {
+            a,
+            b,
+            rate: self.rate,
+            delay: self.delay,
+        };
+        for p in 0..self.pods {
+            let agg0 = nodes.len();
+            for _ in 0..self.aggs_per_pod {
+                nodes.push(NodeKind::Switch);
+                cluster_of.push(p as u32);
+            }
+            let edge0 = nodes.len();
+            for _ in 0..self.racks_per_pod {
+                nodes.push(NodeKind::Switch);
+                cluster_of.push(p as u32);
+            }
+            // Aggregation <-> core.
+            for j in 0..self.aggs_per_pod {
+                for c in 0..self.cores_per_agg {
+                    links.push(link(agg0 + j, j * self.cores_per_agg + c));
+                }
+            }
+            // Edge <-> aggregation full mesh within the pod.
+            for e in 0..self.racks_per_pod {
+                for j in 0..self.aggs_per_pod {
+                    links.push(link(edge0 + e, agg0 + j));
+                }
+            }
+            // Hosts.
+            for e in 0..self.racks_per_pod {
+                for _ in 0..self.hosts_per_rack {
+                    let h = nodes.len();
+                    nodes.push(NodeKind::Host);
+                    cluster_of.push(p as u32);
+                    links.push(link(edge0 + e, h));
+                }
+            }
+        }
+        Topology {
+            name: format!(
+                "fat-tree(pods={},hosts={})",
+                self.pods,
+                self.host_count()
+            ),
+            nodes,
+            links,
+            cluster_of,
+            clusters: self.pods as u32,
+        }
+    }
+}
+
+/// The classic k-ary fat-tree with 100 Gbps links and 3 µs delays (the
+/// paper's default DCN configuration); rescale with
+/// [`Topology::with_rate`]/[`Topology::with_delay`].
+pub fn fat_tree(k: usize) -> Topology {
+    FatTreeShape::k_ary(k, DataRate::gbps(100), Time::from_micros(3)).build()
+}
+
+/// A cluster fat-tree with `clusters` pods of `hosts_per_cluster` hosts
+/// (hosts are placed 4 per rack, or fewer for tiny clusters), matching the
+/// paper's Fig. 1 and DeepQueueNet-comparison configurations.
+pub fn fat_tree_clusters(clusters: usize, hosts_per_cluster: usize) -> Topology {
+    // At least two racks per cluster so the core layer has several
+    // switches (a single shared core would be an artificial hot spot).
+    let racks = hosts_per_cluster.div_ceil(4).max(2);
+    let hosts_per_rack = hosts_per_cluster.div_ceil(racks).max(1);
+    FatTreeShape {
+        pods: clusters,
+        racks_per_pod: racks,
+        hosts_per_rack,
+        aggs_per_pod: racks,
+        cores_per_agg: racks,
+        rate: DataRate::gbps(100),
+        delay: Time::from_micros(3),
+    }
+    .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k4_fat_tree_counts() {
+        let t = fat_tree(4);
+        // 4 cores, 4 pods x (2 agg + 2 edge + 4 hosts).
+        assert_eq!(t.node_count(), 4 + 4 * (2 + 2 + 4));
+        assert_eq!(t.host_count(), 16);
+        // Links: agg-core 4*2*2=16, edge-agg 4*2*2=16, host 16.
+        assert_eq!(t.links.len(), 48);
+        assert!(t.is_connected());
+        assert_eq!(t.clusters, 4);
+    }
+
+    #[test]
+    fn k8_fat_tree_counts() {
+        let t = fat_tree(8);
+        assert_eq!(t.host_count(), 128);
+        assert_eq!(t.node_count(), 16 + 8 * (4 + 4) + 128);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn cluster_fat_tree_shapes() {
+        // Fat-tree 16: 4 clusters x 4 hosts = the k=4 fat-tree host count.
+        let t16 = fat_tree_clusters(4, 4);
+        assert_eq!(t16.host_count(), 16);
+        assert_eq!(t16.clusters, 4);
+        // Fat-tree 128: 16 clusters x 8 hosts.
+        let t128 = fat_tree_clusters(16, 8);
+        assert_eq!(t128.host_count(), 128);
+        assert_eq!(t128.clusters, 16);
+        assert!(t128.is_connected());
+        // Fig. 1 scale: 48 clusters x 16 hosts.
+        let t = fat_tree_clusters(48, 16);
+        assert_eq!(t.host_count(), 768);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn every_cluster_has_its_hosts() {
+        let t = fat_tree(4);
+        for c in 0..4 {
+            assert_eq!(t.cluster_hosts(c).len(), 4, "cluster {c}");
+        }
+    }
+
+    #[test]
+    fn core_switches_round_robin_clusters() {
+        let t = fat_tree(4);
+        // First 4 nodes are cores with labels 0..4.
+        assert_eq!(&t.cluster_of[0..4], &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "even k")]
+    fn odd_k_rejected() {
+        FatTreeShape::k_ary(5, DataRate::gbps(1), Time::ZERO);
+    }
+}

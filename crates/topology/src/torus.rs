@@ -1,0 +1,111 @@
+//! 2-D torus builder.
+//!
+//! Every node of a torus is both a router and a traffic endpoint (direct
+//! network). Following the paper's convention, the node at row `i`, column
+//! `j` of an `rows × cols` torus has id `i + rows * j`, and the manual
+//! partition for the baselines splits the id range into equal sub-arrays.
+
+use unison_core::{DataRate, Time};
+
+use crate::{NodeKind, TopoLink, Topology};
+
+/// Builds an `rows × cols` wrap-around 2-D torus. All nodes are hosts (they
+/// route *and* terminate traffic). Cluster label = column (`j`), giving
+/// `cols` natural clusters.
+pub fn torus2d(rows: usize, cols: usize, rate: DataRate, delay: Time) -> Topology {
+    assert!(rows >= 2 && cols >= 2, "torus needs at least 2x2");
+    let id = |i: usize, j: usize| i + rows * j;
+    let n = rows * cols;
+    let nodes = vec![NodeKind::Host; n];
+    let mut cluster_of = vec![0u32; n];
+    for j in 0..cols {
+        for i in 0..rows {
+            cluster_of[id(i, j)] = j as u32;
+        }
+    }
+    let mut links = Vec::new();
+    for j in 0..cols {
+        for i in 0..rows {
+            let right = id(i, (j + 1) % cols);
+            let down = id((i + 1) % rows, j);
+            // Avoid duplicate links on 2-wide dimensions.
+            if cols > 2 || j == 0 {
+                links.push(TopoLink {
+                    a: id(i, j),
+                    b: right,
+                    rate,
+                    delay,
+                });
+            }
+            if rows > 2 || i == 0 {
+                links.push(TopoLink {
+                    a: id(i, j),
+                    b: down,
+                    rate,
+                    delay,
+                });
+            }
+        }
+    }
+    Topology {
+        name: format!("torus({rows}x{cols})"),
+        nodes,
+        links,
+        cluster_of,
+        clusters: cols as u32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> (DataRate, Time) {
+        (DataRate::gbps(10), Time::from_micros(30))
+    }
+
+    #[test]
+    fn torus_4x4_degree() {
+        let (r, d) = cfg();
+        let t = torus2d(4, 4, r, d);
+        assert_eq!(t.node_count(), 16);
+        assert_eq!(t.links.len(), 32); // 2 links per node
+        let mut degree = [0usize; 16];
+        for l in &t.links {
+            degree[l.a] += 1;
+            degree[l.b] += 1;
+        }
+        assert!(degree.iter().all(|&d| d == 4));
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn torus_12x12_counts() {
+        let (r, d) = cfg();
+        let t = torus2d(12, 12, r, d);
+        assert_eq!(t.node_count(), 144);
+        assert_eq!(t.links.len(), 288);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn id_convention_matches_paper() {
+        let (r, d) = cfg();
+        let t = torus2d(48, 48, r, d);
+        // Row i, column j -> i + 48 j; cluster = column.
+        assert_eq!(t.cluster_of[5 + 48 * 7], 7);
+        assert_eq!(t.node_count(), 2304);
+    }
+
+    #[test]
+    fn two_wide_torus_has_no_duplicate_links() {
+        let (r, d) = cfg();
+        let t = torus2d(2, 2, r, d);
+        let mut seen = std::collections::HashSet::new();
+        for l in &t.links {
+            let key = (l.a.min(l.b), l.a.max(l.b));
+            assert!(seen.insert(key), "duplicate link {key:?}");
+        }
+        assert!(t.is_connected());
+    }
+}

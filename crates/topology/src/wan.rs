@@ -1,0 +1,258 @@
+//! Wide-area network topologies.
+//!
+//! The paper's Fig. 10c uses the GEANT and ChinaNet graphs from the
+//! Internet Topology Zoo. The Zoo's data files are not redistributable
+//! here, so these builders embed *representative* versions of the two
+//! networks — same node scale, same irregular mesh-plus-tail structure,
+//! geographic propagation delays — which is what the experiment actually
+//! exercises (no symmetric partition exists; link delays are heterogeneous;
+//! RIP routing converges over them). Every router gets one attached host
+//! (low-delay access link) to terminate traffic.
+
+use unison_core::{DataRate, Time};
+
+use crate::{NodeKind, TopoLink, Topology};
+
+/// Builds a WAN from `(a, b, delay_us)` router edges, attaching one host per
+/// router. Cluster label = router id.
+fn wan_from_edges(
+    name: &str,
+    routers: usize,
+    edges: &[(usize, usize, u64)],
+    backbone_rate: DataRate,
+) -> Topology {
+    let mut nodes = vec![NodeKind::Switch; routers];
+    let mut cluster_of: Vec<u32> = (0..routers as u32).collect();
+    let mut links: Vec<TopoLink> = edges
+        .iter()
+        .map(|&(a, b, us)| {
+            assert!(a < routers && b < routers, "edge endpoint out of range");
+            TopoLink {
+                a,
+                b,
+                rate: backbone_rate,
+                delay: Time::from_micros(us),
+            }
+        })
+        .collect();
+    for r in 0..routers {
+        let h = nodes.len();
+        nodes.push(NodeKind::Host);
+        cluster_of.push(r as u32);
+        links.push(TopoLink {
+            a: r,
+            b: h,
+            rate: backbone_rate,
+            delay: Time::from_micros(10),
+        });
+    }
+    Topology {
+        name: name.into(),
+        nodes,
+        links,
+        cluster_of,
+        clusters: routers as u32,
+    }
+}
+
+/// A representative GEANT (European research backbone): 40 routers, 61
+/// links, 1–17 ms propagation delays.
+pub fn geant() -> Topology {
+    // Router indices stand for PoPs (0 London, 1 Paris, 2 Amsterdam,
+    // 3 Frankfurt, 4 Geneva, 5 Milan, 6 Vienna, 7 Prague, 8 Madrid,
+    // 9 Lisbon, 10 Dublin, 11 Brussels, 12 Copenhagen, 13 Stockholm,
+    // 14 Oslo, 15 Helsinki, 16 Tallinn, 17 Riga, 18 Kaunas, 19 Warsaw,
+    // 20 Berlin?? (Hamburg), 21 Zurich, 22 Budapest, 23 Bratislava,
+    // 24 Ljubljana, 25 Zagreb, 26 Rome, 27 Athens, 28 Sofia, 29 Bucharest,
+    // 30 Istanbul, 31 Nicosia, 32 Malta, 33 Barcelona, 34 Marseille,
+    // 35 Luxembourg, 36 Bern, 37 Belgrade, 38 Thessaloniki, 39 Dubrovnik.
+    let edges: &[(usize, usize, u64)] = &[
+        (0, 1, 1700),
+        (0, 2, 1800),
+        (0, 10, 2300),
+        (0, 11, 1600),
+        (1, 4, 2100),
+        (1, 8, 5200),
+        (1, 34, 3300),
+        (1, 35, 1500),
+        (2, 3, 1800),
+        (2, 12, 3100),
+        (2, 11, 900),
+        (3, 7, 2100),
+        (3, 6, 2900),
+        (3, 21, 1500),
+        (3, 20, 1900),
+        (3, 35, 1000),
+        (4, 5, 1400),
+        (4, 21, 1100),
+        (4, 36, 800),
+        (5, 26, 2400),
+        (5, 24, 1900),
+        (6, 7, 1300),
+        (6, 22, 1100),
+        (6, 23, 300),
+        (6, 24, 1400),
+        (7, 19, 2500),
+        (8, 9, 2500),
+        (8, 33, 2500),
+        (9, 0, 7900),
+        (10, 2, 3700),
+        (12, 13, 2600),
+        (12, 20, 1500),
+        (13, 14, 2100),
+        (13, 15, 2000),
+        (15, 16, 400),
+        (16, 17, 1400),
+        (17, 18, 1300),
+        (18, 19, 2000),
+        (19, 20, 2600),
+        (22, 23, 900),
+        (22, 29, 3200),
+        (22, 37, 1600),
+        (24, 25, 600),
+        (25, 39, 1500),
+        (26, 27, 4200),
+        (26, 32, 3400),
+        (27, 28, 2600),
+        (27, 38, 1500),
+        (27, 31, 4500),
+        (28, 29, 1500),
+        (29, 30, 2200),
+        (30, 31, 3500),
+        (33, 34, 1700),
+        (34, 26, 3000),
+        (35, 11, 900),
+        (36, 21, 500),
+        (37, 28, 1400),
+        (37, 25, 1800),
+        (38, 28, 1200),
+        (39, 26, 2000),
+        (14, 12, 2400),
+    ];
+    wan_from_edges("geant", 40, edges, DataRate::gbps(10))
+}
+
+/// A representative ChinaNet: 42 routers with a dense national backbone
+/// mesh (Beijing/Shanghai/Guangzhou triangle) and many provincial tails.
+pub fn chinanet() -> Topology {
+    // 0 Beijing, 1 Shanghai, 2 Guangzhou, 3 Wuhan, 4 Chengdu, 5 Xian,
+    // 6 Nanjing, 7 Hangzhou, 8 Shenyang, 9 Harbin, 10 Tianjin, 11 Jinan,
+    // 12 Zhengzhou, 13 Changsha, 14 Chongqing, 15 Kunming, 16 Guiyang,
+    // 17 Nanning, 18 Fuzhou, 19 Xiamen, 20 Shenzhen, 21 Hefei, 22 Nanchang,
+    // 23 Taiyuan, 24 Shijiazhuang, 25 Lanzhou, 26 Xining, 27 Urumqi,
+    // 28 Hohhot, 29 Changchun, 30 Dalian, 31 Qingdao, 32 Ningbo, 33 Wenzhou,
+    // 34 Haikou, 35 Lhasa, 36 Yinchuan, 37 Suzhou, 38 Wuxi, 39 Dongguan,
+    // 40 Foshan, 41 Zhuhai.
+    let edges: &[(usize, usize, u64)] = &[
+        // Backbone triangle and trunks.
+        (0, 1, 5400),
+        (0, 2, 9500),
+        (1, 2, 6100),
+        (0, 3, 5300),
+        (1, 3, 3500),
+        (2, 3, 4400),
+        (0, 5, 4600),
+        (0, 8, 2900),
+        (0, 10, 600),
+        (0, 24, 1400),
+        (0, 28, 2100),
+        (1, 6, 1400),
+        (1, 7, 800),
+        (1, 37, 500),
+        (2, 20, 600),
+        (2, 13, 2800),
+        (2, 17, 2700),
+        (2, 34, 2400),
+        (3, 12, 2300),
+        (3, 13, 1500),
+        (3, 22, 1300),
+        (4, 14, 1400),
+        (4, 5, 3100),
+        (4, 15, 2900),
+        (4, 35, 6300),
+        (5, 12, 2200),
+        (5, 25, 3000),
+        (5, 36, 2700),
+        (6, 21, 700),
+        (6, 38, 200),
+        (7, 32, 700),
+        (7, 33, 1500),
+        (8, 9, 2400),
+        (8, 29, 1300),
+        (8, 30, 1500),
+        (10, 11, 1400),
+        (11, 31, 1300),
+        (11, 12, 2000),
+        (13, 16, 2900),
+        (14, 16, 1500),
+        (15, 16, 1800),
+        (15, 17, 2600),
+        (17, 34, 1900),
+        (18, 19, 900),
+        (18, 1, 3200),
+        (19, 2, 2300),
+        (20, 39, 300),
+        (20, 41, 400),
+        (21, 3, 1800),
+        (22, 18, 1900),
+        (23, 0, 2000),
+        (23, 24, 900),
+        (25, 26, 800),
+        (25, 27, 7400),
+        (26, 35, 5800),
+        (28, 36, 2400),
+        (29, 9, 1000),
+        (30, 31, 1800),
+        (37, 38, 200),
+        (39, 40, 300),
+        (40, 2, 200),
+        (41, 2, 500),
+    ];
+    wan_from_edges("chinanet", 42, edges, DataRate::gbps(10))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unison_core::{fine_grained_partition, LinkGraph, NodeId};
+
+    #[test]
+    fn geant_is_connected() {
+        let t = geant();
+        assert_eq!(t.node_count(), 80);
+        assert_eq!(t.host_count(), 40);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn chinanet_is_connected() {
+        let t = chinanet();
+        assert_eq!(t.node_count(), 84);
+        assert_eq!(t.host_count(), 42);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn wan_delays_are_heterogeneous() {
+        for t in [geant(), chinanet()] {
+            let mut delays: Vec<u64> = t.links.iter().map(|l| l.delay.as_nanos()).collect();
+            delays.sort_unstable();
+            delays.dedup();
+            assert!(delays.len() > 10, "{}: too few distinct delays", t.name);
+        }
+    }
+
+    #[test]
+    fn fine_grained_partition_splits_wan() {
+        // The access links (10us) fall below the median backbone delay, so
+        // hosts merge with their routers while the backbone is cut.
+        let t = geant();
+        let mut g = LinkGraph::new(t.node_count());
+        for l in &t.links {
+            g.add_link(NodeId(l.a as u32), NodeId(l.b as u32), l.delay);
+        }
+        let p = fine_grained_partition(&g);
+        assert!(p.lp_count >= 30, "lp_count = {}", p.lp_count);
+        assert!((p.lp_count as usize) < t.node_count());
+    }
+}

@@ -1,0 +1,66 @@
+//! Embedded flow-size distributions.
+//!
+//! The web-search distribution follows the DCTCP paper's published search
+//! workload (heavy-tailed: most flows are a few tens of kilobytes, a few
+//! are tens of megabytes). The gRPC distribution follows the TIMELY-style
+//! datacenter RPC profile (small messages, sub-10 kB median). Both are the
+//! workloads the paper's §6 experiments sample from.
+
+use unison_stats::CdfTable;
+
+/// The DCTCP web-search flow-size CDF (bytes).
+pub fn web_search_cdf() -> CdfTable {
+    CdfTable::new(vec![
+        (1_000.0, 0.00),
+        (10_000.0, 0.15),
+        (20_000.0, 0.20),
+        (30_000.0, 0.30),
+        (50_000.0, 0.40),
+        (80_000.0, 0.53),
+        (200_000.0, 0.60),
+        (1_000_000.0, 0.70),
+        (2_000_000.0, 0.80),
+        (5_000_000.0, 0.90),
+        (10_000_000.0, 0.97),
+        (30_000_000.0, 1.00),
+    ])
+}
+
+/// A TIMELY-style gRPC message-size CDF (bytes).
+pub fn grpc_cdf() -> CdfTable {
+    CdfTable::new(vec![
+        (100.0, 0.00),
+        (200.0, 0.10),
+        (400.0, 0.30),
+        (800.0, 0.50),
+        (2_000.0, 0.70),
+        (8_000.0, 0.90),
+        (32_000.0, 0.98),
+        (64_000.0, 1.00),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn web_search_is_heavy_tailed() {
+        let c = web_search_cdf();
+        let median = c.sample(0.5);
+        let mean = c.mean();
+        assert!(
+            mean > 5.0 * median,
+            "heavy tail expected: mean {mean}, median {median}"
+        );
+        assert!(mean > 1e6 && mean < 3e6, "mean {mean}");
+    }
+
+    #[test]
+    fn grpc_is_small_messages() {
+        let c = grpc_cdf();
+        assert!(c.mean() < 10_000.0);
+        assert!(c.sample(0.5) <= 800.0);
+        assert_eq!(c.max_value(), 64_000.0);
+    }
+}

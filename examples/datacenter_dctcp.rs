@@ -1,0 +1,83 @@
+//! DCTCP validation (the paper's §6.2 adaptation of the DCTCP evaluation):
+//! NewReno with deep DropTail buffers vs DCTCP with shallow ECN marking on
+//! a shared bottleneck — per-flow throughput, Jain fairness index and
+//! average queue delay.
+//!
+//! Run with: `cargo run --release --example datacenter_dctcp`
+
+use unison::core::{DataRate, KernelKind, Time};
+use unison::netsim::{NetworkBuilder, QueueConfig, TcpConfig, TransportKind};
+use unison::topology::dumbbell;
+use unison::traffic::FlowSpec;
+
+fn main() {
+    let topo = dumbbell(
+        8,
+        8,
+        DataRate::gbps(1),
+        DataRate::gbps(1),
+        Time::from_micros(20),
+    );
+    let hosts = topo.hosts();
+    // 8 long flows share the bottleneck.
+    let flows: Vec<FlowSpec> = (0..8)
+        .map(|i| FlowSpec {
+            src: hosts[i],
+            dst: hosts[8 + i],
+            bytes: 2_000_000,
+            start: Time::from_micros(50 * i as u64),
+        })
+        .collect();
+
+    println!("{:<28} {:>10} {:>8} {:>12} {:>8} {:>8}",
+        "transport/queue", "tput(Mbps)", "Jain", "qdelay(us)", "drops", "marks");
+    println!("{}", "-".repeat(80));
+    // Datacenter-tuned stacks: 1 ms minimum RTO (the default 200 ms is the
+    // ns-3/WAN setting and would stall whole windows here).
+    let reno_dcn = TcpConfig::newreno_dcn();
+    let dctcp_dcn = TcpConfig {
+        kind: TransportKind::Dctcp,
+        ..TcpConfig::newreno_dcn()
+    };
+    for (name, tcp, queue) in [
+        (
+            "NewReno + deep DropTail",
+            reno_dcn,
+            QueueConfig::DropTail {
+                limit_bytes: 400_000,
+            },
+        ),
+        (
+            "NewReno + RED",
+            reno_dcn,
+            QueueConfig::red(400_000, 30_000, 90_000, false),
+        ),
+        (
+            "DCTCP (K = 8 kB)",
+            dctcp_dcn,
+            QueueConfig::dctcp(400_000, 8_000),
+        ),
+    ] {
+        let sim = NetworkBuilder::new(&topo)
+            .tcp_config(tcp)
+            .queue(queue)
+            .flows(flows.clone())
+            .stop_at(Time::from_millis(400))
+            .build();
+        let res = sim.run(KernelKind::Unison { threads: 2 });
+        println!(
+            "{:<28} {:>10.1} {:>8.3} {:>12.1} {:>8} {:>8}",
+            name,
+            res.flows.throughput_bps.mean() / 1e6,
+            res.flows.jain_index(),
+            res.flows.queue_delay_ns.mean() / 1e3,
+            res.flows.drops,
+            res.flows.marks
+        );
+    }
+    println!(
+        "\n(expected, as in the DCTCP paper the evaluation reproduces: DCTCP keeps \
+         throughput while cutting queue delay by an order of magnitude, with high \
+         fairness and zero drops)"
+    );
+}

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Regenerates every paper table and figure. Pass --full for larger scales.
+set -u
+cd "$(dirname "$0")/.."
+cargo build --release -p unison-bench 2>/dev/null
+for bin in table1 table2 fig01 fig05a fig05b fig05c fig05d fig08a fig08b \
+           fig09a fig09b fig10a fig10b fig10c fig10d fig11 fig12a fig12b \
+           fig12c fig12d fig13; do
+    echo
+    echo "================================================================"
+    echo ">> $bin $*"
+    echo "================================================================"
+    ./target/release/$bin "$@"
+done

@@ -1,0 +1,76 @@
+//! Workspace-level integration: the paper's determinism claims (§5.2,
+//! Fig. 11) at the full network-stack level.
+
+use unison::core::{KernelKind, MetricsLevel, PartitionMode, RunConfig, SchedConfig, Time};
+use unison::netsim::{NetworkBuilder, SimResult, TransportKind};
+use unison::topology::fat_tree;
+use unison::traffic::{SizeDist, TrafficConfig};
+
+fn run(kernel: KernelKind) -> SimResult {
+    let topo = fat_tree(4);
+    let traffic = TrafficConfig::incast(0.3, 0.3)
+        .with_seed(1234)
+        .with_sizes(SizeDist::WebSearch)
+        .with_window(Time::ZERO, Time::from_millis(1));
+    let sim = NetworkBuilder::new(&topo)
+        .transport(TransportKind::NewReno)
+        .traffic(&traffic)
+        .stop_at(Time::from_millis(3))
+        .build();
+    sim.run_with(&RunConfig {
+        kernel,
+        partition: PartitionMode::Auto,
+        sched: SchedConfig::default(),
+        metrics: MetricsLevel::Summary,
+    })
+    .expect("run")
+}
+
+/// Everything observable, bit-exact: events, drops, retransmits, mean-RTT
+/// bits, and per-flow completion records.
+type Fingerprint = (u64, u64, u64, u64, Vec<(u32, u32, Option<Time>)>);
+
+fn fingerprint(res: &SimResult) -> Fingerprint {
+    (
+        res.kernel.events,
+        res.flows.drops,
+        res.flows.retransmits,
+        res.flows.rtt_ns.mean().to_bits(),
+        res.flows
+            .flows
+            .iter()
+            .map(|f| (f.flow.src, f.flow.dst, f.completed))
+            .collect(),
+    )
+}
+
+#[test]
+fn unison_identical_across_thread_counts_and_repetitions() {
+    let reference = fingerprint(&run(KernelKind::Unison { threads: 1 }));
+    for threads in [2usize, 4, 8] {
+        assert_eq!(
+            fingerprint(&run(KernelKind::Unison { threads })),
+            reference,
+            "thread count {threads} changed results"
+        );
+    }
+    // Repetition.
+    assert_eq!(fingerprint(&run(KernelKind::Unison { threads: 4 })), reference);
+}
+
+#[test]
+fn compat_sequential_equals_unison() {
+    let seq = fingerprint(&run(KernelKind::Sequential { compat_keys: true }));
+    let uni = fingerprint(&run(KernelKind::Unison { threads: 3 }));
+    assert_eq!(seq, uni);
+}
+
+#[test]
+fn hybrid_equals_unison() {
+    let hy = fingerprint(&run(KernelKind::Hybrid {
+        hosts: 2,
+        threads_per_host: 2,
+    }));
+    let uni = fingerprint(&run(KernelKind::Unison { threads: 4 }));
+    assert_eq!(hy, uni);
+}
