@@ -77,7 +77,11 @@ fn bench_fig10_family(c: &mut Criterion) {
                 .with_window(Time::ZERO, Time::from_micros(300));
             let s = Scenario::new(topo, traffic, Time::from_micros(600));
             let auto = s.profile(PartitionMode::Auto);
-            black_box(PerfModel::new(&auto.profile).unison(8, SchedConfig::default()).total_ns)
+            black_box(
+                PerfModel::new(&auto.profile)
+                    .unison(8, SchedConfig::default())
+                    .total_ns,
+            )
         })
     });
     g.finish();

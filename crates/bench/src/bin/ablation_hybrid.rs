@@ -42,9 +42,7 @@ fn main() {
             let lps = partition.lp_count as usize;
             let per = lps.div_ceil(hosts);
             (0..hosts)
-                .map(|h| {
-                    ((h * per) as u32..((h + 1) * per).min(lps) as u32).collect()
-                })
+                .map(|h| ((h * per) as u32..((h + 1) * per).min(lps) as u32).collect())
                 .filter(|g: &Vec<u32>| !g.is_empty())
                 .collect()
         };

@@ -28,7 +28,15 @@ fn main() {
     );
     let widths = [9, 6, 12, 12, 12, 12, 10];
     header(
-        &["#cluster", "#lp", "seq(s)", "barrier(s)", "nullmsg(s)", "unison(s)", "uni-spdup"],
+        &[
+            "#cluster",
+            "#lp",
+            "seq(s)",
+            "barrier(s)",
+            "nullmsg(s)",
+            "unison(s)",
+            "uni-spdup",
+        ],
         &widths,
     );
     for &c in &clusters {

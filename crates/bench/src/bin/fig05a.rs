@@ -13,12 +13,13 @@ fn main() {
     println!("Figure 5a: P/S of barrier (B) and null message (N) vs incast ratio");
     let widths = [7, 10, 10, 10, 10, 10, 8];
     header(
-        &["ratio", "P_B(s)", "S_B(s)", "P_N(s)", "S_N(s)", "T_B(s)", "S_B/T"],
+        &[
+            "ratio", "P_B(s)", "S_B(s)", "P_N(s)", "S_N(s)", "T_B(s)", "S_B/T",
+        ],
         &widths,
     );
     for ratio in [0.0, 0.25, 0.5, 0.75, 1.0] {
-        let scenario =
-            fat_tree_scenario(scale, ratio, DataRate::gbps(100), Time::from_micros(3));
+        let scenario = fat_tree_scenario(scale, ratio, DataRate::gbps(100), Time::from_micros(3));
         let run = scenario.profile(PartitionMode::Manual(fat_tree_manual(&scenario)));
         let model = PerfModel::new(&run.profile);
         let bar = model.barrier();

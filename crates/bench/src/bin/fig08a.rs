@@ -26,7 +26,15 @@ fn main() {
     println!("Figure 8a: simulation time on DeepQueueNet-style fat-trees (100 Mbps, 500 us)");
     let widths = [13, 10, 12, 12, 12, 12, 12];
     header(
-        &["topology", "packets", "barrier(s)", "nullmsg(s)", "DQN*(s)", "seq(s)", "unison(s)"],
+        &[
+            "topology",
+            "packets",
+            "barrier(s)",
+            "nullmsg(s)",
+            "DQN*(s)",
+            "seq(s)",
+            "unison(s)",
+        ],
         &widths,
     );
     for (name, clusters, hosts) in configs {

@@ -4,9 +4,7 @@
 //! Expected shape: S below a few percent of T at every ratio; P below the
 //! baselines' P (cache boost); M negligible.
 
-use unison_bench::harness::{
-    fat_tree_manual, fat_tree_scenario, header, row, secs, Scale,
-};
+use unison_bench::harness::{fat_tree_manual, fat_tree_scenario, header, row, secs, Scale};
 use unison_core::{DataRate, PartitionMode, PerfModel, SchedConfig, Time};
 
 fn main() {
@@ -19,8 +17,7 @@ fn main() {
         &widths,
     );
     for ratio in [0.0, 0.25, 0.5, 0.75, 1.0] {
-        let scenario =
-            fat_tree_scenario(scale, ratio, DataRate::gbps(100), Time::from_micros(3));
+        let scenario = fat_tree_scenario(scale, ratio, DataRate::gbps(100), Time::from_micros(3));
         let auto = scenario.profile(PartitionMode::Auto);
         let uni = PerfModel::new(&auto.profile).unison(threads, SchedConfig::default());
         // Baseline P for comparison (coarse pod partition).

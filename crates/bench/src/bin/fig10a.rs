@@ -27,7 +27,10 @@ fn main() {
     let model_u = PerfModel::new(&auto.profile);
     let seq = model_u.sequential().total_ns;
 
-    println!("Figure 10a: {side}x{side} torus, time vs #core (seq = {})", secs(seq));
+    println!(
+        "Figure 10a: {side}x{side} torus, time vs #core (seq = {})",
+        secs(seq)
+    );
     let widths = [6, 12, 12, 12];
     header(&["#core", "barrier(s)", "nullmsg(s)", "unison(s)"], &widths);
     for &c in &cores {

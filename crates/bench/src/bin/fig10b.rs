@@ -22,7 +22,10 @@ fn main() {
         &["traffic", "barrier", "nullmsg", "unison(8)", "unison(16)"],
         &widths,
     );
-    for (name, dist) in [("web-search", SizeDist::WebSearch), ("gRPC", SizeDist::Grpc)] {
+    for (name, dist) in [
+        ("web-search", SizeDist::WebSearch),
+        ("gRPC", SizeDist::Grpc),
+    ] {
         let traffic = TrafficConfig::incast(0.3, 0.1)
             .with_seed(3)
             .with_sizes(dist)
@@ -38,7 +41,10 @@ fn main() {
                 name.to_string(),
                 format!("{:.1}x", seq / model_b.barrier().total_ns),
                 format!("{:.1}x", seq / model_b.nullmsg(&base.neighbors).total_ns),
-                format!("{:.1}x", seq / model_u.unison(8, SchedConfig::default()).total_ns),
+                format!(
+                    "{:.1}x",
+                    seq / model_u.unison(8, SchedConfig::default()).total_ns
+                ),
                 format!(
                     "{:.1}x",
                     seq / model_u.unison(16, SchedConfig::default()).total_ns

@@ -7,12 +7,12 @@
 //! Unison several-fold faster (paper: >10x incl. cache effects).
 
 use unison_bench::harness::{header, row, secs, Scale};
+use unison_core::{KernelKind, MetricsLevel, RunConfig};
 use unison_core::{PartitionMode, PerfModel, SchedConfig, Time};
+use unison_netsim::NetworkBuilder;
 use unison_netsim::RoutingKind;
 use unison_topology::{chinanet, geant};
 use unison_traffic::{SizeDist, TrafficConfig};
-use unison_core::{KernelKind, MetricsLevel, RunConfig};
-use unison_netsim::NetworkBuilder;
 
 fn main() {
     let scale = Scale::from_args();
@@ -20,7 +20,10 @@ fn main() {
 
     println!("Figure 10c: WAN with RIP routing, sequential vs Unison(8)");
     let widths = [10, 9, 12, 12, 10];
-    header(&["network", "#lp", "seq(s)", "unison(s)", "speedup"], &widths);
+    header(
+        &["network", "#lp", "seq(s)", "unison(s)", "speedup"],
+        &widths,
+    );
     for topo in [geant(), chinanet()] {
         let traffic = TrafficConfig::random_uniform(0.5)
             .with_seed(17)

@@ -12,9 +12,9 @@
 use std::time::Duration;
 
 use unison_bench::harness::{header, row, Scale};
+use unison_core::WorldAccess;
 use unison_core::{KernelKind, MetricsLevel, PartitionMode, RunConfig, SchedConfig, Time};
 use unison_netsim::{recompute_static_routes, set_link_state, BuiltLink, NetNode, NetworkBuilder};
-use unison_core::WorldAccess;
 use unison_topology::{fat_tree, NodeKind};
 use unison_traffic::TrafficConfig;
 

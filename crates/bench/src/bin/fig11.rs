@@ -60,10 +60,7 @@ fn main() {
     for e in 0..epochs {
         let (ue, ud) = run_epoch(KernelKind::Unison { threads: 4 }, PartitionMode::Auto);
         let (be, bd) = run_epoch(KernelKind::Barrier, PartitionMode::Manual(pods.clone()));
-        let (ne, nd) = run_epoch(
-            KernelKind::NullMessage,
-            PartitionMode::Manual(pods.clone()),
-        );
+        let (ne, nd) = run_epoch(KernelKind::NullMessage, PartitionMode::Manual(pods.clone()));
         uni_counts.push(ue);
         bar_counts.push(be);
         nm_counts.push(ne);
@@ -99,7 +96,11 @@ fn main() {
     println!(
         "unison across 1/2/4/8/16 threads: event counts {:?} -> {}",
         per_thread.iter().map(|p| p.1).collect::<Vec<_>>(),
-        if all_equal { "IDENTICAL (bitwise)" } else { "DIVERGED" }
+        if all_equal {
+            "IDENTICAL (bitwise)"
+        } else {
+            "DIVERGED"
+        }
     );
     assert!(all_equal, "Unison must be thread-count invariant");
     println!(

@@ -18,7 +18,12 @@ use unison_traffic::{SizeDist, TrafficConfig};
 fn main() {
     let scale = Scale::from_args();
     let window = scale.pick(Time::from_millis(3), Time::from_millis(10));
-    let topo = torus2d(12, 12, unison_core::DataRate::gbps(10), Time::from_micros(30));
+    let topo = torus2d(
+        12,
+        12,
+        unison_core::DataRate::gbps(10),
+        Time::from_micros(30),
+    );
     let traffic = TrafficConfig::random_uniform(0.3)
         .with_seed(13)
         .with_sizes(SizeDist::WebSearch)

@@ -7,9 +7,7 @@
 //! widening as threads increase.
 
 use unison_bench::harness::{fat_tree_scenario, header, row, Scale};
-use unison_core::{
-    DataRate, PartitionMode, PerfModel, SchedConfig, SchedMetric, Time,
-};
+use unison_core::{DataRate, PartitionMode, PerfModel, SchedConfig, SchedMetric, Time};
 
 fn main() {
     let scale = Scale::from_args();

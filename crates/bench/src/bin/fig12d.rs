@@ -15,9 +15,7 @@ fn main() {
     let model = PerfModel::new(&auto.profile);
     let auto_period = SchedConfig::default().effective_period(auto.partition.lp_count as usize);
 
-    println!(
-        "Figure 12d: time vs scheduling period (8 cores; auto period = {auto_period})"
-    );
+    println!("Figure 12d: time vs scheduling period (8 cores; auto period = {auto_period})");
     let widths = [8, 12, 14];
     header(&["period", "T(s)", "sched-cost(s)"], &widths);
     for period in [1u32, 2, 4, 8, 16, 32, 64] {

@@ -93,8 +93,7 @@ fn main() {
         for r in rows {
             let mean = r.iter().sum::<f64>() / r.len() as f64;
             if mean > 0.0 {
-                let var =
-                    r.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / r.len() as f64;
+                let var = r.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / r.len() as f64;
                 cv_sum += var.sqrt() / mean;
             }
         }

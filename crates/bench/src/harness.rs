@@ -2,8 +2,8 @@
 
 use unison_core::{
     fine_grained_partition, manual_partition, partition_below_bound, KernelKind, LinkGraph,
-    MetricsLevel, NodeId, Partition, PartitionMode, RoundRecord, RunConfig, RunReport,
-    SchedConfig, Time,
+    MetricsLevel, NodeId, Partition, PartitionMode, RoundRecord, RunConfig, RunReport, SchedConfig,
+    Time,
 };
 use unison_netsim::{FlowReport, NetworkBuilder, QueueConfig, TransportKind};
 use unison_topology::Topology;
@@ -160,10 +160,7 @@ pub fn partition_info(topo: &Topology, mode: &PartitionMode) -> (Partition, Vec<
 
 /// Convenience alias used by several figures: profile a scenario under both
 /// the manual (baseline) and automatic (Unison) partitions.
-pub fn profile_run(
-    scenario: &Scenario,
-    manual: Vec<u32>,
-) -> (ProfiledRun, ProfiledRun) {
+pub fn profile_run(scenario: &Scenario, manual: Vec<u32>) -> (ProfiledRun, ProfiledRun) {
     let baseline = scenario.profile(PartitionMode::Manual(manual));
     let auto = scenario.profile(PartitionMode::Auto);
     (baseline, auto)
@@ -180,7 +177,9 @@ pub fn fat_tree_scenario(
 ) -> Scenario {
     let k = scale.pick(4, 8);
     let window = scale.pick(Time::from_millis(2), Time::from_millis(5));
-    let topo = unison_topology::fat_tree(k).with_rate(rate).with_delay(delay);
+    let topo = unison_topology::fat_tree(k)
+        .with_rate(rate)
+        .with_delay(delay);
     let traffic = TrafficConfig::incast(0.3, incast_ratio)
         .with_seed(7)
         .with_window(Time::ZERO, window);

@@ -102,12 +102,11 @@ pub fn predict(topo: &Topology, flows: &[FlowSpec], window: Time) -> SurrogateRe
     for f in flows {
         let pkts = (f.bytes as f64 / MSS as f64).ceil().max(1.0);
         packets += 2 * pkts as u64; // data + ack
-        // M/G/1-PS slowdown: residual capacity shared processor-style.
+                                    // M/G/1-PS slowdown: residual capacity shared processor-style.
         let fair_share = host_rate.as_bps() as f64 * (1.0 - rho).max(0.05);
         // Slow-start ramp: log2 of the window count adds RTTs.
         let ramp_rtts = (pkts / 10.0).log2().clamp(0.0, 10.0);
-        let fct_ns =
-            f.bytes as f64 * 8.0 / fair_share * 1e9 + (1.0 + ramp_rtts) * base_rtt_ns;
+        let fct_ns = f.bytes as f64 * 8.0 / fair_share * 1e9 + (1.0 + ramp_rtts) * base_rtt_ns;
         if fct_ns <= horizon_ns {
             fct_sum += fct_ns;
             tput_sum += f.bytes as f64 * 8.0 / (fct_ns / 1e9);
@@ -119,8 +118,7 @@ pub fn predict(topo: &Topology, flows: &[FlowSpec], window: Time) -> SurrogateRe
         mean_fct_ms: fct_sum / n / 1e6,
         mean_rtt_ms: base_rtt_ns / 1e6,
         mean_throughput_mbps: tput_sum / n / 1e6,
-        inference_secs: (INFERENCE_STARTUP_NS + packets as f64 * INFERENCE_NS_PER_PACKET)
-            / 1e9,
+        inference_secs: (INFERENCE_STARTUP_NS + packets as f64 * INFERENCE_NS_PER_PACKET) / 1e9,
         packets,
     }
 }
@@ -149,7 +147,10 @@ mod tests {
         let b = predict(&topo, &flows(&topo, 200, 14_480), Time::from_millis(100));
         let startup = INFERENCE_STARTUP_NS / 1e9;
         let ratio = (b.inference_secs - startup) / (a.inference_secs - startup);
-        assert!((ratio - 2.0).abs() < 0.01, "marginal cost per packet: {ratio}");
+        assert!(
+            (ratio - 2.0).abs() < 0.01,
+            "marginal cost per packet: {ratio}"
+        );
         assert_eq!(a.packets, 2 * 100 * 10);
     }
 

@@ -8,13 +8,13 @@
 //! never extends past the next global event; the kernel executes global
 //! events on the main thread with exclusive access to the entire world.
 
+use crate::event::{Event, EventKey};
 use crate::event::{LpId, NodeId};
+use crate::graph::LinkGraph;
 use crate::lp::LpSlots;
 use crate::partition::Partition;
 use crate::time::Time;
 use crate::world::SimNode;
-use crate::graph::LinkGraph;
-use crate::event::{Event, EventKey};
 
 /// A global event body: runs on the main thread with exclusive world access.
 pub type GlobalFn<N> = Box<dyn FnOnce(&mut WorldAccess<'_, N>) + Send>;

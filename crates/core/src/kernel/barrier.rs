@@ -17,13 +17,12 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
 
-use crossbeam::queue::SegQueue;
-
 use crate::event::{Event, EventKey, LpId, NodeId};
 use crate::fel::Fel;
 use crate::global::GlobalFn;
 use crate::lp::LpState;
 use crate::metrics::{LpTotals, MetricsLevel, Psm, RoundRecord, RunReport};
+use crate::queue::MpscQueue;
 use crate::sync::SpinBarrier;
 use crate::time::Time;
 use crate::world::{NodeDirectory, SimCtx, SimNode, World};
@@ -52,7 +51,7 @@ pub(crate) struct PinnedCtx<'a, N: SimNode> {
     pub insert_seq: &'a mut u64,
     pub dir: &'a NodeDirectory,
     /// One shared inbox per LP; arrival order is real-time interleaved.
-    pub inboxes: &'a [SegQueue<Event<N::Payload>>],
+    pub inboxes: &'a [MpscQueue<Event<N::Payload>>],
     pub stop_flag: &'a AtomicBool,
     pub kernel_name: &'static str,
 }
@@ -128,12 +127,9 @@ pub(super) fn run<N: SimNode>(
     let bound = stop_at.unwrap_or(Time::MAX);
     let per_round = cfg.metrics == MetricsLevel::PerRound;
 
-    let inboxes: Vec<SegQueue<Event<N::Payload>>> =
-        (0..lp_count).map(|_| SegQueue::new()).collect();
-    let next_ts: Vec<AtomicU64> = lps
-        .iter()
-        .map(|lp| AtomicU64::new(lp.next_ts.0))
-        .collect();
+    let inboxes: Vec<MpscQueue<Event<N::Payload>>> =
+        (0..lp_count).map(|_| MpscQueue::new()).collect();
+    let next_ts: Vec<AtomicU64> = lps.iter().map(|lp| AtomicU64::new(lp.next_ts.0)).collect();
     let barrier = SpinBarrier::new(lp_count);
     let stop_flag = AtomicBool::new(false);
 
@@ -204,12 +200,12 @@ pub(super) fn run<N: SimNode>(
                     // Receive: drain the shared inbox in arrival order.
                     let t0 = Instant::now();
                     let mut recv: u32 = 0;
-                    while let Some(mut ev) = inboxes[idx].pop() {
+                    inboxes[idx].drain(|mut ev| {
                         ev.key.seq = insert_seq;
                         insert_seq += 1;
                         lp.fel.push(ev);
                         recv += 1;
-                    }
+                    });
                     next_ts[idx].store(lp.fel.next_ts().0, Ordering::Release);
                     psm.m_ns += t0.elapsed().as_nanos() as u64;
 

@@ -22,8 +22,6 @@ pub mod nullmsg;
 pub mod sequential;
 pub mod unison;
 
-use std::sync::atomic::{AtomicBool, Ordering};
-
 use crate::event::{Event, EventKey, LpId, NodeId};
 use crate::fel::Fel;
 use crate::global::GlobalFn;
@@ -31,10 +29,12 @@ use crate::lp::{LpState, PendingGlobal};
 use crate::mailbox::Mailboxes;
 use crate::metrics::{MetricsLevel, RunReport};
 use crate::partition::{
-    fine_grained_partition, manual_partition, partition_below_bound, single_lp_partition,
-    Partition,
+    fine_grained_partition, manual_partition, partition_below_bound, single_lp_partition, Partition,
 };
 use crate::sched::SchedConfig;
+// Shimmed so `RoundCtx` (shared with the Unison kernel) type-checks when the
+// whole crate is compiled under `--cfg loom` for model checking.
+use crate::sync_shim::{AtomicBool, Ordering};
 use crate::time::Time;
 use crate::world::{NodeDirectory, SimCtx, SimNode, World};
 
@@ -198,9 +198,7 @@ pub fn run<N: SimNode>(
     cfg: &RunConfig,
 ) -> Result<(World<N>, RunReport), KernelError> {
     match &cfg.kernel {
-        KernelKind::Sequential { compat_keys } => {
-            sequential::run(world, cfg, *compat_keys)
-        }
+        KernelKind::Sequential { compat_keys } => sequential::run(world, cfg, *compat_keys),
         KernelKind::Barrier => barrier::run(world, cfg),
         KernelKind::NullMessage => nullmsg::run(world, cfg),
         KernelKind::Unison { threads } => unison::run(world, cfg, *threads),

@@ -20,14 +20,13 @@
 //! supported.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
 use std::time::Instant;
-
-use crossbeam::queue::SegQueue;
-use parking_lot::{Condvar, Mutex};
 
 use crate::event::Event;
 use crate::lp::LpState;
 use crate::metrics::{LpTotals, Psm, RunReport};
+use crate::queue::MpscQueue;
 use crate::time::Time;
 use crate::world::{SimNode, World};
 
@@ -50,7 +49,7 @@ impl Waker {
 
     /// Signals the owner that some input changed.
     fn bump(&self) {
-        let mut v = self.version.lock();
+        let mut v = self.version.lock().expect("waker lock poisoned");
         *v += 1;
         self.cond.notify_all();
     }
@@ -107,8 +106,8 @@ pub(super) fn run<N: SimNode>(
     let wakers: Vec<Waker> = (0..lp_count).map(|_| Waker::new()).collect();
     let stop_flag = AtomicBool::new(false);
     // Per-destination inboxes (arrival order is real-time interleaved).
-    let inboxes: Vec<SegQueue<Event<N::Payload>>> =
-        (0..lp_count).map(|_| SegQueue::new()).collect();
+    let inboxes: Vec<MpscQueue<Event<N::Payload>>> =
+        (0..lp_count).map(|_| MpscQueue::new()).collect();
 
     let started = Instant::now();
     let mut results: Vec<(LpState<N>, Psm, Time, u64)> = Vec::with_capacity(lp_count);
@@ -134,11 +133,11 @@ pub(super) fn run<N: SimNode>(
                     iterations += 1;
                     // Receive every delivered event (messaging time).
                     let t0 = Instant::now();
-                    while let Some(mut ev) = inboxes[idx].pop() {
+                    inboxes[idx].drain(|mut ev| {
                         ev.key.seq = insert_seq;
                         insert_seq += 1;
                         lp.fel.push(ev);
-                    }
+                    });
                     psm.m_ns += t0.elapsed().as_nanos() as u64;
 
                     // Safety bound: min over input channel clocks.
@@ -219,7 +218,7 @@ pub(super) fn run<N: SimNode>(
                         // writer bumps under the same lock, so wake-ups are
                         // never lost.
                         let t0 = Instant::now();
-                        let mut guard = wakers[idx].version.lock();
+                        let guard = wakers[idx].version.lock().expect("waker lock poisoned");
                         let mut cur = Time::MAX;
                         for &c in in_chans {
                             cur = cur.min(Time(chan_clock[c].load(Ordering::Acquire)));
@@ -228,9 +227,8 @@ pub(super) fn run<N: SimNode>(
                             && inboxes[idx].is_empty()
                             && !stop_flag.load(Ordering::Acquire)
                         {
-                            wakers[idx].cond.wait(&mut guard);
+                            let _guard = wakers[idx].cond.wait(guard).expect("waker lock poisoned");
                         }
-                        drop(guard);
                         psm.s_ns += t0.elapsed().as_nanos() as u64;
                     }
                 }

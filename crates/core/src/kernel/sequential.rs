@@ -115,6 +115,9 @@ pub(super) fn run<N: SimNode>(
         }
     }
     let slots = LpSlots::new(lps, dir.clone());
+    // Single-threaded kernel: the whole run is one claim-audit phase with
+    // one owner, so one generation bump up front suffices.
+    slots.begin_phase();
 
     // Public LP: global events, including the kernel-inserted stop event.
     let mut public: Fel<GlobalFn<N>> = Fel::new();

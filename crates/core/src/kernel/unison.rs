@@ -26,10 +26,7 @@
 //! happens within a host and only the window all-reduce is global.
 
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Instant;
-
-use crossbeam::utils::CachePadded;
 
 use crate::event::{Event, EventKey, LpId, NodeId};
 use crate::fel::Fel;
@@ -39,6 +36,7 @@ use crate::mailbox::Mailboxes;
 use crate::metrics::{LpTotals, MetricsLevel, Psm, RoundRecord, RunReport};
 use crate::sched::{order_by_estimate, SchedMetric};
 use crate::sync::SpinBarrier;
+use crate::sync_shim::{AtomicBool, AtomicUsize, CachePadded, Ordering};
 use crate::time::Time;
 use crate::world::{SimNode, World};
 
@@ -181,10 +179,12 @@ pub(super) fn run_grouped<N: SimNode>(
     }));
 
     let barrier = SpinBarrier::new(threads);
-    let cursor_proc: Vec<CachePadded<AtomicUsize>> =
-        (0..groups).map(|_| CachePadded::new(AtomicUsize::new(0))).collect();
-    let cursor_recv: Vec<CachePadded<AtomicUsize>> =
-        (0..groups).map(|_| CachePadded::new(AtomicUsize::new(0))).collect();
+    let cursor_proc: Vec<CachePadded<AtomicUsize>> = (0..groups)
+        .map(|_| CachePadded::new(AtomicUsize::new(0)))
+        .collect();
+    let cursor_recv: Vec<CachePadded<AtomicUsize>> = (0..groups)
+        .map(|_| CachePadded::new(AtomicUsize::new(0)))
+        .collect();
     let stop_flag = AtomicBool::new(false);
     let sched_period = cfg.sched.effective_period(lp_count);
 
@@ -218,7 +218,7 @@ pub(super) fn run_grouped<N: SimNode>(
                 let mut psm = Psm::default();
                 loop {
                     wait_timed(barrier, &mut psm.s_ns); // B0: plan published
-                    // SAFETY: read-only access during parallel phases.
+                                                        // SAFETY: read-only access during parallel phases.
                     let p = unsafe { &*plan.0.get() };
                     if p.done {
                         break;
@@ -237,10 +237,13 @@ pub(super) fn run_grouped<N: SimNode>(
             }));
         }
 
-        // Main thread control loop.
+        // Main thread control loop. Claim-audit generations are bumped by
+        // the main thread inside its exclusive windows, always *before* the
+        // barrier that releases workers into the phase the bump covers.
+        slots.begin_phase(); // covers phase 1 of round 1
         loop {
             wait_timed(&barrier, &mut main_psm.s_ns); // B0
-            // SAFETY: parallel-phase read.
+                                                      // SAFETY: parallel-phase read.
             let p = unsafe { &*plan.0.get() };
             if p.done {
                 break;
@@ -260,6 +263,7 @@ pub(super) fn run_grouped<N: SimNode>(
             wait_timed(&barrier, &mut main_psm.s_ns); // B1
 
             // ---- Phase 2: global events (main thread only) ----
+            slots.begin_phase(); // covers phase 2 (workers idle until B2)
             let t0 = Instant::now();
             let mut topology_dirty = false;
             let mut stopped = stop_flag.load(Ordering::Acquire);
@@ -348,6 +352,7 @@ pub(super) fn run_grouped<N: SimNode>(
                 partition.recompute_lookahead(&graph);
             }
             main_psm.p_ns += t0.elapsed().as_nanos() as u64;
+            slots.begin_phase(); // covers phase 3 (released by B2)
             wait_timed(&barrier, &mut main_psm.s_ns); // B2
 
             // ---- Phase 3: receive (parallel) ----
@@ -362,6 +367,7 @@ pub(super) fn run_grouped<N: SimNode>(
             wait_timed(&barrier, &mut main_psm.s_ns); // B3
 
             // ---- Phase 4: update window + schedule (main thread only) ----
+            slots.begin_phase(); // covers phase 4 (workers idle until B0)
             let t0 = Instant::now();
             rounds += 1;
             let mut min_next = Time::MAX;
@@ -394,7 +400,9 @@ pub(super) fn run_grouped<N: SimNode>(
             }
 
             // Load-adaptive scheduling: re-sort the LP order every period.
-            if !done && cfg.sched.metric != SchedMetric::None && rounds.is_multiple_of(sched_period as u64)
+            if !done
+                && cfg.sched.metric != SchedMetric::None
+                && rounds.is_multiple_of(sched_period as u64)
             {
                 let mut estimates = vec![0u64; lp_count];
                 match cfg.sched.metric {
@@ -440,6 +448,7 @@ pub(super) fn run_grouped<N: SimNode>(
             for c in cursor_proc.iter() {
                 c.store(0, Ordering::Relaxed);
             }
+            slots.begin_phase(); // covers the next round's phase 1
             main_psm.m_ns += t0.elapsed().as_nanos() as u64;
         }
 

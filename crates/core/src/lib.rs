@@ -57,6 +57,8 @@
 //! );
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod event;
 pub mod fel;
 pub mod global;
@@ -67,9 +69,11 @@ pub mod mailbox;
 pub mod metrics;
 pub mod partition;
 pub mod perfmodel;
+pub mod queue;
 pub mod rng;
 pub mod sched;
 pub mod sync;
+pub mod sync_shim;
 pub mod time;
 pub mod world;
 
@@ -79,9 +83,7 @@ pub use global::{GlobalFn, WorldAccess};
 pub use graph::{LinkGraph, LinkSpec};
 pub use kernel::{run, KernelError, KernelKind, PartitionMode, RunConfig};
 pub use metrics::{LpTotals, MetricsLevel, Psm, RoundRecord, RunReport};
-pub use partition::{
-    fine_grained_partition, manual_partition, partition_below_bound, Partition,
-};
+pub use partition::{fine_grained_partition, manual_partition, partition_below_bound, Partition};
 pub use perfmodel::{CostParams, ModelResult, PerfModel};
 pub use rng::Rng;
 pub use sched::{SchedConfig, SchedMetric};

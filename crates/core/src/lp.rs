@@ -9,7 +9,7 @@
 
 use std::cell::UnsafeCell;
 
-use crossbeam::utils::CachePadded;
+use crate::sync_shim::CachePadded;
 
 use crate::event::{Event, LpId};
 use crate::fel::Fel;
@@ -104,9 +104,50 @@ impl<N: SimNode> LpState<N> {
 /// happens-before — only the main thread touches slots. All mutable access
 /// funnels through [`LpSlots::get_mut`], whose safety contract states this
 /// invariant.
+///
+/// # Claim auditing (`claim-audit` feature, on by default)
+///
+/// Each slot carries an owner tag `(generation << 8) | owner_id` in a
+/// parallel atomic array. `get_mut` stamps the tag with the calling thread's
+/// owner id and the current phase generation and panics deterministically if
+/// a *different* thread already claimed the slot in the *same* generation —
+/// the double claim that would make the `unsafe` contract a lie. Kernels
+/// bump the generation with [`LpSlots::begin_phase`] at every phase
+/// boundary (from inside the main-exclusive window, so the bump itself
+/// cannot race with claims). The tags are diagnostic metadata, not part of
+/// the synchronization protocol: they use plain `std` atomics with
+/// `Relaxed` ordering and never establish happens-before edges, so enabling
+/// the audit cannot mask a real race, and simulation results are
+/// bit-identical with the feature on or off.
 pub struct LpSlots<N: SimNode> {
     slots: Vec<CachePadded<UnsafeCell<LpState<N>>>>,
     directory: NodeDirectory,
+    #[cfg(feature = "claim-audit")]
+    owners: Vec<std::sync::atomic::AtomicU32>,
+    #[cfg(feature = "claim-audit")]
+    phase: std::sync::atomic::AtomicU32,
+}
+
+/// Per-thread auditor identity: 0 is "free", claimants get 1..=255.
+/// Ids recycle modulo 255, so with >255 live threads two threads could
+/// share an id and a double claim between them would go unreported — an
+/// accepted diagnostic limitation (the kernels spawn at most one thread
+/// per core).
+#[cfg(feature = "claim-audit")]
+fn claim_owner_id() -> u32 {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    static NEXT: AtomicU32 = AtomicU32::new(0);
+    thread_local! {
+        static OWNER: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+    }
+    OWNER.with(|o| {
+        let mut id = o.get();
+        if id == 0 {
+            id = NEXT.fetch_add(1, Ordering::Relaxed) % 255 + 1;
+            o.set(id);
+        }
+        id
+    })
 }
 
 // SAFETY: `LpSlots` hands out `&mut LpState` only through `get_mut`, whose
@@ -118,12 +159,53 @@ unsafe impl<N: SimNode> Sync for LpSlots<N> {}
 impl<N: SimNode> LpSlots<N> {
     /// Wraps LP states into a shared slot table.
     pub fn new(lps: Vec<LpState<N>>, directory: NodeDirectory) -> Self {
+        #[cfg(feature = "claim-audit")]
+        let owners = (0..lps.len())
+            .map(|_| std::sync::atomic::AtomicU32::new(0))
+            .collect();
         LpSlots {
             slots: lps
                 .into_iter()
                 .map(|lp| CachePadded::new(UnsafeCell::new(lp)))
                 .collect(),
             directory,
+            #[cfg(feature = "claim-audit")]
+            owners,
+            #[cfg(feature = "claim-audit")]
+            phase: std::sync::atomic::AtomicU32::new(0),
+        }
+    }
+
+    /// Advances the claim-audit phase generation. Call from a context that
+    /// is exclusive with respect to all claimants (the main thread between
+    /// barriers); claims stamped with an older generation are thereby
+    /// released. No-op with the `claim-audit` feature disabled.
+    #[inline]
+    pub fn begin_phase(&self) {
+        #[cfg(feature = "claim-audit")]
+        self.phase
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Stamps the claim tag for `idx` and panics on a double claim.
+    #[cfg(feature = "claim-audit")]
+    fn audit_claim(&self, idx: usize) {
+        use std::sync::atomic::Ordering;
+        // 24 bits of generation: wraps after ~16.7M phase boundaries, at
+        // which point a slot untouched for exactly 2^24 generations could
+        // alias — an accepted diagnostic limitation.
+        let generation = self.phase.load(Ordering::Relaxed) & 0x00FF_FFFF;
+        let me = claim_owner_id();
+        let prev = self.owners[idx].swap((generation << 8) | me, Ordering::Relaxed);
+        let (prev_gen, prev_owner) = (prev >> 8, prev & 0xFF);
+        if prev_owner != 0 && prev_owner != me && prev_gen == generation {
+            panic!(
+                "claim-audit: double claim of LP slot {idx} in phase \
+                 generation {generation}: owner {prev_owner} already holds \
+                 the claim and owner {me} claimed it again (two threads \
+                 raced on one slot, or a phase boundary is missing a \
+                 begin_phase call)"
+            );
         }
     }
 
@@ -156,7 +238,11 @@ impl<N: SimNode> LpSlots<N> {
     #[inline]
     #[allow(clippy::mut_from_ref)]
     pub unsafe fn get_mut(&self, idx: usize) -> &mut LpState<N> {
-        &mut *self.slots[idx].get()
+        #[cfg(feature = "claim-audit")]
+        self.audit_claim(idx);
+        // SAFETY: forwarded to the caller — the function's contract requires
+        // an exclusive claim on `idx`, making this the only live reference.
+        unsafe { &mut *self.slots[idx].get() }
     }
 
     /// Consumes the table, returning the LP states (after all threads have

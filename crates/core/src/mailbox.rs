@@ -10,25 +10,24 @@
 //! (the thread executing the destination LP in the receive phase), with the
 //! phase barrier establishing the happens-before edge.
 
-use crossbeam::queue::SegQueue;
-
 use crate::event::Event;
+use crate::queue::MpscQueue;
 
 /// All mailboxes of a run, indexed by destination LP.
 pub struct Mailboxes<P> {
     /// `inboxes[dst]` = mailboxes feeding LP `dst`, sorted by source LP id.
-    inboxes: Vec<Vec<(u32, SegQueue<Event<P>>)>>,
+    inboxes: Vec<Vec<(u32, MpscQueue<Event<P>>)>>,
 }
 
 impl<P> Mailboxes<P> {
     /// Builds mailboxes from the undirected LP channel list (both directions
     /// are created for every channel).
     pub fn new(lp_count: usize, channels: &[(u32, u32)]) -> Self {
-        let mut inboxes: Vec<Vec<(u32, SegQueue<Event<P>>)>> =
+        let mut inboxes: Vec<Vec<(u32, MpscQueue<Event<P>>)>> =
             (0..lp_count).map(|_| Vec::new()).collect();
         for &(a, b) in channels {
-            inboxes[b as usize].push((a, SegQueue::new()));
-            inboxes[a as usize].push((b, SegQueue::new()));
+            inboxes[b as usize].push((a, MpscQueue::new()));
+            inboxes[a as usize].push((b, MpscQueue::new()));
         }
         for inbox in &mut inboxes {
             inbox.sort_unstable_by_key(|(src, _)| *src);
@@ -59,9 +58,7 @@ impl<P> Mailboxes<P> {
     /// `dst` during the receive phase.
     pub fn drain(&self, dst: u32, mut f: impl FnMut(Event<P>)) {
         for (_, q) in &self.inboxes[dst as usize] {
-            while let Some(ev) = q.pop() {
-                f(ev);
-            }
+            q.drain(&mut f);
         }
     }
 

@@ -45,7 +45,11 @@ impl Partition {
         for (_, l) in graph.live_links() {
             let (pa, pb) = (self.lp_of(l.a), self.lp_of(l.b));
             if pa != pb {
-                let key = if pa.0 < pb.0 { (pa.0, pb.0) } else { (pb.0, pa.0) };
+                let key = if pa.0 < pb.0 {
+                    (pa.0, pb.0)
+                } else {
+                    (pb.0, pa.0)
+                };
                 chans.push((key.0, key.1, l.delay));
             }
         }

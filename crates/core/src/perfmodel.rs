@@ -166,8 +166,7 @@ impl<'a> PerfModel<'a> {
             let mut round_max = 0.0f64;
             let mut busy: Vec<f64> = Vec::with_capacity(n);
             for i in 0..n {
-                let b = rec.lp_cost_ns[i] as f64
-                    + rec.lp_recv[i] as f64 * self.params.per_msg_ns;
+                let b = rec.lp_cost_ns[i] as f64 + rec.lp_recv[i] as f64 * self.params.per_msg_ns;
                 round_max = round_max.max(b);
                 busy.push(b);
             }
@@ -279,9 +278,7 @@ impl<'a> PerfModel<'a> {
                 sched_cost = self.params.sched_per_lp_ns * n as f64;
             }
             let actual: Vec<f64> = (0..n)
-                .map(|i| {
-                    rec.lp_cost_ns[i] as f64 + rec.lp_recv[i] as f64 * self.params.per_msg_ns
-                })
+                .map(|i| rec.lp_cost_ns[i] as f64 + rec.lp_recv[i] as f64 * self.params.per_msg_ns)
                 .collect();
             // Replay LPT: greedy longest-estimate-first onto least-loaded.
             let mut loads = vec![0.0f64; cores];
@@ -454,8 +451,8 @@ mod tests {
         let m = PerfModel::new(&p).with_params(zero_overhead());
         let r = m.barrier();
         assert_eq!(r.total_ns, 9.0); // 5 + 4
-        // LP0 waits 4 in round 1, 0 in round 2 => wait? round1 max 5, lp0
-        // busy 1 -> s 4; round2 max 4, lp0 busy 4 -> s 0.
+                                     // LP0 waits 4 in round 1, 0 in round 2 => wait? round1 max 5, lp0
+                                     // busy 1 -> s 4; round2 max 4, lp0 busy 4 -> s 0.
         assert_eq!(r.psm[0].s_ns, 4);
         assert_eq!(r.psm[1].s_ns, 2);
     }

@@ -1,0 +1,201 @@
+//! A lock-free multi-producer single-consumer queue.
+//!
+//! Replaces `crossbeam::queue::SegQueue` for the kernels' inboxes (the real
+//! crate is unavailable in offline builds) and is deliberately simpler: an
+//! atomic exchange ("Treiber") stack that producers push onto with a CAS
+//! loop, which the consumer detaches wholesale and reverses, restoring
+//! per-producer FIFO order.
+//!
+//! This matches how every kernel consumes its inboxes — a full drain between
+//! synchronization points — and has the memory-ordering contract the
+//! mailboxes document: `push` is a `Release` operation and the consumer's
+//! detach is an `Acquire` operation, so everything written before a `push`
+//! happens-before the closure invocation in [`MpscQueue::drain`] that
+//! receives the value. The `crates/core/tests/loom_models.rs` model
+//! `mailbox_handoff_happens_before` machine-checks that edge.
+//!
+//! Ordering across *different* producers is the physical CAS arrival order,
+//! exactly like `SegQueue`: callers that need determinism (the Unison
+//! mailboxes) keep one queue per (source, destination) pair; callers that
+//! are documented-nondeterministic (the barrier / null-message baselines)
+//! share one inbox per destination.
+
+use core::marker::PhantomData;
+use core::ptr;
+
+use crate::sync_shim::{AtomicUsize, Ordering};
+
+/// One linked node. Heap ownership transfers producer → queue → consumer.
+struct Node<T> {
+    value: T,
+    next: *mut Node<T>,
+}
+
+/// Lock-free MPSC queue (see module docs).
+pub struct MpscQueue<T> {
+    /// Top of the exchange stack as a `*mut Node<T>` address (0 = empty).
+    head: AtomicUsize,
+    _marker: PhantomData<Box<Node<T>>>,
+}
+
+// SAFETY: values of `T` are moved through the queue between threads, which
+// requires `T: Send`; the queue itself holds no thread-affine state and all
+// shared mutation goes through `head` with Release/Acquire ordering.
+unsafe impl<T: Send> Send for MpscQueue<T> {}
+// SAFETY: as above — concurrent `push` calls synchronize on the CAS, and the
+// consumer takes whole chains with an Acquire swap before touching nodes.
+unsafe impl<T: Send> Sync for MpscQueue<T> {}
+
+impl<T> Default for MpscQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> MpscQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        MpscQueue {
+            head: AtomicUsize::new(0),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Appends `value`. Callable from any thread; lock-free (a CAS loop that
+    /// only retries when another producer won the race).
+    pub fn push(&self, value: T) {
+        let node = Box::into_raw(Box::new(Node {
+            value,
+            next: ptr::null_mut(),
+        }));
+        let mut head = self.head.load(Ordering::Relaxed);
+        loop {
+            // SAFETY: `node` came from `Box::into_raw` above and has not
+            // been published yet, so this thread still owns it exclusively.
+            unsafe { (*node).next = head as *mut Node<T> };
+            // Release on success: publishes the node's contents (and
+            // everything sequenced before this `push`) to the consumer's
+            // Acquire detach.
+            match self.head.compare_exchange(
+                head,
+                node as usize,
+                Ordering::Release,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => head = actual,
+            }
+        }
+    }
+
+    /// Detaches everything pushed so far and invokes `f` on each value in
+    /// per-producer FIFO order.
+    ///
+    /// Single consumer: concurrent `drain` calls would each take a disjoint
+    /// chain (still safe), but the kernels' discipline is one consumer per
+    /// queue between synchronization points.
+    pub fn drain(&self, mut f: impl FnMut(T)) {
+        // Acquire: pairs with the Release CAS in `push`.
+        let mut cur = self.head.swap(0, Ordering::Acquire) as *mut Node<T>;
+        // The stack holds newest-first; reverse in place to recover FIFO.
+        let mut prev: *mut Node<T> = ptr::null_mut();
+        while !cur.is_null() {
+            // SAFETY: the swap above transferred exclusive ownership of the
+            // whole chain to this thread; `cur` walks only that chain.
+            let next = unsafe { (*cur).next };
+            // SAFETY: as above — exclusive ownership of `cur`.
+            unsafe { (*cur).next = prev };
+            prev = cur;
+            cur = next;
+        }
+        let mut cur = prev;
+        while !cur.is_null() {
+            // SAFETY: each node was allocated by `Box::new` in `push` and is
+            // visited exactly once, so re-boxing reclaims it exactly once.
+            let node = unsafe { Box::from_raw(cur) };
+            cur = node.next;
+            f(node.value);
+        }
+    }
+
+    /// Whether the queue was empty at the time of the check. Racy by nature
+    /// (a producer can push immediately after); callers use it only as a
+    /// wake-up hint under an external lock.
+    pub fn is_empty(&self) -> bool {
+        // Acquire so a true "non-empty" answer also makes the observed
+        // node's payload visible if the caller goes on to drain.
+        self.head.load(Ordering::Acquire) == 0
+    }
+}
+
+impl<T> Drop for MpscQueue<T> {
+    fn drop(&mut self) {
+        self.drain(drop);
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn drain_preserves_fifo_per_producer() {
+        let q: MpscQueue<u32> = MpscQueue::new();
+        assert!(q.is_empty());
+        for i in 0..100 {
+            q.push(i);
+        }
+        assert!(!q.is_empty());
+        let mut got = Vec::new();
+        q.drain(|v| got.push(v));
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drain_on_empty_is_noop() {
+        let q: MpscQueue<String> = MpscQueue::new();
+        let mut n = 0;
+        q.drain(|_| n += 1);
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn drop_reclaims_pending_nodes() {
+        // Detected by sanitizers / Miri if nodes leaked or double-freed.
+        let q: MpscQueue<Vec<u8>> = MpscQueue::new();
+        for i in 0..10 {
+            q.push(vec![i; 100]);
+        }
+        drop(q);
+    }
+
+    #[test]
+    fn concurrent_producers_lose_nothing() {
+        const PRODUCERS: u64 = 4;
+        const PER: u64 = 1_000;
+        let q = Arc::new(MpscQueue::<u64>::new());
+        let handles: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..PER {
+                        q.push(p * PER + i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut got = Vec::new();
+        q.drain(|v| got.push(v));
+        assert_eq!(got.len(), (PRODUCERS * PER) as usize);
+        // Per-producer FIFO: each producer's values appear in order.
+        for p in 0..PRODUCERS {
+            let seq: Vec<u64> = got.iter().copied().filter(|v| v / PER == p).collect();
+            assert_eq!(seq, (p * PER..(p + 1) * PER).collect::<Vec<_>>());
+        }
+    }
+}

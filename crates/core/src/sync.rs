@@ -5,24 +5,72 @@
 //! spins briefly and then yields, which behaves well both on dedicated cores
 //! (short waits stay in user space) and on oversubscribed machines (yielding
 //! lets the other workers run).
+//!
+//! All atomics go through [`crate::sync_shim`], so under
+//! `RUSTFLAGS="--cfg loom"` the barrier runs on the in-repo loom model
+//! checker's instrumented types; `crates/core/tests/loom_models.rs`
+//! exhaustively verifies generation reuse, leader uniqueness and the
+//! happens-before edge the barrier promises.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use crate::sync_shim::{spin_loop, yield_now, AtomicBool, AtomicUsize, Ordering};
+
+/// How many failed spins of [`SpinBarrier::wait`] stay in user space
+/// (`spin_loop` hints) before each subsequent retry yields the CPU with
+/// `std::thread::yield_now`.
+///
+/// The default favours dedicated cores: phase hand-offs in the Unison
+/// kernel are typically shorter than a scheduler quantum, so a short
+/// user-space spin wins. On heavily oversubscribed machines construct the
+/// barrier with [`SpinBarrier::with_spin_limit`] and a lower value (0 =
+/// always yield).
+pub const SPIN_YIELD_THRESHOLD: u32 = 64;
 
 /// A reusable sense-reversing barrier over atomics.
+///
+/// # Memory ordering
+///
+/// `wait` is a full synchronization point: every write sequenced before a
+/// participant's `wait` happens-before every read sequenced after *any*
+/// participant's matching `wait` returns. The edge is established by the
+/// arrival `fetch_add(AcqRel)` chain into the leader plus the leader's
+/// `Release` sense flip, which each waiter observes with an `Acquire` load.
+///
+/// ## Why the `Relaxed` count reset is sound
+///
+/// The leader resets `count` with `store(0, Relaxed)` *before* flipping the
+/// sense with `Release`. A waiter of the **same** generation never touches
+/// `count` again, so only a *re-arriving* participant of the next
+/// generation could observe the reset out of order — but to re-arrive it
+/// must first have observed the flipped sense with `Acquire`, and the reset
+/// is sequenced before the `Release` flip on the leader. The
+/// Acquire/Release pair therefore orders `reset → flip → observe flip →
+/// next fetch_add`, making a stale (pre-reset) `count` unobservable.
+/// `Relaxed` is sufficient; the loom model `barrier_generation_reuse`
+/// machine-checks this argument (a `debug_assert` in `wait` would trip if a
+/// stale count ever doubled-up arrivals).
 pub struct SpinBarrier {
     threads: usize,
     count: AtomicUsize,
     sense: AtomicBool,
+    spin_limit: u32,
 }
 
 impl SpinBarrier {
-    /// Creates a barrier for `threads` participants.
+    /// Creates a barrier for `threads` participants with the default
+    /// [`SPIN_YIELD_THRESHOLD`].
     pub fn new(threads: usize) -> Self {
+        Self::with_spin_limit(threads, SPIN_YIELD_THRESHOLD)
+    }
+
+    /// Creates a barrier that starts yielding after `spin_limit` failed
+    /// spins (0 = yield immediately on every failed check).
+    pub fn with_spin_limit(threads: usize, spin_limit: u32) -> Self {
         assert!(threads > 0);
         SpinBarrier {
             threads,
             count: AtomicUsize::new(0),
             sense: AtomicBool::new(false),
+            spin_limit,
         }
     }
 
@@ -31,7 +79,16 @@ impl SpinBarrier {
     pub fn wait(&self) -> bool {
         let local_sense = !self.sense.load(Ordering::Relaxed);
         let arrived = self.count.fetch_add(1, Ordering::AcqRel) + 1;
+        // A stale (unreset) count from a previous generation would surface
+        // here; see the ordering proof on the type.
+        debug_assert!(
+            arrived <= self.threads,
+            "more arrivals than participants: stale barrier count"
+        );
         if arrived == self.threads {
+            // Relaxed is enough: ordered before the Release flip below, and
+            // next-generation arrivals are ordered after their Acquire
+            // observation of that flip (see type-level docs).
             self.count.store(0, Ordering::Relaxed);
             // Release: publishes everything written before the barrier to
             // threads that observe the flipped sense.
@@ -40,11 +97,11 @@ impl SpinBarrier {
         } else {
             let mut spins = 0u32;
             while self.sense.load(Ordering::Acquire) != local_sense {
-                spins += 1;
-                if spins < 64 {
-                    std::hint::spin_loop();
+                if spins < self.spin_limit {
+                    spins += 1;
+                    spin_loop();
                 } else {
-                    std::thread::yield_now();
+                    yield_now();
                 }
             }
             false
@@ -52,7 +109,7 @@ impl SpinBarrier {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
@@ -77,11 +134,11 @@ mod tests {
                 let counter = Arc::clone(&counter);
                 std::thread::spawn(move || {
                     for round in 0..ROUNDS {
-                        counter.fetch_add(1, Ordering::Relaxed);
+                        counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         barrier.wait();
                         // Every thread must observe all increments of this
                         // round before anyone proceeds.
-                        let seen = counter.load(Ordering::Relaxed);
+                        let seen = counter.load(std::sync::atomic::Ordering::Relaxed);
                         assert!(seen >= ((round + 1) * THREADS) as u64);
                         barrier.wait();
                     }
@@ -91,7 +148,10 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(counter.load(Ordering::Relaxed), (THREADS * ROUNDS) as u64);
+        assert_eq!(
+            counter.load(std::sync::atomic::Ordering::Relaxed),
+            (THREADS * ROUNDS) as u64
+        );
     }
 
     #[test]
@@ -106,7 +166,7 @@ mod tests {
                 std::thread::spawn(move || {
                     for _ in 0..100 {
                         if barrier.wait() {
-                            leaders.fetch_add(1, Ordering::Relaxed);
+                            leaders.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         }
                     }
                 })
@@ -115,6 +175,28 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(leaders.load(Ordering::Relaxed), 100);
+        assert_eq!(leaders.load(std::sync::atomic::Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn zero_spin_limit_always_yields_and_still_works() {
+        const THREADS: usize = 2;
+        let barrier = Arc::new(SpinBarrier::with_spin_limit(THREADS, 0));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let mut leads = 0u32;
+                    for _ in 0..50 {
+                        if barrier.wait() {
+                            leads += 1;
+                        }
+                    }
+                    leads
+                })
+            })
+            .collect();
+        let total: u32 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 50);
     }
 }

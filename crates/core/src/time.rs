@@ -164,9 +164,19 @@ impl fmt::Display for Time {
             return write!(f, "+inf");
         }
         if self.0 >= 1_000_000_000 && self.0.is_multiple_of(1_000_000) {
-            write!(f, "{}.{:03}s", self.0 / 1_000_000_000, (self.0 / 1_000_000) % 1_000)
+            write!(
+                f,
+                "{}.{:03}s",
+                self.0 / 1_000_000_000,
+                (self.0 / 1_000_000) % 1_000
+            )
         } else if self.0 >= 1_000_000 && self.0.is_multiple_of(1_000) {
-            write!(f, "{}.{:03}ms", self.0 / 1_000_000, (self.0 / 1_000) % 1_000)
+            write!(
+                f,
+                "{}.{:03}ms",
+                self.0 / 1_000_000,
+                (self.0 / 1_000) % 1_000
+            )
         } else if self.0 >= 1_000 {
             write!(f, "{}.{:03}us", self.0 / 1_000, self.0 % 1_000)
         } else {

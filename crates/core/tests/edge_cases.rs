@@ -1,8 +1,8 @@
 //! Edge cases and failure-injection for the kernels and configuration.
 
 use unison_core::{
-    kernel, KernelError, KernelKind, MetricsLevel, NodeId, PartitionMode, RunConfig,
-    SchedConfig, SimCtx, SimCtxExt, SimNode, Time, WorldBuilder,
+    kernel, KernelError, KernelKind, MetricsLevel, NodeId, PartitionMode, RunConfig, SchedConfig,
+    SimCtx, SimCtxExt, SimNode, Time, WorldBuilder,
 };
 
 struct Counter {
@@ -130,7 +130,10 @@ fn manual_partition_wrong_length_is_rejected() {
 
 #[test]
 fn kernel_names_are_stable() {
-    assert_eq!(KernelKind::Sequential { compat_keys: false }.name(), "sequential");
+    assert_eq!(
+        KernelKind::Sequential { compat_keys: false }.name(),
+        "sequential"
+    );
     assert_eq!(
         KernelKind::Sequential { compat_keys: true }.name(),
         "sequential(compat)"

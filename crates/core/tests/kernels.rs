@@ -49,12 +49,7 @@ impl SimNode for Router {
 
 /// Builds a ring of `n` routers with uniform link delay, seeds `tokens`
 /// tokens, and stops at `stop`.
-fn ring_world(
-    n: usize,
-    delay: Time,
-    tokens: u64,
-    stop: Time,
-) -> unison_core::World<Router> {
+fn ring_world(n: usize, delay: Time, tokens: u64, stop: Time) -> unison_core::World<Router> {
     let mut b = WorldBuilder::new();
     let ids: Vec<NodeId> = (0..n).map(|i| NodeId(i as u32)).collect();
     for i in 0..n {
@@ -133,8 +128,8 @@ fn unison_matches_compat_sequential_bitwise() {
 #[test]
 fn unison_repeated_runs_identical() {
     let run = || {
-        let (w, r) = kernel::run(ring_world(N, DELAY, TOKENS, STOP), &RunConfig::unison(3))
-            .unwrap();
+        let (w, r) =
+            kernel::run(ring_world(N, DELAY, TOKENS, STOP), &RunConfig::unison(3)).unwrap();
         (checksums(&w), r.events)
     };
     assert_eq!(run(), run());
@@ -145,13 +140,9 @@ fn all_kernels_agree_on_event_totals() {
     // Token events are order-independent as a set, so totals must match
     // even for the nondeterministic baselines.
     let manual: Vec<u32> = (0..N as u32).map(|i| i / 3).collect(); // 4 LPs
-    let (_, seq) = kernel::run(
-        ring_world(N, DELAY, TOKENS, STOP),
-        &RunConfig::sequential(),
-    )
-    .unwrap();
-    let (_, uni) =
-        kernel::run(ring_world(N, DELAY, TOKENS, STOP), &RunConfig::unison(2)).unwrap();
+    let (_, seq) =
+        kernel::run(ring_world(N, DELAY, TOKENS, STOP), &RunConfig::sequential()).unwrap();
+    let (_, uni) = kernel::run(ring_world(N, DELAY, TOKENS, STOP), &RunConfig::unison(2)).unwrap();
     let (_, bar) = kernel::run(
         ring_world(N, DELAY, TOKENS, STOP),
         &RunConfig::barrier(manual.clone()),
@@ -179,7 +170,10 @@ fn all_kernels_agree_on_event_totals() {
     assert_eq!(seq.events, bar.events);
     assert_eq!(seq.events, nm.events);
     assert_eq!(seq.events, hy.events);
-    assert!(seq.events > TOKENS * 100, "workload too small to be meaningful");
+    assert!(
+        seq.events > TOKENS * 100,
+        "workload too small to be meaningful"
+    );
 }
 
 #[test]

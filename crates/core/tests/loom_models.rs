@@ -1,0 +1,239 @@
+//! Model-checked verification of unison-core's lock-free building blocks.
+//!
+//! Run with:
+//!
+//! ```sh
+//! RUSTFLAGS="--cfg loom" cargo test -p unison-core --test loom_models
+//! ```
+//!
+//! Under `--cfg loom`, [`unison_core::sync_shim`] swaps the std atomics and
+//! spin hints used by `SpinBarrier` and `MpscQueue` for the in-repo loom
+//! model checker's instrumented types, and each test below explores every
+//! thread interleaving (up to the CHESS-style preemption bound, see the
+//! `loom` crate docs). Without the cfg this file compiles to an empty test
+//! harness.
+//!
+//! The models cover the four load-bearing claims of the kernel's
+//! concurrency-safety contract (see DESIGN.md):
+//!
+//! 1. the sense-reversing barrier is reusable across generations and its
+//!    `Relaxed` count reset cannot double-count arrivals;
+//! 2. exactly one participant per generation is told it is the leader;
+//! 3. an atomic work cursor hands each slot index to exactly one claimant,
+//!    so per-slot mutable access is exclusive even with `Relaxed` claims;
+//! 4. the mailbox queue's Release-push / Acquire-drain pair carries a
+//!    happens-before edge from producer writes to consumer reads.
+//!
+//! A fifth, deliberately broken model double-checks the checker: weakening
+//! a publish to `Relaxed` must be reported as a data race.
+
+#![cfg(loom)]
+
+use loom::cell::UnsafeCell;
+use loom::sync::Arc;
+use loom::thread;
+
+use unison_core::queue::MpscQueue;
+use unison_core::sync::SpinBarrier;
+use unison_core::sync_shim::{AtomicBool, AtomicUsize, Ordering};
+
+/// Claim 1: generation reuse. Two threads cross the same barrier twice with
+/// plain (non-atomic) data handed back and forth: generation 1 must order
+/// the child's write before the parent's read, generation 2 must order the
+/// parent's read before the child's second write. A stale count from the
+/// `Relaxed` reset would trip the `debug_assert` inside `wait` (active in
+/// test builds) or surface as a deadlock.
+#[test]
+fn barrier_generation_reuse() {
+    loom::model(|| {
+        let bar = Arc::new(SpinBarrier::new(2));
+        let cell = Arc::new(UnsafeCell::new(0u64));
+
+        let t = {
+            let bar = Arc::clone(&bar);
+            let cell = Arc::clone(&cell);
+            thread::spawn(move || {
+                cell.with_mut(|p| {
+                    // SAFETY: the parent only reads this cell after its
+                    // generation-1 `wait` returns, which happens-after this
+                    // write; loom verifies exactly that.
+                    unsafe { *p = 1 }
+                });
+                bar.wait(); // generation 1
+                bar.wait(); // generation 2
+                cell.with_mut(|p| {
+                    // SAFETY: ordered after the parent's read by the
+                    // generation-2 barrier crossing.
+                    unsafe { *p += 10 }
+                });
+            })
+        };
+
+        bar.wait(); // generation 1
+        let v = cell.with(|p| {
+            // SAFETY: ordered after the child's first write by the
+            // generation-1 barrier crossing.
+            unsafe { *p }
+        });
+        assert_eq!(v, 1, "barrier generation 1 did not publish the write");
+        bar.wait(); // generation 2
+        t.join().unwrap();
+        let v = cell.with(|p| {
+            // SAFETY: ordered after the child's second write by the join.
+            unsafe { *p }
+        });
+        assert_eq!(v, 11, "barrier generation 2 lost an update");
+    });
+}
+
+/// Claim 2: exactly one `wait` call per generation returns `true`, across
+/// three concurrent participants.
+#[test]
+fn barrier_leader_uniqueness() {
+    loom::model(|| {
+        let bar = Arc::new(SpinBarrier::new(3));
+        let leaders = Arc::new(AtomicUsize::new(0));
+
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let bar = Arc::clone(&bar);
+                let leaders = Arc::clone(&leaders);
+                thread::spawn(move || {
+                    if bar.wait() {
+                        leaders.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        if bar.wait() {
+            leaders.fetch_add(1, Ordering::Relaxed);
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            leaders.load(Ordering::Relaxed),
+            1,
+            "a barrier generation must elect exactly one leader"
+        );
+    });
+}
+
+/// Claim 3: the kernels' work-claiming pattern. Workers `fetch_add` a shared
+/// cursor with `Relaxed` ordering and mutate the slot at the returned index.
+/// Exclusivity comes purely from the RMW's read-modify-write atomicity —
+/// two claimants can never observe the same index — so the per-slot accesses
+/// are race-free even though the claim itself synchronizes nothing.
+#[test]
+fn work_cursor_claim_exclusivity() {
+    loom::model(|| {
+        const SLOTS: usize = 3;
+        let cursor = Arc::new(AtomicUsize::new(0));
+        let slots: Arc<Vec<UnsafeCell<u64>>> =
+            Arc::new((0..SLOTS).map(|_| UnsafeCell::new(0)).collect());
+
+        let work = |cursor: Arc<AtomicUsize>, slots: Arc<Vec<UnsafeCell<u64>>>| loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= SLOTS {
+                break;
+            }
+            slots[i].with_mut(|p| {
+                // SAFETY: the fetch_add handed index `i` to this claimant
+                // exclusively; no other thread touches slot `i` this phase.
+                unsafe { *p += 1 }
+            });
+        };
+
+        let t = {
+            let cursor = Arc::clone(&cursor);
+            let slots = Arc::clone(&slots);
+            thread::spawn(move || work(cursor, slots))
+        };
+        work(Arc::clone(&cursor), Arc::clone(&slots));
+        t.join().unwrap();
+
+        for (i, s) in slots.iter().enumerate() {
+            let v = s.with(|p| {
+                // SAFETY: both claimants are joined (or are this thread);
+                // their writes happen-before these reads.
+                unsafe { *p }
+            });
+            assert_eq!(v, 1, "slot {i} claimed {v} times, expected exactly 1");
+        }
+    });
+}
+
+/// Claim 4: the mailbox handoff. A producer writes plain data, then pushes
+/// a message through [`MpscQueue`] (Release CAS); the consumer drains
+/// (Acquire swap) and reads the data. The queue's ordering contract must
+/// carry the happens-before edge for the payload's plain memory.
+#[test]
+fn mailbox_handoff_happens_before() {
+    loom::model(|| {
+        let q = Arc::new(MpscQueue::new());
+        let data = Arc::new(UnsafeCell::new(0u64));
+
+        let t = {
+            let q = Arc::clone(&q);
+            let data = Arc::clone(&data);
+            thread::spawn(move || {
+                data.with_mut(|p| {
+                    // SAFETY: the consumer reads only after draining the
+                    // message pushed below; push/drain carry the edge.
+                    unsafe { *p = 5 }
+                });
+                q.push(7u64);
+            })
+        };
+
+        while q.is_empty() {
+            thread::yield_now();
+        }
+        let mut got = None;
+        q.drain(|v| got = Some(v));
+        assert_eq!(got, Some(7), "message lost in mailbox");
+        let v = data.with(|p| {
+            // SAFETY: ordered after the producer's write by the queue's
+            // Release-push / Acquire-drain pair.
+            unsafe { *p }
+        });
+        assert_eq!(v, 5, "mailbox drain did not publish the payload write");
+        t.join().unwrap();
+    });
+}
+
+/// Checker sanity: the same publish pattern with the store weakened to
+/// `Relaxed` is a real bug (no happens-before edge for the payload) and the
+/// model checker must catch it. This is the regression test proving the
+/// four models above are actually capable of failing.
+#[test]
+#[should_panic(expected = "data race")]
+fn broken_relaxed_publish_is_detected() {
+    loom::model(|| {
+        let flag = Arc::new(AtomicBool::new(false));
+        let data = Arc::new(UnsafeCell::new(0u32));
+
+        let t = {
+            let flag = Arc::clone(&flag);
+            let data = Arc::clone(&data);
+            thread::spawn(move || {
+                data.with_mut(|p| {
+                    // SAFETY: not actually sound — the Relaxed publish below
+                    // is the bug this model exists to detect.
+                    unsafe { *p = 9 }
+                });
+                flag.store(true, Ordering::Relaxed); // BUG: should be Release
+            })
+        };
+
+        while !flag.load(Ordering::Acquire) {
+            thread::yield_now();
+        }
+        let _ = data.with(|p| {
+            // SAFETY: not reached with a valid edge; the checker reports the
+            // race at this access.
+            unsafe { *p }
+        });
+        t.join().unwrap();
+    });
+}

@@ -3,10 +3,10 @@
 
 use proptest::prelude::*;
 
+use unison_core::sched::{ideal_makespan, lpt_makespan, order_by_estimate};
 use unison_core::{
     fine_grained_partition, Event, EventKey, Fel, LinkGraph, LpId, NodeId, Rng, Time,
 };
-use unison_core::sched::{ideal_makespan, lpt_makespan, order_by_estimate};
 
 fn arb_key() -> impl Strategy<Value = EventKey> {
     (0u64..1_000, 0u64..1_000, 0u32..8, 0u64..10_000).prop_map(|(ts, sts, lp, seq)| EventKey {

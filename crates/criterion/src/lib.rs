@@ -1,0 +1,240 @@
+//! Minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The workspace builds in fully offline environments where the real
+//! `criterion` cannot be fetched, so this crate implements the small API
+//! subset used by `crates/bench/benches/*`: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Methodology is intentionally simple: a short warm-up, then a fixed
+//! number of timed samples, reporting the median and min per-iteration
+//! time on stdout. There are no statistical comparisons, plots, or saved
+//! baselines — the point is that `cargo bench` exercises every bench code
+//! path and prints a stable, readable timing summary.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock spent measuring each benchmark (after warm-up).
+const TARGET_MEASURE: Duration = Duration::from_millis(200);
+/// Wall-clock spent warming up each benchmark.
+const TARGET_WARMUP: Duration = Duration::from_millis(50);
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run a single benchmark and print its timing summary.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, DEFAULT_SAMPLES, &mut f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size: DEFAULT_SAMPLES,
+        }
+    }
+}
+
+const DEFAULT_SAMPLES: usize = 10;
+
+/// A group of related benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_bench(&full, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// How `iter_batched` amortizes setup cost. All variants behave the same
+/// here: setup runs outside the timed region for every batch of one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+/// Passed to every benchmark closure; accumulates timed iterations.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, running it `self.iters` times.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` on inputs produced (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_bench<F>(name: &str, samples: usize, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibrate: how many iterations fit in one sample's time slice?
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let once = b.elapsed.max(Duration::from_nanos(1));
+    let per_sample = (TARGET_MEASURE / samples as u32).max(Duration::from_micros(100));
+    let iters = (per_sample.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    // Warm-up.
+    let warm_start = Instant::now();
+    while warm_start.elapsed() < TARGET_WARMUP {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+    }
+
+    // Measure.
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter.push(b.elapsed.as_secs_f64() / iters as f64);
+    }
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    let median = per_iter[per_iter.len() / 2];
+    let min = per_iter[0];
+    println!(
+        "bench {name:<50} median {:>12}  min {:>12}  ({samples} samples x {iters} iters)",
+        fmt_time(median),
+        fmt_time(min),
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    let ns = secs * 1e9;
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Build a function that runs a list of benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("smoke/add", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_and_batched_run() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u32, 2, 3],
+                |v| v.iter().sum::<u32>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(fmt_time(5e-9), "5.0 ns");
+        assert_eq!(fmt_time(2.5e-6), "2.50 us");
+        assert_eq!(fmt_time(3.25e-3), "3.25 ms");
+        assert_eq!(fmt_time(1.5), "1.500 s");
+    }
+}

@@ -1,0 +1,120 @@
+//! `loom::cell` — race-detected data cells.
+//!
+//! [`UnsafeCell`] wraps plain data whose synchronization is supposed to come
+//! from *other* primitives (atomics, spawn/join). Every access goes through
+//! [`UnsafeCell::with`] / [`UnsafeCell::with_mut`], which check the access
+//! against the cell's access history using vector clocks: a write must
+//! happen-after every previous access, a read must happen-after every
+//! previous write. A violation panics with a "data race" message, failing
+//! the current execution (and therefore the model).
+
+use crate::rt::{register_cell, visible_op, with_rt, Rt};
+use std::sync::Arc;
+
+/// Race-detected cell; the checked analogue of `std::cell::UnsafeCell`.
+#[derive(Debug)]
+pub struct UnsafeCell<T> {
+    idx: usize,
+    data: std::cell::UnsafeCell<T>,
+}
+
+// SAFETY: the model checker serializes all access to the payload — `with` /
+// `with_mut` fail the execution before any physically overlapping or
+// unordered access pair touches `data` — so sharing across model threads
+// cannot produce an actual data race as long as `T: Send`.
+unsafe impl<T: Send> Send for UnsafeCell<T> {}
+// SAFETY: as above; `Sync` hands out no `&T` without a begin-access check.
+unsafe impl<T: Send> Sync for UnsafeCell<T> {}
+
+impl<T> UnsafeCell<T> {
+    pub fn new(data: T) -> Self {
+        UnsafeCell {
+            idx: register_cell(),
+            data: std::cell::UnsafeCell::new(data),
+        }
+    }
+
+    /// Immutable access: checks read-after-write ordering, then hands the
+    /// raw pointer to `f`.
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        let rt = self.begin_read();
+        let r = f(self.data.get());
+        self.end_read(&rt);
+        r
+    }
+
+    /// Mutable access: checks write-after-everything ordering, then hands
+    /// the raw pointer to `f`.
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        let rt = self.begin_write();
+        let r = f(self.data.get());
+        self.end_write(&rt);
+        r
+    }
+
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+
+    fn begin_read(&self) -> Arc<Rt> {
+        with_rt(|rt, tid| {
+            visible_op(rt, tid, |ex, tid| {
+                let vc = ex.threads[tid].vc.clone();
+                let own = vc.get(tid);
+                let cell = &mut ex.cells[self.idx];
+                if cell.writer {
+                    return Err(format!(
+                        "loom: data race — thread {tid} read a cell while a \
+                         write access was in progress"
+                    ));
+                }
+                if !cell.write_vc.le(&vc) {
+                    return Err(format!(
+                        "loom: data race — thread {tid} read a cell without a \
+                         happens-before edge from its last write"
+                    ));
+                }
+                cell.read_vc.raise(tid, own);
+                cell.readers += 1;
+                Ok(())
+            });
+            Arc::clone(rt)
+        })
+    }
+
+    fn end_read(&self, rt: &Arc<Rt>) {
+        // Not a schedule point: just retract the overlap guard.
+        let mut ex = rt.ex.lock().unwrap_or_else(|e| e.into_inner());
+        ex.cells[self.idx].readers -= 1;
+    }
+
+    fn begin_write(&self) -> Arc<Rt> {
+        with_rt(|rt, tid| {
+            visible_op(rt, tid, |ex, tid| {
+                let vc = ex.threads[tid].vc.clone();
+                let cell = &mut ex.cells[self.idx];
+                if cell.writer || cell.readers > 0 {
+                    return Err(format!(
+                        "loom: data race — thread {tid} wrote a cell while \
+                         another access was in progress"
+                    ));
+                }
+                if !cell.write_vc.le(&vc) || !cell.read_vc.le(&vc) {
+                    return Err(format!(
+                        "loom: data race — thread {tid} wrote a cell without \
+                         a happens-before edge from all previous accesses"
+                    ));
+                }
+                cell.write_vc = vc;
+                cell.writer = true;
+                Ok(())
+            });
+            Arc::clone(rt)
+        })
+    }
+
+    fn end_write(&self, rt: &Arc<Rt>) {
+        let mut ex = rt.ex.lock().unwrap_or_else(|e| e.into_inner());
+        ex.cells[self.idx].writer = false;
+    }
+}

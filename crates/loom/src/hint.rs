@@ -1,0 +1,9 @@
+//! `loom::hint` — spin hints under the model.
+
+/// Under the model checker a spin-loop retry cannot observe anything new
+/// until another thread writes, so `spin_loop` is the same blocking yield as
+/// [`crate::thread::yield_now`]; a loop that would spin forever is reported
+/// as a deadlock instead of hanging the checker.
+pub fn spin_loop() {
+    crate::thread::yield_now()
+}

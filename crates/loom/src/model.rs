@@ -1,0 +1,125 @@
+//! The schedule explorer: depth-first search over scheduling decisions.
+//!
+//! Each execution records its decision path (`Vec<Choice>`); the next
+//! execution replays the longest prefix with the last non-exhausted choice
+//! advanced. The search is *bounded-exhaustive* in the CHESS style: at most
+//! `preemption_bound` involuntary context switches (switching away from a
+//! runnable thread) are explored per execution, which keeps the state space
+//! tractable while empirically catching almost all interleaving bugs.
+//! Blocking switches (yield, join, finish) are always explored fully.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+use crate::rt::{self, visible_op, Choice, Rt, State};
+
+/// Default CHESS-style preemption bound (override: `LOOM_MAX_PREEMPTIONS`).
+pub const DEFAULT_PREEMPTION_BOUND: usize = 3;
+const DEFAULT_MAX_ITERATIONS: u64 = 200_000;
+
+/// Serializes `model` calls across the test harness's worker threads: the
+/// runtime's thread-local bookkeeping assumes one execution at a time.
+static MODEL_MUTEX: Mutex<()> = Mutex::new(());
+
+/// Model-check configuration.
+pub struct Builder {
+    /// Maximum involuntary context switches per execution; `None` removes
+    /// the bound (full DFS — only tractable for very small models).
+    pub preemption_bound: Option<usize>,
+    /// Backstop on the number of explored executions.
+    pub max_iterations: u64,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Builder {
+    pub fn new() -> Builder {
+        let preemption_bound = std::env::var("LOOM_MAX_PREEMPTIONS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .or(Some(DEFAULT_PREEMPTION_BOUND));
+        let max_iterations = std::env::var("LOOM_MAX_ITERATIONS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(DEFAULT_MAX_ITERATIONS);
+        Builder {
+            preemption_bound,
+            max_iterations,
+        }
+    }
+
+    /// Runs `f` under every schedule (up to the preemption bound). Panics —
+    /// and thereby fails the enclosing test — on the first execution that
+    /// panics, data-races, or deadlocks.
+    pub fn check<F: Fn()>(&self, f: F) {
+        let _serial = MODEL_MUTEX.lock().unwrap_or_else(|e| e.into_inner());
+        let bound = self.preemption_bound.unwrap_or(usize::MAX);
+        let mut path: Vec<Choice> = Vec::new();
+        let mut executions: u64 = 0;
+        loop {
+            executions += 1;
+            if executions > self.max_iterations {
+                panic!(
+                    "loom: exceeded {} executions without exhausting the \
+                     schedule space; simplify the model or raise \
+                     LOOM_MAX_ITERATIONS",
+                    self.max_iterations
+                );
+            }
+            let rt = Arc::new(Rt::new(std::mem::take(&mut path), bound));
+            rt::set_current(&rt, 0);
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                f();
+                finish_main(&rt);
+            }));
+            rt::clear_current();
+            if let Err(p) = result {
+                resume_unwind(p);
+            }
+            path = rt.ex.lock().unwrap_or_else(|e| e.into_inner()).path.clone();
+            if !advance(&mut path) {
+                break;
+            }
+        }
+        eprintln!("loom: model checked — {executions} execution(s) explored");
+    }
+}
+
+/// The driver's finish op: every spawned thread must already be joined.
+fn finish_main(rt: &Arc<Rt>) {
+    visible_op(rt, 0, |ex, _| {
+        let running: Vec<usize> = (1..ex.threads.len())
+            .filter(|&i| ex.threads[i].state != State::Finished)
+            .collect();
+        if !running.is_empty() {
+            return Err(format!(
+                "loom: model closure returned while threads {running:?} were \
+                 still running; join every spawned thread"
+            ));
+        }
+        ex.threads[0].state = State::Finished;
+        Ok(())
+    });
+}
+
+/// Advances the DFS path to the next unexplored schedule: pops exhausted
+/// trailing decisions and increments the deepest non-exhausted one.
+fn advance(path: &mut Vec<Choice>) -> bool {
+    while let Some(c) = path.last_mut() {
+        if c.index + 1 < c.options {
+            c.index += 1;
+            return true;
+        }
+        path.pop();
+    }
+    false
+}
+
+/// Checks `f` under the default [`Builder`] configuration.
+pub fn model<F: Fn()>(f: F) {
+    Builder::new().check(f)
+}

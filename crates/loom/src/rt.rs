@@ -1,0 +1,346 @@
+//! The execution runtime: one logical schedule at a time.
+//!
+//! All managed threads are real OS threads, but only one is ever *active*:
+//! every visible operation (atomic access, cell access, spawn, join, yield)
+//! runs while holding the global execution lock and ends by picking the next
+//! active thread. The sequence of picks is the *schedule*; the explorer in
+//! [`crate::model`] drives a depth-first search over all schedules (up to
+//! the preemption bound).
+//!
+//! Happens-before is tracked with fixed-size vector clocks:
+//!
+//! - every thread carries a clock, bumped after each visible op;
+//! - an atomic variable carries a `sync` clock — the clock published by the
+//!   release sequence writing its current value. `Release` stores replace
+//!   it, `Relaxed` stores clear it (breaking the release sequence), RMWs
+//!   join into it (continuing the sequence), and `Acquire` loads join it
+//!   into the reader's clock;
+//! - a data cell carries last-writer / last-readers clocks, checked on each
+//!   access: an access racing with one not ordered before it fails the
+//!   execution with a "data race" panic. Overlap flags additionally catch
+//!   accesses whose dynamic extents physically overlap.
+
+use std::cell::RefCell;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Maximum number of logical threads per execution (driver included).
+pub(crate) const MAX_THREADS: usize = 8;
+/// Per-execution visible-op budget: a backstop against unbounded spins.
+const MAX_STEPS: u64 = 1_000_000;
+
+/// Fixed-width vector clock.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock([u32; MAX_THREADS]);
+
+impl VClock {
+    pub fn new() -> Self {
+        VClock([0; MAX_THREADS])
+    }
+
+    pub fn bump(&mut self, tid: usize) {
+        self.0[tid] += 1;
+    }
+
+    pub fn join(&mut self, other: &VClock) {
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Pointwise ≤: "everything recorded in `self` happens-before `other`".
+    pub fn le(&self, other: &VClock) -> bool {
+        self.0.iter().zip(&other.0).all(|(a, b)| a <= b)
+    }
+
+    pub fn clear(&mut self) {
+        self.0 = [0; MAX_THREADS];
+    }
+
+    pub fn get(&self, tid: usize) -> u32 {
+        self.0[tid]
+    }
+
+    pub fn raise(&mut self, tid: usize, v: u32) {
+        self.0[tid] = self.0[tid].max(v);
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum State {
+    Ready,
+    /// Parked in `yield_now` until any atomic write lands.
+    BlockedOnWrite,
+    /// Parked in `JoinHandle::join` until the target finishes.
+    BlockedOnJoin(usize),
+    Finished,
+}
+
+pub(crate) struct ThreadInfo {
+    pub state: State,
+    pub vc: VClock,
+    /// Global write counter observed at this thread's last load/yield —
+    /// `yield_now` only parks when nothing new has been written since.
+    pub seen_writes: u64,
+    /// Set when the thread finishes; joined into the joiner's clock.
+    pub final_vc: Option<VClock>,
+}
+
+pub(crate) struct AtomicVar {
+    pub value: u64,
+    /// Clock published by the release sequence that wrote `value`.
+    pub sync: VClock,
+}
+
+#[derive(Default)]
+pub(crate) struct CellVar {
+    pub write_vc: VClock,
+    pub read_vc: VClock,
+    /// Dynamic-extent overlap guards.
+    pub readers: usize,
+    pub writer: bool,
+}
+
+/// One schedule decision: which of `options` equally-ready threads ran.
+#[derive(Clone, Debug)]
+pub(crate) struct Choice {
+    pub index: usize,
+    pub options: usize,
+}
+
+pub(crate) struct Execution {
+    pub threads: Vec<ThreadInfo>,
+    pub atomics: Vec<AtomicVar>,
+    pub cells: Vec<CellVar>,
+    pub active: usize,
+    pub write_seq: u64,
+    /// Replayed prefix + newly recorded decisions (the DFS path).
+    pub path: Vec<Choice>,
+    pub depth: usize,
+    pub preemptions: usize,
+    pub bound: usize,
+    pub steps: u64,
+    /// First failure (deadlock, race, panic); echoed by every thread.
+    pub failed: Option<String>,
+}
+
+impl Execution {
+    fn new(path: Vec<Choice>, bound: usize) -> Self {
+        let mut main = ThreadInfo {
+            state: State::Ready,
+            vc: VClock::new(),
+            seen_writes: 0,
+            final_vc: None,
+        };
+        main.vc.bump(0);
+        Execution {
+            threads: vec![main],
+            atomics: Vec::new(),
+            cells: Vec::new(),
+            active: 0,
+            write_seq: 0,
+            path,
+            depth: 0,
+            preemptions: 0,
+            bound,
+            steps: 0,
+            failed: None,
+        }
+    }
+
+    /// Bumps the write counter and wakes every thread parked in `yield_now`.
+    pub fn record_write(&mut self) {
+        self.write_seq += 1;
+        for t in &mut self.threads {
+            if t.state == State::BlockedOnWrite {
+                t.state = State::Ready;
+            }
+        }
+    }
+}
+
+pub(crate) struct Rt {
+    pub ex: Mutex<Execution>,
+    pub cond: Condvar,
+}
+
+impl Rt {
+    pub fn new(path: Vec<Choice>, bound: usize) -> Self {
+        Rt {
+            ex: Mutex::new(Execution::new(path, bound)),
+            cond: Condvar::new(),
+        }
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Rt>, usize)>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn set_current(rt: &Arc<Rt>, tid: usize) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(rt), tid)));
+}
+
+pub(crate) fn clear_current() {
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+/// Runs `f` with the calling thread's runtime handle, or panics when called
+/// outside `loom::model`.
+pub(crate) fn with_rt<R>(f: impl FnOnce(&Arc<Rt>, usize) -> R) -> R {
+    let cur = CURRENT.with(|c| c.borrow().clone());
+    match cur {
+        Some((rt, tid)) => f(&rt, tid),
+        None => panic!(
+            "loom primitives may only be used inside a loom::model closure \
+             (thread not managed by the model checker)"
+        ),
+    }
+}
+
+/// Blocks until it is `tid`'s turn (echoing any recorded failure).
+pub(crate) fn wait_turn<'a>(rt: &'a Rt, tid: usize) -> MutexGuard<'a, Execution> {
+    let mut ex = rt.ex.lock().unwrap_or_else(|e| e.into_inner());
+    loop {
+        if let Some(msg) = &ex.failed {
+            let msg = msg.clone();
+            drop(ex);
+            panic!("{msg}");
+        }
+        if ex.active == tid {
+            return ex;
+        }
+        ex = rt.cond.wait(ex).unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+/// Records `msg` as the execution's failure, wakes everyone, and panics.
+pub(crate) fn fail<R>(rt: &Rt, mut ex: MutexGuard<'_, Execution>, msg: String) -> R {
+    if ex.failed.is_none() {
+        ex.failed = Some(msg);
+    }
+    let msg = ex.failed.clone().expect("just set");
+    rt.cond.notify_all();
+    drop(ex);
+    panic!("{msg}")
+}
+
+/// Executes one visible operation on the active thread: waits for the turn,
+/// applies `f` under the lock, bumps the thread clock, schedules the next
+/// thread, and wakes waiters. `f` returning `Err` fails the whole execution.
+pub(crate) fn visible_op<R>(
+    rt: &Arc<Rt>,
+    tid: usize,
+    f: impl FnOnce(&mut Execution, usize) -> Result<R, String>,
+) -> R {
+    let mut ex = wait_turn(rt, tid);
+    ex.steps += 1;
+    if ex.steps > MAX_STEPS {
+        return fail(
+            rt,
+            ex,
+            format!("loom: execution exceeded {MAX_STEPS} visible operations"),
+        );
+    }
+    match f(&mut ex, tid) {
+        Ok(r) => {
+            ex.threads[tid].vc.bump(tid);
+            if let Err(msg) = pick_next(&mut ex) {
+                return fail(rt, ex, msg);
+            }
+            rt.cond.notify_all();
+            r
+        }
+        Err(msg) => fail(rt, ex, msg),
+    }
+}
+
+/// Chooses the next active thread. Replays the DFS path where recorded,
+/// otherwise records a new first-option decision. Switching away from a
+/// still-runnable thread consumes one unit of the preemption bound;
+/// exhausted budgets force run-to-completion (only blocking switches).
+fn pick_next(ex: &mut Execution) -> Result<(), String> {
+    let cur = ex.active;
+    let cur_ready = ex.threads[cur].state == State::Ready;
+    let mut options = Vec::with_capacity(ex.threads.len());
+    if cur_ready {
+        options.push(cur);
+    }
+    for i in 0..ex.threads.len() {
+        if i != cur && ex.threads[i].state == State::Ready {
+            options.push(i);
+        }
+    }
+    if options.is_empty() {
+        if ex.threads.iter().all(|t| t.state == State::Finished) {
+            // Execution complete; park the token.
+            ex.active = usize::MAX;
+            return Ok(());
+        }
+        let blocked: Vec<(usize, State)> = ex
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.state != State::Finished)
+            .map(|(i, t)| (i, t.state.clone()))
+            .collect();
+        return Err(format!(
+            "loom: deadlock — every live thread is blocked: {blocked:?}"
+        ));
+    }
+    let chosen = if options.len() == 1 {
+        options[0]
+    } else if cur_ready && ex.preemptions >= ex.bound {
+        // Budget exhausted: no branch, keep running the current thread.
+        cur
+    } else {
+        let d = ex.depth;
+        ex.depth += 1;
+        if d < ex.path.len() {
+            if ex.path[d].options != options.len() {
+                return Err(format!(
+                    "loom: nondeterministic model — decision {d} had \
+                     {} options on a previous run, {} now; the model closure \
+                     must not depend on anything outside loom's control",
+                    ex.path[d].options,
+                    options.len()
+                ));
+            }
+            options[ex.path[d].index]
+        } else {
+            ex.path.push(Choice {
+                index: 0,
+                options: options.len(),
+            });
+            options[0]
+        }
+    };
+    if cur_ready && chosen != cur {
+        ex.preemptions += 1;
+    }
+    ex.active = chosen;
+    Ok(())
+}
+
+/// Registers a new atomic variable (itself a visible op so registration
+/// order — and hence variable ids — is schedule-deterministic).
+pub(crate) fn register_atomic(value: u64) -> usize {
+    with_rt(|rt, tid| {
+        visible_op(rt, tid, |ex, _| {
+            ex.atomics.push(AtomicVar {
+                value,
+                sync: VClock::new(),
+            });
+            Ok(ex.atomics.len() - 1)
+        })
+    })
+}
+
+/// Registers a new data cell.
+pub(crate) fn register_cell() -> usize {
+    with_rt(|rt, tid| {
+        visible_op(rt, tid, |ex, _| {
+            ex.cells.push(CellVar::default());
+            Ok(ex.cells.len() - 1)
+        })
+    })
+}

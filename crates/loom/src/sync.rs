@@ -1,0 +1,271 @@
+//! `loom::sync` — model-checked atomics plus a re-export of `std::sync::Arc`.
+
+pub use std::sync::Arc;
+
+pub mod atomic {
+    //! Atomic types with sequentially-consistent *values* and vector-clock
+    //! *synchronization*: every access is a visible operation (a schedule
+    //! point), loads always observe the latest store, and the happens-before
+    //! edges induced by `Acquire`/`Release` orderings are tracked exactly so
+    //! that [`crate::cell::UnsafeCell`] can detect data races.
+
+    pub use std::sync::atomic::Ordering;
+
+    use crate::rt::{register_atomic, visible_op, with_rt};
+
+    fn is_acquire(o: Ordering) -> bool {
+        matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+    }
+
+    fn is_release(o: Ordering) -> bool {
+        matches!(o, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+    }
+
+    /// Untyped core shared by the typed wrappers; values are widened to u64.
+    #[derive(Debug)]
+    struct AtomicCore {
+        idx: usize,
+    }
+
+    impl AtomicCore {
+        fn new(value: u64) -> Self {
+            AtomicCore {
+                idx: register_atomic(value),
+            }
+        }
+
+        fn load(&self, order: Ordering) -> u64 {
+            with_rt(|rt, tid| {
+                visible_op(rt, tid, |ex, tid| {
+                    ex.threads[tid].seen_writes = ex.write_seq;
+                    if is_acquire(order) {
+                        let sync = ex.atomics[self.idx].sync.clone();
+                        ex.threads[tid].vc.join(&sync);
+                    }
+                    Ok(ex.atomics[self.idx].value)
+                })
+            })
+        }
+
+        fn store(&self, value: u64, order: Ordering) {
+            with_rt(|rt, tid| {
+                visible_op(rt, tid, |ex, tid| {
+                    if is_release(order) {
+                        let vc = ex.threads[tid].vc.clone();
+                        ex.atomics[self.idx].sync = vc;
+                    } else {
+                        // A relaxed store starts a new (empty) release
+                        // sequence: later acquire loads of this value
+                        // synchronize with nothing.
+                        ex.atomics[self.idx].sync.clear();
+                    }
+                    ex.atomics[self.idx].value = value;
+                    ex.record_write();
+                    Ok(())
+                })
+            })
+        }
+
+        /// Read-modify-write. RMWs continue the release sequence of the
+        /// store they read from, so the existing `sync` clock is kept and —
+        /// when the RMW itself is a release — joined with this thread's.
+        fn rmw(&self, order: Ordering, f: impl FnOnce(u64) -> u64) -> u64 {
+            with_rt(|rt, tid| {
+                visible_op(rt, tid, |ex, tid| {
+                    ex.threads[tid].seen_writes = ex.write_seq;
+                    let old = ex.atomics[self.idx].value;
+                    if is_acquire(order) {
+                        let sync = ex.atomics[self.idx].sync.clone();
+                        ex.threads[tid].vc.join(&sync);
+                    }
+                    if is_release(order) {
+                        let vc = ex.threads[tid].vc.clone();
+                        ex.atomics[self.idx].sync.join(&vc);
+                    }
+                    ex.atomics[self.idx].value = f(old);
+                    ex.record_write();
+                    Ok(old)
+                })
+            })
+        }
+
+        fn compare_exchange(
+            &self,
+            current: u64,
+            new: u64,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<u64, u64> {
+            with_rt(|rt, tid| {
+                visible_op(rt, tid, |ex, tid| {
+                    ex.threads[tid].seen_writes = ex.write_seq;
+                    let old = ex.atomics[self.idx].value;
+                    if old == current {
+                        if is_acquire(success) {
+                            let sync = ex.atomics[self.idx].sync.clone();
+                            ex.threads[tid].vc.join(&sync);
+                        }
+                        if is_release(success) {
+                            let vc = ex.threads[tid].vc.clone();
+                            ex.atomics[self.idx].sync.join(&vc);
+                        }
+                        ex.atomics[self.idx].value = new;
+                        ex.record_write();
+                        Ok(Ok(old))
+                    } else {
+                        if is_acquire(failure) {
+                            let sync = ex.atomics[self.idx].sync.clone();
+                            ex.threads[tid].vc.join(&sync);
+                        }
+                        Ok(Err(old))
+                    }
+                })
+            })
+        }
+    }
+
+    macro_rules! atomic_int {
+        ($name:ident, $t:ty) => {
+            /// Model-checked atomic integer (see module docs).
+            #[derive(Debug)]
+            pub struct $name {
+                core: AtomicCore,
+            }
+
+            impl $name {
+                pub fn new(v: $t) -> Self {
+                    $name {
+                        core: AtomicCore::new(v as u64),
+                    }
+                }
+
+                pub fn load(&self, order: Ordering) -> $t {
+                    self.core.load(order) as $t
+                }
+
+                pub fn store(&self, v: $t, order: Ordering) {
+                    self.core.store(v as u64, order)
+                }
+
+                pub fn swap(&self, v: $t, order: Ordering) -> $t {
+                    self.core.rmw(order, |_| v as u64) as $t
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    current: $t,
+                    new: $t,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$t, $t> {
+                    self.core
+                        .compare_exchange(current as u64, new as u64, success, failure)
+                        .map(|v| v as $t)
+                        .map_err(|v| v as $t)
+                }
+
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $t,
+                    new: $t,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$t, $t> {
+                    // The model never fails spuriously.
+                    self.compare_exchange(current, new, success, failure)
+                }
+
+                pub fn fetch_add(&self, v: $t, order: Ordering) -> $t {
+                    self.core
+                        .rmw(order, |old| (old as $t).wrapping_add(v) as u64) as $t
+                }
+
+                pub fn fetch_sub(&self, v: $t, order: Ordering) -> $t {
+                    self.core
+                        .rmw(order, |old| (old as $t).wrapping_sub(v) as u64) as $t
+                }
+
+                pub fn fetch_and(&self, v: $t, order: Ordering) -> $t {
+                    self.core.rmw(order, |old| (old as $t & v) as u64) as $t
+                }
+
+                pub fn fetch_or(&self, v: $t, order: Ordering) -> $t {
+                    self.core.rmw(order, |old| (old as $t | v) as u64) as $t
+                }
+
+                pub fn fetch_xor(&self, v: $t, order: Ordering) -> $t {
+                    self.core.rmw(order, |old| (old as $t ^ v) as u64) as $t
+                }
+
+                pub fn fetch_max(&self, v: $t, order: Ordering) -> $t {
+                    self.core.rmw(order, |old| (old as $t).max(v) as u64) as $t
+                }
+
+                pub fn fetch_min(&self, v: $t, order: Ordering) -> $t {
+                    self.core.rmw(order, |old| (old as $t).min(v) as u64) as $t
+                }
+            }
+        };
+    }
+
+    atomic_int!(AtomicU32, u32);
+    atomic_int!(AtomicU64, u64);
+    atomic_int!(AtomicUsize, usize);
+
+    /// Model-checked atomic boolean (see module docs).
+    #[derive(Debug)]
+    pub struct AtomicBool {
+        core: AtomicCore,
+    }
+
+    impl AtomicBool {
+        pub fn new(v: bool) -> Self {
+            AtomicBool {
+                core: AtomicCore::new(v as u64),
+            }
+        }
+
+        pub fn load(&self, order: Ordering) -> bool {
+            self.core.load(order) != 0
+        }
+
+        pub fn store(&self, v: bool, order: Ordering) {
+            self.core.store(v as u64, order)
+        }
+
+        pub fn swap(&self, v: bool, order: Ordering) -> bool {
+            self.core.rmw(order, |_| v as u64) != 0
+        }
+
+        pub fn compare_exchange(
+            &self,
+            current: bool,
+            new: bool,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<bool, bool> {
+            self.core
+                .compare_exchange(current as u64, new as u64, success, failure)
+                .map(|v| v != 0)
+                .map_err(|v| v != 0)
+        }
+
+        pub fn compare_exchange_weak(
+            &self,
+            current: bool,
+            new: bool,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<bool, bool> {
+            self.compare_exchange(current, new, success, failure)
+        }
+
+        pub fn fetch_or(&self, v: bool, order: Ordering) -> bool {
+            self.core.rmw(order, |old| old | v as u64) != 0
+        }
+
+        pub fn fetch_and(&self, v: bool, order: Ordering) -> bool {
+            self.core.rmw(order, |old| old & v as u64) != 0
+        }
+    }
+}

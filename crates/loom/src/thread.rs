@@ -1,0 +1,177 @@
+//! `loom::thread` — managed threads.
+//!
+//! `spawn` creates a real OS thread registered with the current execution;
+//! it only makes progress when the scheduler hands it the active token.
+//! `spawn` and `join` carry the usual happens-before edges (parent-to-child
+//! at spawn, child-to-joiner at join). `yield_now` parks the thread until
+//! some atomic write lands — modeling "spinning cannot make progress until
+//! somebody writes" — which lets the checker prove the absence of lost
+//! wake-ups without executing unbounded spin loops.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+use crate::rt::{self, visible_op, wait_turn, with_rt, Rt, State, ThreadInfo};
+
+fn payload_str(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Records a child-thread panic as the execution's failure (unless the
+/// panic itself was an echo of an earlier failure) and marks the thread
+/// finished so the OS thread can exit.
+fn poison(rt: &Rt, tid: usize, msg: String) {
+    let mut ex = rt.ex.lock().unwrap_or_else(|e| e.into_inner());
+    if ex.failed.is_none() {
+        ex.failed = Some(format!("loom: thread {tid} panicked: {msg}"));
+    }
+    ex.threads[tid].state = State::Finished;
+    rt.cond.notify_all();
+}
+
+/// The child's normal completion: publish the final clock and wake joiners.
+fn finish_ok(rt: &Arc<Rt>, tid: usize) {
+    visible_op(rt, tid, |ex, tid| {
+        ex.threads[tid].state = State::Finished;
+        let fvc = ex.threads[tid].vc.clone();
+        ex.threads[tid].final_vc = Some(fvc);
+        for t in ex.threads.iter_mut() {
+            if t.state == State::BlockedOnJoin(tid) {
+                t.state = State::Ready;
+            }
+        }
+        Ok(())
+    });
+}
+
+/// Handle to a managed thread; `join` is a visible (blocking) operation.
+pub struct JoinHandle<T> {
+    id: usize,
+    result: Arc<Mutex<Option<std::thread::Result<T>>>>,
+    os: Option<std::thread::JoinHandle<()>>,
+}
+
+impl<T> JoinHandle<T> {
+    pub fn join(mut self) -> std::thread::Result<T> {
+        let target = self.id;
+        with_rt(|rt, tid| {
+            let blocked = visible_op(rt, tid, |ex, tid| {
+                if ex.threads[target].state == State::Finished {
+                    if let Some(fvc) = ex.threads[target].final_vc.clone() {
+                        ex.threads[tid].vc.join(&fvc);
+                    }
+                    Ok(false)
+                } else {
+                    ex.threads[tid].state = State::BlockedOnJoin(target);
+                    Ok(true)
+                }
+            });
+            if blocked {
+                // Woken by the target's finish op once the scheduler picks
+                // us again; the wake-up consumes that schedule decision.
+                let mut ex = wait_turn(rt, tid);
+                if let Some(fvc) = ex.threads[target].final_vc.clone() {
+                    ex.threads[tid].vc.join(&fvc);
+                }
+                drop(ex);
+            }
+        });
+        if let Some(os) = self.os.take() {
+            let _ = os.join();
+        }
+        self.result
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("loom: joined thread produced no result")
+    }
+}
+
+/// Spawns a managed thread. The child inherits the parent's clock (the
+/// spawn edge) and starts `Ready`; it runs only when scheduled.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    with_rt(|rt, parent| {
+        let child = visible_op(rt, parent, |ex, parent| {
+            let id = ex.threads.len();
+            if id >= rt::MAX_THREADS {
+                return Err(format!(
+                    "loom: too many threads (max {} per execution)",
+                    rt::MAX_THREADS
+                ));
+            }
+            let mut vc = ex.threads[parent].vc.clone();
+            vc.bump(id);
+            let seen_writes = ex.write_seq;
+            ex.threads.push(ThreadInfo {
+                state: State::Ready,
+                vc,
+                seen_writes,
+                final_vc: None,
+            });
+            Ok(id)
+        });
+
+        let result: Arc<Mutex<Option<std::thread::Result<T>>>> = Arc::new(Mutex::new(None));
+        let rt2 = Arc::clone(rt);
+        let res2 = Arc::clone(&result);
+        let os = std::thread::Builder::new()
+            .name(format!("loom-{child}"))
+            .spawn(move || {
+                rt::set_current(&rt2, child);
+                let r = catch_unwind(AssertUnwindSafe(f));
+                let panic_msg = r.as_ref().err().map(|p| payload_str(p.as_ref()));
+                *res2.lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+                match panic_msg {
+                    // The finish op can itself panic when another thread
+                    // failed the execution meanwhile; contain it so the OS
+                    // thread exits cleanly either way.
+                    None => {
+                        let _ = catch_unwind(AssertUnwindSafe(|| finish_ok(&rt2, child)));
+                    }
+                    Some(msg) => poison(&rt2, child, msg),
+                }
+                rt::clear_current();
+            })
+            .expect("loom: failed to spawn OS thread");
+
+        JoinHandle {
+            id: child,
+            result,
+            os: Some(os),
+        }
+    })
+}
+
+/// Cooperative yield: parks the thread until an atomic write it has not yet
+/// observed lands. In a spin loop this models "retrying cannot succeed until
+/// shared state changes", so a loop that would spin forever shows up as a
+/// deadlock instead of hanging the checker.
+pub fn yield_now() {
+    with_rt(|rt, tid| {
+        let blocked = visible_op(rt, tid, |ex, tid| {
+            if ex.write_seq > ex.threads[tid].seen_writes {
+                ex.threads[tid].seen_writes = ex.write_seq;
+                Ok(false)
+            } else {
+                ex.threads[tid].state = State::BlockedOnWrite;
+                Ok(true)
+            }
+        });
+        if blocked {
+            let mut ex = wait_turn(rt, tid);
+            let seq = ex.write_seq;
+            ex.threads[tid].seen_writes = seq;
+            drop(ex);
+        }
+    })
+}

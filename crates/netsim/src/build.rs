@@ -160,8 +160,7 @@ impl<'a> NetworkBuilder<'a> {
             .links
             .iter()
             .find(|l| {
-                self.topo.nodes[l.a] == NodeKind::Host
-                    || self.topo.nodes[l.b] == NodeKind::Host
+                self.topo.nodes[l.a] == NodeKind::Host || self.topo.nodes[l.b] == NodeKind::Host
             })
             .map(|l| l.rate)
             .unwrap_or(DataRate::gbps(10))

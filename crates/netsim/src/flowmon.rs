@@ -86,8 +86,7 @@ impl FlowReport {
     pub fn collect(world: &World<NetNode>) -> Self {
         let mut report = FlowReport::default();
         // Receiver completion times keyed by flow, gathered first.
-        let mut rx_done: std::collections::HashMap<FlowId, Time> =
-            std::collections::HashMap::new();
+        let mut rx_done: std::collections::HashMap<FlowId, Time> = std::collections::HashMap::new();
         for node in world.nodes() {
             for (flow, rcv) in &node.receivers {
                 if let Some(t) = rcv.completed_at {

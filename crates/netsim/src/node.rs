@@ -11,10 +11,10 @@ use unison_stats::Summary;
 
 use crate::app::{OnOffAction, OnOffApp};
 use crate::packet::{FlowId, Packet, PacketKind, RipMsg};
-use crate::trace::{TraceBuffer, TraceEntry, TraceKind};
 use crate::queue::Queue;
 use crate::route::Routing;
 use crate::tcp::{TcpConfig, TcpReceiver, TcpSender};
+use crate::trace::{TraceBuffer, TraceEntry, TraceKind};
 
 /// Delay before a RIP triggered update is sent (batches rapid changes).
 const RIP_TRIGGER_DELAY: Time = Time::from_micros(200);
@@ -196,10 +196,14 @@ impl NetNode {
         let peer_dev = dev.peer_dev;
         let arrival = tx + dev.delay;
         ctx.schedule_self(tx, NetEvent::TxDone { dev: dev_idx as u8 });
-        ctx.schedule(arrival, peer, NetEvent::Arrive {
-            dev: peer_dev,
-            packet,
-        });
+        ctx.schedule(
+            arrival,
+            peer,
+            NetEvent::Arrive {
+                dev: peer_dev,
+                packet,
+            },
+        );
     }
 
     /// Sends `packet` out of device `dev_idx`, queueing when busy.
@@ -213,8 +217,8 @@ impl NetNode {
         if dev.busy {
             // Drops and marks are counted by the queue itself.
             if self.trace.is_some() {
-                let dropped = dev.queue.enqueue(packet.clone(), now)
-                    == crate::queue::Enqueue::Dropped;
+                let dropped =
+                    dev.queue.enqueue(packet.clone(), now) == crate::queue::Enqueue::Dropped;
                 if dropped {
                     self.trace_event(now, dev_idx as u8, TraceKind::Drop, &packet);
                 }
@@ -306,7 +310,15 @@ impl NetNode {
         self.route_and_send(ack_pkt, ctx);
     }
 
-    fn on_ack(&mut self, packet: &Packet, ack: u64, ece: bool, echo_ts: Time, echo_retx: bool, ctx: &mut dyn SimCtx<Self>) {
+    fn on_ack(
+        &mut self,
+        packet: &Packet,
+        ack: u64,
+        ece: bool,
+        echo_ts: Time,
+        echo_retx: bool,
+        ctx: &mut dyn SimCtx<Self>,
+    ) {
         // The ACK travels on the reversed flow; recover the forward id.
         let fwd = FlowId {
             src: packet.flow.dst,
@@ -551,7 +563,12 @@ mod tests {
             peer_dev: 0,
             rate: unison_core::DataRate::gbps(10),
             delay: Time::from_micros(3),
-            queue: Queue::new(QueueConfig::DropTail { limit_bytes: 1 << 20 }, 1),
+            queue: Queue::new(
+                QueueConfig::DropTail {
+                    limit_bytes: 1 << 20,
+                },
+                1,
+            ),
             busy: false,
             up: true,
             link_id: 0,

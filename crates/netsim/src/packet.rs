@@ -107,7 +107,12 @@ impl Packet {
     ) -> Self {
         Packet {
             flow,
-            kind: PacketKind::Data { seq, len, size, retx },
+            kind: PacketKind::Data {
+                seq,
+                len,
+                size,
+                retx,
+            },
             bytes: len + HEADER_BYTES,
             ecn_capable,
             ecn_ce: false,
@@ -117,7 +122,14 @@ impl Packet {
     }
 
     /// Builds an ACK for the reverse direction of `flow`.
-    pub fn ack(flow: FlowId, ack: u64, ece: bool, echo_ts: Time, echo_retx: bool, now: Time) -> Self {
+    pub fn ack(
+        flow: FlowId,
+        ack: u64,
+        ece: bool,
+        echo_ts: Time,
+        echo_retx: bool,
+        now: Time,
+    ) -> Self {
         Packet {
             flow: FlowId {
                 src: flow.dst,

@@ -161,8 +161,8 @@ impl Queue {
                 } else if self.avg >= max_th as f64 {
                     // Gentle RED: probability ramps from max_p to 1 between
                     // max_th and 2*max_th.
-                    let p = max_p
-                        + (1.0 - max_p) * (self.avg - max_th as f64) / max_th.max(1) as f64;
+                    let p =
+                        max_p + (1.0 - max_p) * (self.avg - max_th as f64) / max_th.max(1) as f64;
                     self.count = 0;
                     self.rng.next_bool(p.clamp(0.0, 1.0))
                 } else {
@@ -225,7 +225,12 @@ mod tests {
 
     #[test]
     fn droptail_fifo_order() {
-        let mut q = Queue::new(QueueConfig::DropTail { limit_bytes: 10_000 }, 1);
+        let mut q = Queue::new(
+            QueueConfig::DropTail {
+                limit_bytes: 10_000,
+            },
+            1,
+        );
         for i in 0..3 {
             let mut p = pkt(1000, false);
             p.sent_at = Time(i);
@@ -308,7 +313,12 @@ mod tests {
 
     #[test]
     fn queue_delay_timestamps() {
-        let mut q = Queue::new(QueueConfig::DropTail { limit_bytes: 10_000 }, 1);
+        let mut q = Queue::new(
+            QueueConfig::DropTail {
+                limit_bytes: 10_000,
+            },
+            1,
+        );
         assert_eq!(q.enqueue(pkt(1000, false), Time(500)), Enqueue::Accepted);
         assert_eq!(q.dequeue().unwrap().enqueued_at, Time(500));
     }

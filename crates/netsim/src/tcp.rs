@@ -260,11 +260,9 @@ impl TcpSender {
         if self.snd_una >= self.window_end {
             if self.acked_bytes > 0 {
                 let f = self.ce_bytes as f64 / self.acked_bytes as f64;
-                self.alpha =
-                    (1.0 - self.cfg.dctcp_g) * self.alpha + self.cfg.dctcp_g * f;
+                self.alpha = (1.0 - self.cfg.dctcp_g) * self.alpha + self.cfg.dctcp_g * f;
                 if self.ce_bytes > 0 {
-                    self.cwnd =
-                        (self.cwnd * (1.0 - self.alpha / 2.0)).max((2 * MSS) as f64);
+                    self.cwnd = (self.cwnd * (1.0 - self.alpha / 2.0)).max((2 * MSS) as f64);
                     self.ssthresh = self.cwnd;
                 }
             }
@@ -315,8 +313,7 @@ impl TcpSender {
                     } else {
                         // Partial ACK: retransmit next hole, deflate.
                         self.retransmit_head(now, out);
-                        self.cwnd =
-                            (self.cwnd - acked as f64 + MSS as f64).max((2 * MSS) as f64);
+                        self.cwnd = (self.cwnd - acked as f64 + MSS as f64).max((2 * MSS) as f64);
                     }
                 }
             }
@@ -389,8 +386,8 @@ impl TcpSender {
                 _ => 0,
             });
         // Exponential backoff.
-        self.rto = Time::from_nanos((self.rto.as_nanos()).saturating_mul(2))
-            .min(Time::from_secs(60));
+        self.rto =
+            Time::from_nanos((self.rto.as_nanos()).saturating_mul(2)).min(Time::from_secs(60));
         self.rto_gen += 1;
         true
     }
@@ -553,11 +550,7 @@ mod tests {
         let mut s = TcpSender::new(flow(), 10_000_000, TcpConfig::newreno());
         let mut out = Vec::new();
         s.start(Time::ZERO, &mut out);
-        let highest = out
-            .iter()
-            .map(|p| seg_bounds(p).0)
-            .max()
-            .unwrap();
+        let highest = out.iter().map(|p| seg_bounds(p).0).max().unwrap();
         out.clear();
         s.on_ack(0, false, Time::ZERO, false, Time(1000), &mut out);
         assert_eq!(out.len(), 1, "one new segment per early dupack");
@@ -620,14 +613,7 @@ mod tests {
         let mut out = Vec::new();
         s.start(Time::ZERO, &mut out);
         out.clear();
-        let up = s.on_ack(
-            MSS as u64,
-            false,
-            Time(0),
-            false,
-            Time(2_000_000),
-            &mut out,
-        );
+        let up = s.on_ack(MSS as u64, false, Time(0), false, Time(2_000_000), &mut out);
         assert_eq!(up.rtt_sample, Some(Time(2_000_000)));
         // RTO = srtt + 4*rttvar = 2ms + 4ms = 6ms.
         assert_eq!(s.rto(), Time::from_millis(6));

@@ -1,15 +1,13 @@
 //! End-to-end network simulation tests across kernels.
 
-use unison_core::{
-    KernelKind, MetricsLevel, PartitionMode, RunConfig, SchedConfig, Time,
-};
+use unison_core::DataRate;
+use unison_core::{KernelKind, MetricsLevel, PartitionMode, RunConfig, SchedConfig, Time};
 use unison_netsim::{
     recompute_static_routes, set_link_state, NetworkBuilder, QueueConfig, RoutingKind,
     TransportKind,
 };
 use unison_topology::{dumbbell, fat_tree, geant, manual, spine_leaf};
 use unison_traffic::{FlowSpec, SizeDist, TrafficConfig};
-use unison_core::DataRate;
 
 fn small_traffic(load: f64, seed: u64) -> TrafficConfig {
     TrafficConfig::random_uniform(load)
@@ -27,7 +25,11 @@ fn flows_complete_on_unison() {
         .stop_at(Time::from_millis(10))
         .build();
     let res = sim.run(KernelKind::Unison { threads: 2 });
-    assert!(res.flows.total_flows() > 20, "flows: {}", res.flows.total_flows());
+    assert!(
+        res.flows.total_flows() > 20,
+        "flows: {}",
+        res.flows.total_flows()
+    );
     let completion = res.flows.completed_flows() as f64 / res.flows.total_flows() as f64;
     assert!(
         completion > 0.95,
@@ -152,7 +154,10 @@ fn unison_matches_compat_sequential_on_network() {
         .unwrap();
     let uni = build().run(KernelKind::Unison { threads: 4 });
     assert_eq!(seq.kernel.events, uni.kernel.events);
-    assert_eq!(seq.flows.rtt_ns.mean().to_bits(), uni.flows.rtt_ns.mean().to_bits());
+    assert_eq!(
+        seq.flows.rtt_ns.mean().to_bits(),
+        uni.flows.rtt_ns.mean().to_bits()
+    );
     assert_eq!(seq.flows.drops, uni.flows.drops);
 }
 
@@ -178,7 +183,9 @@ fn dctcp_marks_and_newreno_drops_under_incast() {
         .collect();
     let reno = NetworkBuilder::new(&topo)
         .transport(TransportKind::NewReno)
-        .queue(QueueConfig::DropTail { limit_bytes: 250_000 })
+        .queue(QueueConfig::DropTail {
+            limit_bytes: 250_000,
+        })
         .flows(flows.clone())
         .stop_at(Time::from_millis(200))
         .build()
@@ -190,8 +197,16 @@ fn dctcp_marks_and_newreno_drops_under_incast() {
         .stop_at(Time::from_millis(200))
         .build()
         .run(KernelKind::Unison { threads: 2 });
-    assert!(reno.flows.drops > 0, "NewReno+DropTail should drop: {}", reno.flows.one_line());
-    assert!(dctcp.flows.marks > 0, "DCTCP should mark: {}", dctcp.flows.one_line());
+    assert!(
+        reno.flows.drops > 0,
+        "NewReno+DropTail should drop: {}",
+        reno.flows.one_line()
+    );
+    assert!(
+        dctcp.flows.marks > 0,
+        "DCTCP should mark: {}",
+        dctcp.flows.one_line()
+    );
     assert_eq!(dctcp.flows.completed_flows(), 8);
     // DCTCP keeps queues shallow: lower mean queue delay.
     assert!(
@@ -350,7 +365,11 @@ fn udp_onoff_burst_floods_and_tcp_survives() {
     let res = sim.run(KernelKind::Unison { threads: 2 });
     // The flood ran: datagrams were emitted and (mostly) delivered; the
     // 3:1 oversubscription at the bottleneck must drop some.
-    assert!(res.flows.udp_sent > 2_000, "udp sent {}", res.flows.udp_sent);
+    assert!(
+        res.flows.udp_sent > 2_000,
+        "udp sent {}",
+        res.flows.udp_sent
+    );
     assert!(res.flows.udp_pkts > 0);
     assert!(
         res.flows.udp_pkts < res.flows.udp_sent,

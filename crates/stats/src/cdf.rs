@@ -120,7 +120,9 @@ mod tests {
         let mut state = 0x12345u64;
         for _ in 0..n {
             // Cheap LCG for test-local uniforms.
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let u = (state >> 11) as f64 / (1u64 << 53) as f64;
             sum += c.sample(u);
         }

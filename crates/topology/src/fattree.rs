@@ -39,7 +39,10 @@ pub struct FatTreeShape {
 impl FatTreeShape {
     /// The classic k-ary fat-tree shape.
     pub fn k_ary(k: usize, rate: DataRate, delay: Time) -> Self {
-        assert!(k >= 2 && k.is_multiple_of(2), "k-ary fat-tree needs even k >= 2");
+        assert!(
+            k >= 2 && k.is_multiple_of(2),
+            "k-ary fat-tree needs even k >= 2"
+        );
         FatTreeShape {
             pods: k,
             racks_per_pod: k / 2,
@@ -116,11 +119,7 @@ impl FatTreeShape {
             }
         }
         Topology {
-            name: format!(
-                "fat-tree(pods={},hosts={})",
-                self.pods,
-                self.host_count()
-            ),
+            name: format!("fat-tree(pods={},hosts={})", self.pods, self.host_count()),
             nodes,
             links,
             cluster_of,

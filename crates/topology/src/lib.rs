@@ -266,7 +266,13 @@ mod tests {
 
     #[test]
     fn dumbbell_shape() {
-        let t = dumbbell(8, 8, DataRate::gbps(1), DataRate::gbps(10), Time::from_micros(50));
+        let t = dumbbell(
+            8,
+            8,
+            DataRate::gbps(1),
+            DataRate::gbps(10),
+            Time::from_micros(50),
+        );
         assert_eq!(t.host_count(), 16);
         assert_eq!(t.links.len(), 17);
         assert!(t.is_connected());
@@ -296,8 +302,7 @@ mod tests {
         let t = spine_leaf(2, 2, 2, DataRate::gbps(10), Time::from_micros(3))
             .with_host_link_delay(Time::ZERO);
         for l in &t.links {
-            let host_link =
-                t.nodes[l.a] == NodeKind::Host || t.nodes[l.b] == NodeKind::Host;
+            let host_link = t.nodes[l.a] == NodeKind::Host || t.nodes[l.b] == NodeKind::Host;
             assert_eq!(l.delay == Time::ZERO, host_link);
         }
     }

@@ -269,8 +269,7 @@ mod tests {
         let flows = cfg.generate(&t, DataRate::gbps(10));
         assert!(flows.len() > 2_000);
         let victim = *t.cluster_hosts(3).first().unwrap();
-        let frac = flows.iter().filter(|f| f.dst == victim).count() as f64
-            / flows.len() as f64;
+        let frac = flows.iter().filter(|f| f.dst == victim).count() as f64 / flows.len() as f64;
         assert!((0.45..0.60).contains(&frac), "victim fraction {frac}");
     }
 
@@ -299,7 +298,11 @@ mod tests {
             .with_window(Time::ZERO, Time::from_millis(500))
             .with_seed(11);
         let flows = cfg.generate(&topo(), DataRate::gbps(10));
-        assert!(flows.len() > 500, "need enough samples, got {}", flows.len());
+        assert!(
+            flows.len() > 500,
+            "need enough samples, got {}",
+            flows.len()
+        );
         let mean = flows.iter().map(|f| f.bytes as f64).sum::<f64>() / flows.len() as f64;
         let expect = SizeDist::WebSearch.mean_bytes();
         assert!(

@@ -1,0 +1,26 @@
+// Fixture: everything a naive grep would flag, placed where no rule may
+// fire. The words unsafe, HashMap, HashSet, Instant and SystemTime appear
+// only in comments, strings, and identifier fragments. Must produce zero
+// findings even when treated as a core source file.
+
+//! Doc comment mentioning unsafe { } and HashMap iteration and Instant::now.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub fn describe() -> &'static str {
+    // A string literal is not code: unsafe HashMap HashSet Instant SystemTime.
+    "unsafe { HashMap HashSet Instant::now SystemTime }"
+}
+
+pub fn raw() -> &'static str {
+    r#"unsafe "quoted" HashMap"#
+}
+
+/* block comment: unsafe impl Sync for Nothing — still a comment,
+   even across lines with Instant::now() and HashSet::new() */
+pub struct NotUnsafeHashMapInstant; // identifier fragments are fine
+
+pub fn lifetime_not_char<'a>(x: &'a str) -> &'a str {
+    let _c = 'u'; // char literal, not the start of an identifier
+    x
+}

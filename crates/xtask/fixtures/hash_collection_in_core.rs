@@ -1,0 +1,9 @@
+// Fixture: HashMap/HashSet in core simulation code. Iteration order is
+// nondeterministic, which would break bit-identical replay. Must trip the
+// `no-hash-collections` rule twice (once per type).
+
+use std::collections::{HashMap, HashSet};
+
+pub fn build() -> (HashMap<u32, u32>, HashSet<u32>) {
+    (HashMap::new(), HashSet::new())
+}

@@ -1,0 +1,10 @@
+// Fixture: a crate-root file for a crate that contains unsafe code but
+// lacks `#![deny(unsafe_op_in_unsafe_fn)]`. Must trip `deny-unsafe-op`
+// when fed to check_crate_deny_attr as the crate root.
+
+pub mod inner;
+
+pub fn read_first(v: &[u32]) -> u32 {
+    // SAFETY: callers guarantee v is non-empty.
+    unsafe { *v.get_unchecked(0) }
+}

@@ -1,0 +1,7 @@
+// Fixture: an unsafe block with no `// SAFETY:` comment anywhere near it.
+// Must trip the `safety-comment` rule (and nothing else when lint_file is
+// given an allow-listed path).
+
+pub fn read_first(v: &[u32]) -> u32 {
+    unsafe { *v.get_unchecked(0) }
+}

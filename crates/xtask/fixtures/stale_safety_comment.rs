@@ -1,0 +1,10 @@
+// Fixture: a `// SAFETY:` comment separated from the unsafe block by a
+// blank line and an unrelated code line — too far away to count. Must trip
+// the `safety-comment` rule: the comment has to be *immediately* above.
+
+pub fn read_first(v: &[u32]) -> u32 {
+    // SAFETY: callers guarantee v is non-empty.
+
+    let _unrelated = v.len();
+    unsafe { *v.get_unchecked(0) }
+}

@@ -1,0 +1,8 @@
+// Fixture: a perfectly commented unsafe block, but located in a file that
+// is not on the unsafe allow-list. Must trip `unsafe-allowlist` (and only
+// that rule — the SAFETY comment is present).
+
+pub fn read_first(v: &[u32]) -> u32 {
+    // SAFETY: callers guarantee v is non-empty.
+    unsafe { *v.get_unchecked(0) }
+}

@@ -1,0 +1,12 @@
+// Fixture: wall-clock readings in core simulation code outside kernel
+// metrics. Must trip `no-wall-clock` for both Instant and SystemTime.
+
+use std::time::{Instant, SystemTime};
+
+pub fn nondeterministic_seed() -> u64 {
+    let _ = Instant::now();
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
+}

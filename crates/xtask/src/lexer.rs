@@ -1,0 +1,268 @@
+//! A minimal line-oriented Rust lexer for the lint pass.
+//!
+//! The lint rules only need to know, for every source line, (a) the code
+//! text with comments and literal *contents* stripped out, and (b) the
+//! comment text on that line. That is enough to match identifiers like
+//! `unsafe` or `HashMap` without false positives from doc comments, string
+//! literals, or `#![deny(unsafe_op_in_unsafe_fn)]`-style attribute names
+//! (token matching is identifier-boundary aware).
+//!
+//! The scanner handles line comments, nested block comments, string
+//! literals (including multi-line), raw strings (`r"…"`, `r#"…"#`, …),
+//! char literals, and lifetimes (`'a` is code, `'a'` is a literal). Byte
+//! strings are treated as ordinary strings, which is close enough for
+//! stripping purposes.
+
+/// One physical source line, split into its code and comment parts.
+#[derive(Debug, Default, Clone)]
+pub struct Line {
+    /// The line's code with comments removed and literal contents replaced
+    /// by their bare delimiters (`"..."` becomes `""`).
+    pub code: String,
+    /// The text of any comment on this line (line or block, doc or plain).
+    pub comment: String,
+}
+
+impl Line {
+    /// True if this line is nothing but a comment (no code, no blank).
+    pub fn is_pure_comment(&self) -> bool {
+        self.code.trim().is_empty() && !self.comment.trim().is_empty()
+    }
+
+    /// True if the code on this line is only an attribute (`#[…]`/`#![…]`).
+    pub fn is_attr_only(&self) -> bool {
+        let t = self.code.trim();
+        !t.is_empty() && (t.starts_with("#[") || t.starts_with("#!["))
+    }
+
+    /// True if the line has neither code nor comment.
+    pub fn is_blank(&self) -> bool {
+        self.code.trim().is_empty() && self.comment.trim().is_empty()
+    }
+}
+
+enum St {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    CharLit,
+}
+
+/// Splits source text into per-line code/comment parts (see module docs).
+pub fn scan(src: &str) -> Vec<Line> {
+    let c: Vec<char> = src.chars().collect();
+    let n = c.len();
+    let mut lines = Vec::new();
+    let mut cur = Line::default();
+    let mut st = St::Code;
+    // Whether the previous *code* char was part of an identifier — needed to
+    // tell a raw string `r"…"` apart from an identifier ending in `r`.
+    let mut prev_ident = false;
+    let mut i = 0;
+    while i < n {
+        let ch = c[i];
+        if ch == '\n' {
+            lines.push(std::mem::take(&mut cur));
+            if matches!(st, St::LineComment) {
+                st = St::Code;
+            }
+            prev_ident = false;
+            i += 1;
+            continue;
+        }
+        match st {
+            St::Code => {
+                let next = c.get(i + 1).copied();
+                if ch == '/' && next == Some('/') {
+                    st = St::LineComment;
+                    i += 2;
+                } else if ch == '/' && next == Some('*') {
+                    st = St::BlockComment(1);
+                    i += 2;
+                } else if ch == '"' {
+                    cur.code.push('"');
+                    st = St::Str;
+                    prev_ident = false;
+                    i += 1;
+                } else if ch == 'r' && !prev_ident {
+                    // Raw string start? `r"`, `r#"`, `r##"`, …
+                    let mut j = i + 1;
+                    let mut hashes = 0u32;
+                    while j < n && c[j] == '#' {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if j < n && c[j] == '"' {
+                        cur.code.push('"');
+                        st = St::RawStr(hashes);
+                        i = j + 1;
+                    } else {
+                        cur.code.push('r');
+                        prev_ident = true;
+                        i += 1;
+                    }
+                } else if ch == '\'' {
+                    // Char literal vs lifetime: `'\…` or `'x'` is a literal;
+                    // `'ident` (no closing quote right after) is a lifetime.
+                    let is_char = next == Some('\\')
+                        || (next.is_some() && next != Some('\'') && c.get(i + 2) == Some(&'\''));
+                    cur.code.push('\'');
+                    if is_char {
+                        st = St::CharLit;
+                    }
+                    prev_ident = false;
+                    i += 1;
+                } else {
+                    cur.code.push(ch);
+                    prev_ident = ch.is_alphanumeric() || ch == '_';
+                    i += 1;
+                }
+            }
+            St::LineComment => {
+                cur.comment.push(ch);
+                i += 1;
+            }
+            St::BlockComment(depth) => {
+                let next = c.get(i + 1).copied();
+                if ch == '/' && next == Some('*') {
+                    st = St::BlockComment(depth + 1);
+                    i += 2;
+                } else if ch == '*' && next == Some('/') {
+                    st = if depth == 1 {
+                        St::Code
+                    } else {
+                        St::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else {
+                    cur.comment.push(ch);
+                    i += 1;
+                }
+            }
+            St::Str => {
+                if ch == '\\' {
+                    i += 2; // skip the escaped char (content is dropped)
+                } else if ch == '"' {
+                    cur.code.push('"');
+                    st = St::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            St::RawStr(hashes) => {
+                if ch == '"' {
+                    let mut j = i + 1;
+                    let mut seen = 0u32;
+                    while seen < hashes && c.get(j) == Some(&'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        cur.code.push('"');
+                        st = St::Code;
+                        i = j;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            St::CharLit => {
+                if ch == '\\' {
+                    i += 2;
+                } else if ch == '\'' {
+                    cur.code.push('\'');
+                    st = St::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !cur.code.is_empty() || !cur.comment.is_empty() {
+        lines.push(cur);
+    }
+    lines
+}
+
+fn is_ident_char(ch: char) -> bool {
+    ch.is_alphanumeric() || ch == '_'
+}
+
+/// Char offsets of identifier-boundary occurrences of `word` in `code`.
+pub fn find_tokens(code: &str, word: &str) -> Vec<usize> {
+    let chars: Vec<char> = code.chars().collect();
+    let wchars: Vec<char> = word.chars().collect();
+    let mut out = Vec::new();
+    if wchars.is_empty() || chars.len() < wchars.len() {
+        return out;
+    }
+    for start in 0..=(chars.len() - wchars.len()) {
+        if chars[start..start + wchars.len()] != wchars[..] {
+            continue;
+        }
+        let before_ok = start == 0 || !is_ident_char(chars[start - 1]);
+        let end = start + wchars.len();
+        let after_ok = end == chars.len() || !is_ident_char(chars[end]);
+        if before_ok && after_ok {
+            out.push(start);
+        }
+    }
+    out
+}
+
+/// True if `code` contains `word` as a whole identifier token.
+pub fn has_token(code: &str, word: &str) -> bool {
+    !find_tokens(code, word).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let src = "let x = \"unsafe HashMap\"; // unsafe in comment\nunsafe { x }\n";
+        let lines = scan(src);
+        assert!(!has_token(&lines[0].code, "unsafe"));
+        assert!(!has_token(&lines[0].code, "HashMap"));
+        assert!(lines[0].comment.contains("unsafe in comment"));
+        assert!(has_token(&lines[1].code, "unsafe"));
+    }
+
+    #[test]
+    fn token_boundaries_respected() {
+        let lines = scan("#![deny(unsafe_op_in_unsafe_fn)]\n");
+        assert!(!has_token(&lines[0].code, "unsafe"));
+        assert!(lines[0].is_attr_only());
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let src = "let s = r#\"unsafe \" inner\"#; fn f<'a>(x: &'a str) {}\nlet c = 'u'; let d = '\\n';\n";
+        let lines = scan(src);
+        assert!(!has_token(&lines[0].code, "unsafe"));
+        assert!(lines[0].code.contains("fn f<'a>"), "lifetime kept as code");
+        assert!(!has_token(&lines[1].code, "u"), "char literal stripped");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner unsafe */ still comment */ let y = 1;\n";
+        let lines = scan(src);
+        assert!(!has_token(&lines[0].code, "unsafe"));
+        assert!(has_token(&lines[0].code, "y"));
+        assert!(lines[0].comment.contains("inner unsafe"));
+    }
+
+    #[test]
+    fn multiline_string_state_persists() {
+        let src = "let s = \"line one\nunsafe still in string\nend\"; unsafe {}\n";
+        let lines = scan(src);
+        assert!(!has_token(&lines[1].code, "unsafe"));
+        assert!(has_token(&lines[2].code, "unsafe"));
+    }
+}

@@ -1,0 +1,8 @@
+//! Workspace automation tasks (the `cargo xtask` pattern): a custom
+//! static-analysis pass enforcing the concurrency-safety conventions of the
+//! lock-free kernel. See [`lint`] for the rules and `cargo xtask lint` to
+//! run them; fixtures demonstrating each failure mode live under
+//! `crates/xtask/fixtures/` and are exercised by this crate's tests.
+
+pub mod lexer;
+pub mod lint;

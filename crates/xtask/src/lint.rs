@@ -1,0 +1,366 @@
+//! The workspace lint rules (see `cargo xtask lint`).
+//!
+//! Five rules, all motivated by the kernel's concurrency-safety contract
+//! (DESIGN.md):
+//!
+//! 1. **`safety-comment`** — every `unsafe` block or `unsafe impl` must be
+//!    immediately preceded by a `// SAFETY:` comment (attributes may sit
+//!    between the comment and the keyword; a blank or code line breaks the
+//!    association). `unsafe fn` *declarations* are exempt here — their
+//!    contract lives in `# Safety` docs and their bodies are covered by
+//!    `unsafe_op_in_unsafe_fn` (rule 5).
+//! 2. **`unsafe-allowlist`** — `unsafe` may only appear in the audited
+//!    files that implement the claim discipline (`lp.rs`, `queue.rs`,
+//!    `global.rs`, `kernel/*`), the loom checker's `cell.rs`, and test
+//!    code. New unsafe anywhere else must be reviewed and added here.
+//! 3. **`no-hash-collections`** — `HashMap`/`HashSet` are banned in
+//!    `crates/core/src`: their iteration order is nondeterministic across
+//!    runs, which would silently break the kernel's bit-identical
+//!    determinism guarantee. Use `BTreeMap`/`BTreeSet` or dense vectors.
+//! 4. **`no-wall-clock`** — `Instant`/`SystemTime` are banned in
+//!    `crates/core/src` simulation paths; simulation time is
+//!    `unison_core::time::Time` only. Exception: `kernel/*` may use
+//!    `Instant` for the wall-clock P/S/M metrics in `RunReport` (those
+//!    measure the simulator, they never feed back into simulation state).
+//!    `SystemTime` has no legitimate use anywhere in core.
+//! 5. **`deny-unsafe-op`** — any crate whose `src/` contains `unsafe` must
+//!    carry `#![deny(unsafe_op_in_unsafe_fn)]` in its crate root, so
+//!    `unsafe fn` bodies still require explicit `unsafe {}` blocks (which
+//!    rule 1 then forces to carry `// SAFETY:` comments).
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{self, Line};
+
+/// One rule violation.
+#[derive(Debug)]
+pub struct Finding {
+    /// Path relative to the workspace root (forward slashes).
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Stable rule identifier.
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub msg: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.msg
+        )
+    }
+}
+
+/// Files allowed to contain `unsafe` (rule 2).
+fn unsafe_allowed(rel: &str) -> bool {
+    const EXACT: &[&str] = &[
+        "crates/core/src/lp.rs",
+        "crates/core/src/queue.rs",
+        "crates/core/src/global.rs",
+        "crates/loom/src/cell.rs",
+    ];
+    EXACT.contains(&rel)
+        || rel.starts_with("crates/core/src/kernel/")
+        || rel.starts_with("tests/")
+        || rel.contains("/tests/")
+}
+
+/// Files where `Instant` is allowed (wall-clock kernel metrics, rule 4).
+fn instant_allowed(rel: &str) -> bool {
+    rel.starts_with("crates/core/src/kernel/")
+}
+
+fn in_core_src(rel: &str) -> bool {
+    rel.starts_with("crates/core/src/")
+}
+
+/// The significant token following the `unsafe` keyword at `(line, col)`:
+/// `Some("{")` for a block, `Some("impl")`, `Some("fn")`, etc.
+fn token_after_unsafe(lines: &[Line], line: usize, col: usize) -> Option<String> {
+    let mut li = line;
+    // Start right after the `unsafe` keyword on its line.
+    let mut chars: Vec<char> = lines[li].code.chars().collect();
+    let mut ci = col + "unsafe".len();
+    loop {
+        while ci < chars.len() && chars[ci].is_whitespace() {
+            ci += 1;
+        }
+        if ci < chars.len() {
+            let ch = chars[ci];
+            if ch.is_alphanumeric() || ch == '_' {
+                let mut word = String::new();
+                while ci < chars.len() && (chars[ci].is_alphanumeric() || chars[ci] == '_') {
+                    word.push(chars[ci]);
+                    ci += 1;
+                }
+                return Some(word);
+            }
+            return Some(ch.to_string());
+        }
+        li += 1;
+        if li >= lines.len() {
+            return None;
+        }
+        chars = lines[li].code.chars().collect();
+        ci = 0;
+    }
+}
+
+/// True if the `unsafe` at `line` is covered by a `// SAFETY:` comment:
+/// either on the same line, or in the contiguous comment block immediately
+/// above (attribute-only lines may intervene; blank/code lines break it).
+fn has_safety_comment(lines: &[Line], line: usize) -> bool {
+    if lines[line].comment.contains("SAFETY:") {
+        return true;
+    }
+    let mut j = line;
+    while j > 0 {
+        j -= 1;
+        let l = &lines[j];
+        // Comment and attribute lines may both carry the SAFETY text (a
+        // trailing comment on an attribute counts); anything else breaks
+        // the association with the `unsafe` below.
+        if l.is_pure_comment() || l.is_attr_only() {
+            if l.comment.contains("SAFETY:") {
+                return true;
+            }
+        } else {
+            break;
+        }
+    }
+    false
+}
+
+/// Lints a single file's source text. `rel` is the workspace-relative path
+/// with forward slashes; it decides which rules apply.
+pub fn lint_file(rel: &str, src: &str) -> Vec<Finding> {
+    let lines = lexer::scan(src);
+    let mut findings = Vec::new();
+    let mut reported_allowlist = false;
+
+    for (i, l) in lines.iter().enumerate() {
+        for col in lexer::find_tokens(&l.code, "unsafe") {
+            // Rule 2: allow-list.
+            if !unsafe_allowed(rel) && !reported_allowlist {
+                reported_allowlist = true;
+                findings.push(Finding {
+                    path: rel.to_string(),
+                    line: i + 1,
+                    rule: "unsafe-allowlist",
+                    msg: "`unsafe` outside the audited allow-list; move the code into an \
+                          audited module or extend the allow-list in crates/xtask/src/lint.rs \
+                          after review"
+                        .into(),
+                });
+            }
+            // Rule 1: SAFETY comment for blocks and impls.
+            let next = token_after_unsafe(&lines, i, col);
+            let needs_comment = matches!(next.as_deref(), Some("{") | Some("impl"));
+            if needs_comment && !has_safety_comment(&lines, i) {
+                let kind = if next.as_deref() == Some("impl") {
+                    "`unsafe impl`"
+                } else {
+                    "`unsafe` block"
+                };
+                findings.push(Finding {
+                    path: rel.to_string(),
+                    line: i + 1,
+                    rule: "safety-comment",
+                    msg: format!(
+                        "{kind} without an immediately preceding `// SAFETY:` comment \
+                         stating why the contract holds"
+                    ),
+                });
+            }
+        }
+
+        if in_core_src(rel) {
+            // Rule 3: hash collections.
+            for word in ["HashMap", "HashSet"] {
+                if lexer::has_token(&l.code, word) {
+                    findings.push(Finding {
+                        path: rel.to_string(),
+                        line: i + 1,
+                        rule: "no-hash-collections",
+                        msg: format!(
+                            "`{word}` in core simulation code: iteration order is \
+                             nondeterministic and breaks bit-identical replay; use \
+                             `BTreeMap`/`BTreeSet` or a dense index instead"
+                        ),
+                    });
+                }
+            }
+            // Rule 4: wall-clock time.
+            if lexer::has_token(&l.code, "SystemTime") {
+                findings.push(Finding {
+                    path: rel.to_string(),
+                    line: i + 1,
+                    rule: "no-wall-clock",
+                    msg: "`SystemTime` in core simulation code: simulation time is \
+                          `time::Time`; wall-clock readings are nondeterministic"
+                        .into(),
+                });
+            }
+            if !instant_allowed(rel) && lexer::has_token(&l.code, "Instant") {
+                findings.push(Finding {
+                    path: rel.to_string(),
+                    line: i + 1,
+                    rule: "no-wall-clock",
+                    msg: "`Instant` in core simulation code outside kernel metrics: \
+                          simulation time is `time::Time`; only kernel/* may read \
+                          wall-clock for P/S/M reporting"
+                        .into(),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Rule 5 over a whole crate: `files` maps workspace-relative path → source
+/// for every `.rs` file under one crate's `src/`; `root_rel` is the crate
+/// root file (`…/src/lib.rs` or `…/src/main.rs`).
+pub fn check_crate_deny_attr(root_rel: &str, files: &[(String, String)]) -> Vec<Finding> {
+    let mut has_unsafe = false;
+    for (_, src) in files {
+        for l in lexer::scan(src) {
+            if lexer::has_token(&l.code, "unsafe") {
+                has_unsafe = true;
+                break;
+            }
+        }
+        if has_unsafe {
+            break;
+        }
+    }
+    if !has_unsafe {
+        return Vec::new();
+    }
+    let root_src = files.iter().find(|(rel, _)| rel == root_rel);
+    let ok = root_src.is_some_and(|(_, src)| {
+        lexer::scan(src)
+            .iter()
+            .any(|l| l.code.contains("#![deny(unsafe_op_in_unsafe_fn)]"))
+    });
+    if ok {
+        Vec::new()
+    } else {
+        vec![Finding {
+            path: root_rel.to_string(),
+            line: 1,
+            rule: "deny-unsafe-op",
+            msg: "crate contains `unsafe` but its root is missing \
+                  `#![deny(unsafe_op_in_unsafe_fn)]`"
+                .into(),
+        }]
+    }
+}
+
+/// Directories skipped by the workspace walk.
+fn skip_dir(rel: &str) -> bool {
+    rel == "target"
+        || rel == ".git"
+        || rel == ".claude"
+        || rel == "crates/xtask/fixtures"
+        || rel.ends_with("/target")
+}
+
+fn walk_rs(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.path());
+    for e in entries {
+        let path = e.path();
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if path.is_dir() {
+            if !skip_dir(&rel) {
+                walk_rs(root, &path, out)?;
+            }
+        } else if path.extension().is_some_and(|x| x == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Crate root file (`src/lib.rs` preferred, else `src/main.rs`) for the
+/// crate containing `rel`, or `None` for files outside any `src/` tree.
+fn crate_root_of(rel: &str) -> Option<String> {
+    let idx = rel.find("src/")?;
+    // Only treat `src/` directly under the crate dir (not e.g. tests/src).
+    let prefix = &rel[..idx];
+    if !prefix.is_empty() && !prefix.ends_with('/') {
+        return None;
+    }
+    Some(format!("{prefix}src/"))
+}
+
+/// Runs all rules over every `.rs` file under `root`.
+pub fn lint_workspace(root: &Path) -> std::io::Result<(Vec<Finding>, usize)> {
+    let mut files = Vec::new();
+    walk_rs(root, root, &mut files)?;
+    let mut findings = Vec::new();
+    let mut sources: Vec<(String, String)> = Vec::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(path)?;
+        findings.extend(lint_file(&rel, &src));
+        sources.push((rel, src));
+    }
+
+    // Rule 5: group `src/` files by crate and check the root attribute.
+    let mut crate_prefixes: Vec<String> = sources
+        .iter()
+        .filter_map(|(rel, _)| crate_root_of(rel))
+        .collect();
+    crate_prefixes.sort();
+    crate_prefixes.dedup();
+    for prefix in crate_prefixes {
+        let crate_files: Vec<(String, String)> = sources
+            .iter()
+            .filter(|(rel, _)| rel.starts_with(&prefix))
+            .cloned()
+            .collect();
+        let lib = format!("{prefix}lib.rs");
+        let main = format!("{prefix}main.rs");
+        let root_rel = if crate_files.iter().any(|(r, _)| *r == lib) {
+            lib
+        } else {
+            main
+        };
+        findings.extend(check_crate_deny_attr(&root_rel, &crate_files));
+    }
+
+    findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok((findings, sources.len()))
+}
+
+/// Ascends from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(d);
+                }
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

@@ -1,0 +1,65 @@
+//! `cargo xtask` — workspace automation CLI.
+//!
+//! Subcommands:
+//!
+//! - `lint` — run the custom static-analysis pass over every `.rs` file in
+//!   the workspace (see `xtask::lint` for the rules). Exits non-zero if any
+//!   finding is reported, so it can gate CI.
+
+use std::process::ExitCode;
+
+use xtask::lint;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(),
+        Some(other) => {
+            eprintln!("xtask: unknown task `{other}`");
+            eprintln!("usage: cargo xtask lint");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo xtask lint");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_lint() -> ExitCode {
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("xtask lint: cannot read current dir: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(root) = lint::find_workspace_root(&cwd) else {
+        eprintln!(
+            "xtask lint: no workspace root found above {}",
+            cwd.display()
+        );
+        return ExitCode::FAILURE;
+    };
+    match lint::lint_workspace(&root) {
+        Ok((findings, checked)) => {
+            if findings.is_empty() {
+                println!("xtask lint: OK ({checked} files checked)");
+                ExitCode::SUCCESS
+            } else {
+                for f in &findings {
+                    eprintln!("{f}");
+                }
+                eprintln!(
+                    "xtask lint: {} finding(s) in {checked} files",
+                    findings.len()
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

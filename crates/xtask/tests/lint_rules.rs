@@ -1,0 +1,168 @@
+//! The lint pass must (a) report zero findings on the real workspace and
+//! (b) demonstrably fail on each fixture under `crates/xtask/fixtures/`.
+//! Fixtures are fed through `lint_file` with a chosen workspace-relative
+//! path so each test isolates exactly one rule.
+
+use std::path::{Path, PathBuf};
+
+use xtask::lint::{check_crate_deny_attr, lint_file, lint_workspace};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read fixture {}: {e}", path.display()))
+}
+
+fn rules_of(findings: &[xtask::lint::Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+/// The acceptance gate: running the full pass over the actual repository
+/// reports nothing. Any new violation in any crate fails this test.
+#[test]
+fn repo_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(PathBuf::from)
+        .expect("workspace root two levels above crates/xtask");
+    assert!(
+        root.join("Cargo.toml").is_file(),
+        "expected workspace root at {}",
+        root.display()
+    );
+    let (findings, checked) = lint_workspace(&root).expect("walk workspace");
+    assert!(
+        findings.is_empty(),
+        "xtask lint found {} violation(s) in the repo:\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Sanity: the walk actually visited the workspace (core alone has more
+    // than a dozen source files).
+    assert!(checked > 20, "only {checked} files checked — walk broken?");
+}
+
+#[test]
+fn missing_safety_comment_is_flagged() {
+    // Allow-listed path, so only the safety-comment rule may fire.
+    let f = lint_file(
+        "crates/core/src/kernel/fixture.rs",
+        &fixture("missing_safety_comment.rs"),
+    );
+    assert_eq!(rules_of(&f), vec!["safety-comment"], "{f:?}");
+}
+
+#[test]
+fn stale_safety_comment_is_flagged() {
+    // A SAFETY comment separated by a blank + code line must not count.
+    let f = lint_file(
+        "crates/core/src/kernel/fixture.rs",
+        &fixture("stale_safety_comment.rs"),
+    );
+    assert_eq!(rules_of(&f), vec!["safety-comment"], "{f:?}");
+}
+
+#[test]
+fn unsafe_outside_allowlist_is_flagged() {
+    let f = lint_file(
+        "crates/stats/src/fixture.rs",
+        &fixture("unsafe_outside_allowlist.rs"),
+    );
+    assert_eq!(rules_of(&f), vec!["unsafe-allowlist"], "{f:?}");
+}
+
+#[test]
+fn allowlisted_file_with_comment_is_clean() {
+    // The same source is clean when it lives in an audited file.
+    let f = lint_file(
+        "crates/core/src/lp.rs",
+        &fixture("unsafe_outside_allowlist.rs"),
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn hash_collections_in_core_are_flagged() {
+    let f = lint_file(
+        "crates/core/src/fixture.rs",
+        &fixture("hash_collection_in_core.rs"),
+    );
+    assert!(f.iter().all(|x| x.rule == "no-hash-collections"), "{f:?}");
+    // Both the use-declaration line and the signature line mention them.
+    assert!(f.len() >= 2, "{f:?}");
+}
+
+#[test]
+fn hash_collections_outside_core_are_fine() {
+    let f = lint_file(
+        "crates/stats/src/fixture.rs",
+        &fixture("hash_collection_in_core.rs"),
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn wall_clock_in_core_is_flagged() {
+    let f = lint_file(
+        "crates/core/src/fixture.rs",
+        &fixture("wall_clock_in_core.rs"),
+    );
+    assert!(f.iter().all(|x| x.rule == "no-wall-clock"), "{f:?}");
+    assert!(f.len() >= 2, "expected Instant and SystemTime hits: {f:?}");
+}
+
+#[test]
+fn instant_is_allowed_in_kernel_but_systemtime_is_not() {
+    let f = lint_file(
+        "crates/core/src/kernel/fixture.rs",
+        &fixture("wall_clock_in_core.rs"),
+    );
+    // Instant::now is waived for kernel wall-clock metrics; SystemTime never.
+    assert!(!f.is_empty(), "SystemTime must still be flagged");
+    assert!(
+        f.iter()
+            .all(|x| x.rule == "no-wall-clock" && x.msg.contains("SystemTime")),
+        "{f:?}"
+    );
+}
+
+#[test]
+fn missing_deny_attr_is_flagged() {
+    let files = vec![(
+        "crates/fake/src/lib.rs".to_string(),
+        fixture("missing_deny_attr.rs"),
+    )];
+    let f = check_crate_deny_attr("crates/fake/src/lib.rs", &files);
+    assert_eq!(rules_of(&f), vec!["deny-unsafe-op"], "{f:?}");
+
+    // Adding the attribute clears the finding.
+    let fixed = format!("#![deny(unsafe_op_in_unsafe_fn)]\n{}", files[0].1);
+    let files = vec![("crates/fake/src/lib.rs".to_string(), fixed)];
+    let f = check_crate_deny_attr("crates/fake/src/lib.rs", &files);
+    assert!(f.is_empty(), "{f:?}");
+
+    // A crate with no unsafe at all needs no attribute.
+    let files = vec![(
+        "crates/fake/src/lib.rs".to_string(),
+        "pub fn safe() {}\n".to_string(),
+    )];
+    let f = check_crate_deny_attr("crates/fake/src/lib.rs", &files);
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn comments_strings_and_identifiers_never_false_positive() {
+    // Treated as a core src file — the strictest rule set — and still clean.
+    let f = lint_file(
+        "crates/core/src/fixture.rs",
+        &fixture("clean_false_positive_bait.rs"),
+    );
+    assert!(f.is_empty(), "{f:?}");
+}

@@ -29,8 +29,10 @@ fn main() {
         })
         .collect();
 
-    println!("{:<28} {:>10} {:>8} {:>12} {:>8} {:>8}",
-        "transport/queue", "tput(Mbps)", "Jain", "qdelay(us)", "drops", "marks");
+    println!(
+        "{:<28} {:>10} {:>8} {:>12} {:>8} {:>8}",
+        "transport/queue", "tput(Mbps)", "Jain", "qdelay(us)", "drops", "marks"
+    );
     println!("{}", "-".repeat(80));
     // Datacenter-tuned stacks: 1 ms minimum RTO (the default 200 ms is the
     // ns-3/WAN setting and would stall whole windows here).

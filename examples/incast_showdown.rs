@@ -47,8 +47,14 @@ fn main() {
     let bar = mb.barrier();
     let uni = mu.unison(16, SchedConfig::default());
 
-    println!("incast ratio 1.0 on a 16-cluster fat-tree ({} events)", base.kernel.events);
-    println!("{:<26} {:>10} {:>8}", "algorithm (16 cores)", "time(s)", "S/T");
+    println!(
+        "incast ratio 1.0 on a 16-cluster fat-tree ({} events)",
+        base.kernel.events
+    );
+    println!(
+        "{:<26} {:>10} {:>8}",
+        "algorithm (16 cores)", "time(s)", "S/T"
+    );
     println!("{}", "-".repeat(48));
     for r in [&seq, &bar, &uni] {
         println!(
@@ -66,6 +72,9 @@ fn main() {
         "the baseline wastes {:.0}% of its core-time at synchronization barriers,",
         bar.s_ratio() * 100.0
     );
-    println!("Unison {:.0}% — the paper's Observation 1 and its fix.", uni.s_ratio() * 100.0);
+    println!(
+        "Unison {:.0}% — the paper's Observation 1 and its fix.",
+        uni.s_ratio() * 100.0
+    );
     println!("\nvictim-side flow stats: {}", auto.flows.one_line());
 }

@@ -12,7 +12,12 @@ use unison::traffic::{SizeDist, TrafficConfig};
 fn main() {
     // A k=4 fat-tree: 16 hosts, 20 switches, 100 Gbps links, 3 µs delays.
     let topo = fat_tree(4);
-    println!("topology: {} ({} nodes, {} links)", topo.name, topo.node_count(), topo.links.len());
+    println!(
+        "topology: {} ({} nodes, {} links)",
+        topo.name,
+        topo.node_count(),
+        topo.links.len()
+    );
 
     // 30% load of gRPC-style flows for 2 simulated milliseconds.
     let traffic = TrafficConfig::random_uniform(0.3)

@@ -13,7 +13,12 @@ use unison::traffic::FlowSpec;
 fn main() {
     let topo = geant();
     let hosts = topo.hosts();
-    println!("GEANT: {} routers + {} hosts, {} links", topo.clusters, hosts.len(), topo.links.len());
+    println!(
+        "GEANT: {} routers + {} hosts, {} links",
+        topo.clusters,
+        hosts.len(),
+        topo.links.len()
+    );
 
     // Steady flows from the London region to the Athens region, crossing
     // the backbone.

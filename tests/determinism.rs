@@ -1,12 +1,14 @@
 //! Workspace-level integration: the paper's determinism claims (§5.2,
 //! Fig. 11) at the full network-stack level.
 
-use unison::core::{KernelKind, MetricsLevel, PartitionMode, RunConfig, SchedConfig, Time};
+use unison::core::{
+    KernelKind, MetricsLevel, PartitionMode, RunConfig, SchedConfig, SchedMetric, Time,
+};
 use unison::netsim::{NetworkBuilder, SimResult, TransportKind};
 use unison::topology::fat_tree;
 use unison::traffic::{SizeDist, TrafficConfig};
 
-fn run(kernel: KernelKind) -> SimResult {
+fn run_sched(kernel: KernelKind, sched: SchedConfig) -> SimResult {
     let topo = fat_tree(4);
     let traffic = TrafficConfig::incast(0.3, 0.3)
         .with_seed(1234)
@@ -20,10 +22,14 @@ fn run(kernel: KernelKind) -> SimResult {
     sim.run_with(&RunConfig {
         kernel,
         partition: PartitionMode::Auto,
-        sched: SchedConfig::default(),
+        sched,
         metrics: MetricsLevel::Summary,
     })
     .expect("run")
+}
+
+fn run(kernel: KernelKind) -> SimResult {
+    run_sched(kernel, SchedConfig::default())
 }
 
 /// Everything observable, bit-exact: events, drops, retransmits, mean-RTT
@@ -55,7 +61,33 @@ fn unison_identical_across_thread_counts_and_repetitions() {
         );
     }
     // Repetition.
-    assert_eq!(fingerprint(&run(KernelKind::Unison { threads: 4 })), reference);
+    assert_eq!(
+        fingerprint(&run(KernelKind::Unison { threads: 4 })),
+        reference
+    );
+}
+
+/// §3.4 user-transparency at full-stack level: the load-adaptive scheduler
+/// only reorders *when* LPs run inside a phase, never *what* they compute.
+/// For each scheduling metric, the event-trace digest must be identical
+/// across 1/2/4 worker threads — and identical between the metrics, since
+/// both must reduce to the same deterministic event order.
+#[test]
+fn scheduling_metrics_identical_across_thread_counts() {
+    let reference = fingerprint(&run(KernelKind::Unison { threads: 1 }));
+    for metric in [SchedMetric::ByLastRoundTime, SchedMetric::ByPendingEvents] {
+        for threads in [1usize, 2, 4] {
+            let sched = SchedConfig {
+                metric,
+                period: Some(4),
+            };
+            assert_eq!(
+                fingerprint(&run_sched(KernelKind::Unison { threads }, sched)),
+                reference,
+                "metric {metric:?} with {threads} thread(s) changed results"
+            );
+        }
+    }
 }
 
 #[test]

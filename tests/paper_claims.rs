@@ -3,8 +3,7 @@
 //! binaries; these assert the *directions* hold at test scale).
 
 use unison::core::{
-    KernelKind, MetricsLevel, PartitionMode, PerfModel, RunConfig, SchedConfig, SchedMetric,
-    Time,
+    KernelKind, MetricsLevel, PartitionMode, PerfModel, RunConfig, SchedConfig, SchedMetric, Time,
 };
 use unison::netsim::NetworkBuilder;
 use unison::topology::{fat_tree, fat_tree_clusters, manual, torus2d};
@@ -21,7 +20,10 @@ fn profile(
     partition: PartitionMode,
     stop: Time,
 ) -> Profiled {
-    let sim = NetworkBuilder::new(topo).traffic(traffic).stop_at(stop).build();
+    let sim = NetworkBuilder::new(topo)
+        .traffic(traffic)
+        .stop_at(stop)
+        .build();
     let res = sim
         .run_with(&RunConfig {
             kernel: KernelKind::Unison { threads: 1 },
@@ -65,7 +67,12 @@ fn claim_unison_beats_pdes_baselines_under_incast() {
         .with_seed(42)
         .with_window(Time::ZERO, Time::from_millis(1));
     let stop = Time::from_millis(2);
-    let base = profile(&topo, &traffic, PartitionMode::Manual(manual::by_cluster(&topo)), stop);
+    let base = profile(
+        &topo,
+        &traffic,
+        PartitionMode::Manual(manual::by_cluster(&topo)),
+        stop,
+    );
     let auto = profile(&topo, &traffic, PartitionMode::Auto, stop);
     let mb = PerfModel::new(&base.profile);
     let mu = PerfModel::new(&auto.profile);
@@ -156,7 +163,12 @@ fn claim_lookahead_shrinks_sync_share() {
 #[test]
 fn claim_fine_granularity_improves_locality() {
     // Claim 9 (Fig. 12a): node switches fall monotonically with LP count.
-    let topo = torus2d(6, 6, unison::core::DataRate::gbps(10), Time::from_micros(30));
+    let topo = torus2d(
+        6,
+        6,
+        unison::core::DataRate::gbps(10),
+        Time::from_micros(30),
+    );
     let traffic = TrafficConfig::random_uniform(0.3)
         .with_seed(13)
         .with_sizes(SizeDist::Grpc)
@@ -260,10 +272,17 @@ fn claim_unison_matches_ground_truth_under_skew() {
             .build()
             .run(KernelKind::Unison { threads: 2 });
         assert_eq!(seq.kernel.events, uni.kernel.events);
-        (seq.flows.throughput_bps.mean(), uni.flows.throughput_bps.mean())
+        (
+            seq.flows.throughput_bps.mean(),
+            uni.flows.throughput_bps.mean(),
+        )
     };
     let (seq2, uni2) = tput_err(2);
-    assert_eq!(seq2.to_bits(), uni2.to_bits(), "Unison must match sequential");
+    assert_eq!(
+        seq2.to_bits(),
+        uni2.to_bits(),
+        "Unison must match sequential"
+    );
     let (seq4, uni4) = tput_err(4);
     assert_eq!(seq4.to_bits(), uni4.to_bits());
 }

@@ -1,9 +1,7 @@
 //! Workspace-level integration: the paper's user-transparency claim — one
 //! model, every kernel, no model changes.
 
-use unison::core::{
-    KernelKind, MetricsLevel, PartitionMode, RunConfig, SchedConfig, Time,
-};
+use unison::core::{KernelKind, MetricsLevel, PartitionMode, RunConfig, SchedConfig, Time};
 use unison::netsim::{NetSim, NetworkBuilder, TransportKind};
 use unison::topology::{fat_tree, manual, Topology};
 use unison::traffic::{SizeDist, TrafficConfig};
