@@ -127,6 +127,7 @@ fn bench_fig12_family(c: &mut Criterion) {
                 .build();
             let res = sim
                 .run_with(&RunConfig {
+                    watchdog: Default::default(),
                     kernel: KernelKind::Unison { threads: 1 },
                     partition: PartitionMode::Manual(manual::by_id_range(&topo, 6)),
                     sched: SchedConfig::default(),

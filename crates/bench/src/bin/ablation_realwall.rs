@@ -33,6 +33,7 @@ fn main() {
         (
             "hybrid(2x2)",
             RunConfig {
+                watchdog: Default::default(),
                 kernel: KernelKind::Hybrid {
                     hosts: 2,
                     threads_per_host: 2,

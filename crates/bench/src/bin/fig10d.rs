@@ -83,6 +83,7 @@ fn run_once(interval: Time, kernel: KernelKind, window: Time) -> (Duration, u64)
         t += interval;
     }
     let cfg = RunConfig {
+        watchdog: Default::default(),
         kernel,
         partition: PartitionMode::Auto,
         sched: SchedConfig::default(),

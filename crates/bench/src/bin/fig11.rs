@@ -25,6 +25,7 @@ fn run_epoch(kernel: KernelKind, partition: PartitionMode) -> (u64, f64) {
         .build();
     let res = sim
         .run_with(&RunConfig {
+            watchdog: Default::default(),
             kernel,
             partition,
             sched: SchedConfig::default(),

@@ -39,6 +39,7 @@ fn main() {
             .build();
         let res = sim
             .run_with(&RunConfig {
+                watchdog: Default::default(),
                 kernel: KernelKind::Unison { threads: 1 },
                 partition: PartitionMode::Manual(manual::by_id_range(&topo, lps)),
                 sched: SchedConfig::default(),

@@ -85,6 +85,7 @@ fn main() {
         };
         let res = sim
             .run_with(&unison_core::RunConfig {
+                watchdog: Default::default(),
                 kernel: unison_core::KernelKind::Unison { threads: 1 },
                 partition: mode,
                 sched: SchedConfig::default(),

@@ -76,6 +76,7 @@ fn main() {
         };
         let seq = build()
             .run_with(&RunConfig {
+                watchdog: Default::default(),
                 kernel: KernelKind::Sequential { compat_keys: false },
                 partition: PartitionMode::SingleLp,
                 sched: SchedConfig::default(),

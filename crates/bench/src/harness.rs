@@ -81,11 +81,15 @@ impl Scenario {
         let sim = self.builder().build();
         let res = sim
             .run_with(&RunConfig {
+                watchdog: Default::default(),
                 kernel: KernelKind::Unison { threads: 1 },
                 partition: partition.clone(),
                 sched: SchedConfig::default(),
                 metrics: MetricsLevel::PerRound,
             })
+            // INVARIANT: bench models are closed and terminating; a crash
+            // or stall here invalidates the measurement, so aborting with
+            // the structured `SimError` text is the harness's error channel.
             .expect("profiled run");
         let (partition, neighbors) = partition_info(&self.topo, &partition);
         ProfiledRun {
@@ -102,11 +106,15 @@ impl Scenario {
         let sim = self.builder().build();
         let res = sim
             .run_with(&RunConfig {
+                watchdog: Default::default(),
                 kernel,
                 partition,
                 sched: SchedConfig::default(),
                 metrics: MetricsLevel::Summary,
             })
+            // INVARIANT: bench models are closed and terminating; a crash
+            // or stall here invalidates the measurement, so aborting with
+            // the structured `SimError` text is the harness's error channel.
             .expect("real run");
         RealRun {
             kernel: res.kernel,

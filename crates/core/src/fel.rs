@@ -128,6 +128,14 @@ impl<P> Fel<P> {
         self.heap.iter().filter(|e| e.0.key.ts < bound).count()
     }
 
+    /// Iterates over all stored events in *unspecified* order (heap order).
+    ///
+    /// Checkpointing sorts the yielded events by key before writing them, so
+    /// the on-disk image is independent of heap layout.
+    pub fn iter(&self) -> impl Iterator<Item = &Event<P>> {
+        self.heap.iter().map(|e| &e.0)
+    }
+
     /// Drops all events (used on kernel teardown).
     pub fn clear(&mut self) {
         self.heap.clear();

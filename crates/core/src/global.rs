@@ -8,16 +8,27 @@
 //! never extends past the next global event; the kernel executes global
 //! events on the main thread with exclusive access to the entire world.
 
+use crate::checkpoint::{self, Snapshot, SnapshotError};
 use crate::event::{Event, EventKey};
 use crate::event::{LpId, NodeId};
 use crate::graph::LinkGraph;
-use crate::lp::LpSlots;
+use crate::lp::{LpSlots, LpState};
+use crate::mailbox::Mailboxes;
 use crate::partition::Partition;
 use crate::time::Time;
 use crate::world::SimNode;
 
 /// A global event body: runs on the main thread with exclusive world access.
 pub type GlobalFn<N> = Box<dyn FnOnce(&mut WorldAccess<'_, N>) + Send>;
+
+/// Kernel facilities a checkpoint needs beyond the LP slots: the in-flight
+/// cross-LP mailboxes (drained into FELs before the state is encoded) and
+/// the configured stop time. Provided by kernels whose global events run
+/// with full world access (Unison/hybrid).
+pub(crate) struct CkptEnv<'a, N: SimNode> {
+    pub mailboxes: &'a Mailboxes<N::Payload>,
+    pub stop_at: Option<Time>,
+}
 
 /// Exclusive, whole-world view handed to global events.
 ///
@@ -32,6 +43,7 @@ pub struct WorldAccess<'a, N: SimNode> {
     stop: &'a mut bool,
     new_globals: &'a mut Vec<(Time, GlobalFn<N>)>,
     ext_seq: &'a mut u64,
+    ckpt: Option<CkptEnv<'a, N>>,
 }
 
 impl<'a, N: SimNode> WorldAccess<'a, N> {
@@ -53,6 +65,7 @@ impl<'a, N: SimNode> WorldAccess<'a, N> {
         stop: &'a mut bool,
         new_globals: &'a mut Vec<(Time, GlobalFn<N>)>,
         ext_seq: &'a mut u64,
+        ckpt: Option<CkptEnv<'a, N>>,
     ) -> Self {
         WorldAccess {
             now,
@@ -63,6 +76,7 @@ impl<'a, N: SimNode> WorldAccess<'a, N> {
             stop,
             new_globals,
             ext_seq,
+            ckpt,
         }
     }
 
@@ -156,5 +170,82 @@ impl<'a, N: SimNode> WorldAccess<'a, N> {
     /// The partition (read-only; the LP structure is fixed for the run).
     pub fn partition(&self) -> &Partition {
         self.partition
+    }
+
+    /// Writes a deterministic checkpoint of the entire simulation state to
+    /// `path` (see [`crate::checkpoint`]).
+    ///
+    /// In-flight mailbox events are first drained into their destination
+    /// FELs — safe at any point of the global phase because FEL ordering is
+    /// purely key-driven, so early delivery cannot change results. Only
+    /// kernels that provide full world access to globals support this
+    /// (Unison/hybrid); elsewhere it returns [`SnapshotError::Unsupported`].
+    pub fn write_checkpoint(&mut self, path: &std::path::Path) -> Result<(), SnapshotError>
+    where
+        N: Snapshot,
+        N::Payload: Snapshot,
+    {
+        let env = match &self.ckpt {
+            Some(env) => env,
+            None => {
+                return Err(SnapshotError::Unsupported(
+                    "this kernel does not expose checkpoint state; \
+                     checkpoints require the Unison or hybrid kernel"
+                        .into(),
+                ))
+            }
+        };
+        let lp_count = self.lps.len();
+        for dst in 0..lp_count {
+            // SAFETY: `WorldAccess::new` guarantees main-thread exclusivity
+            // over every LP slot; the borrow ends each iteration.
+            let lp = unsafe { self.lps.get_mut(dst) };
+            env.mailboxes.drain(dst as u32, |ev| lp.fel.push(ev));
+            lp.refresh_next_ts();
+        }
+
+        let dir = self.lps.directory();
+        let node_count = dir.slot.len();
+        let mut assignment = vec![0u32; node_count];
+        for (i, (lp, _)) in dir.slot.iter().enumerate() {
+            assignment[i] = lp.0;
+        }
+
+        let mut lp_seqs = Vec::with_capacity(lp_count);
+        let mut events: Vec<&Event<N::Payload>> = Vec::new();
+        let mut node_refs: Vec<Option<&N>> = (0..node_count).map(|_| None).collect();
+        for i in 0..lp_count {
+            // SAFETY: main-thread exclusivity as above; the `&mut` is
+            // immediately reborrowed immutably, and each iteration touches a
+            // distinct slot, so the collected references never alias.
+            let lp: &LpState<N> = unsafe { self.lps.get_mut(i) };
+            lp_seqs.push(lp.seq);
+            events.extend(lp.fel.iter());
+            for (local, node) in lp.nodes.iter().enumerate() {
+                let id = self.partition.lp_nodes[i][local];
+                node_refs[id.index()] = Some(node);
+            }
+        }
+        events.sort_unstable_by_key(|e| e.key);
+        let nodes: Vec<&N> = node_refs
+            .into_iter()
+            // INVARIANT: every node id is owned by exactly one LP (directory
+            // construction), so the loop above filled each entry.
+            .map(|n| n.expect("every node captured"))
+            .collect();
+
+        let img = checkpoint::StateImage::<N> {
+            time: self.now,
+            stop_at: env.stop_at,
+            ext_seq: *self.ext_seq,
+            assignment,
+            graph: self.graph,
+            lp_seqs,
+            events,
+            nodes,
+        };
+        let bytes = checkpoint::encode_state(&img);
+        std::fs::write(path, bytes)?;
+        Ok(())
     }
 }

@@ -108,6 +108,12 @@ impl LinkGraph {
         self.alive[idx]
     }
 
+    /// Total number of link slots, including tombstoned ones. Checkpointing
+    /// saves every slot so that stable link ids survive a restore.
+    pub fn slot_count(&self) -> usize {
+        self.links.len()
+    }
+
     /// Iterates over live links as `(index, spec)`.
     pub fn live_links(&self) -> impl Iterator<Item = (usize, LinkSpec)> + '_ {
         self.links

@@ -14,9 +14,15 @@
 //! - global events are not supported (only stopping at a fixed time);
 //! - the partition is fixed: LP count = thread count, chosen by the user.
 
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
+use crate::error::{
+    panic_message, record_failure, FailureDiagnostics, RunPhase, SimError, StallDiagnostics,
+};
 use crate::event::{Event, EventKey, LpId, NodeId};
 use crate::fel::Fel;
 use crate::global::GlobalFn;
@@ -27,6 +33,7 @@ use crate::sync::SpinBarrier;
 use crate::time::Time;
 use crate::world::{NodeDirectory, SimCtx, SimNode, World};
 
+use super::watchdog::Watchdog;
 use super::{build_lps, build_partition, reassemble_world, KernelError, RunConfig};
 
 /// Per-LP thread result: final state, P/S/M, samples, end time, rounds.
@@ -113,15 +120,15 @@ impl<N: SimNode> SimCtx<N> for PinnedCtx<'_, N> {
 pub(super) fn run<N: SimNode>(
     world: World<N>,
     cfg: &RunConfig,
-) -> Result<(World<N>, RunReport), KernelError> {
+) -> Result<(World<N>, RunReport), SimError> {
     if !world.init_globals.is_empty() {
-        return Err(KernelError::GlobalEventsUnsupported("barrier"));
+        return Err(KernelError::GlobalEventsUnsupported("barrier").into());
     }
     let partition = build_partition(&world, &cfg.partition)?;
-    let (lps, dir, graph, _globals, stop_at) = build_lps(world, &partition);
+    let (lps, dir, graph, _globals, stop_at, _restored_ext_seq) = build_lps(world, &partition);
     let lp_count = lps.len();
     if lp_count == 0 {
-        return Err(KernelError::InvalidPartition("world has no nodes".into()));
+        return Err(KernelError::InvalidPartition("world has no nodes".into()).into());
     }
     let lookahead = partition.lookahead;
     let bound = stop_at.unwrap_or(Time::MAX);
@@ -134,9 +141,27 @@ pub(super) fn run<N: SimNode>(
     let stop_flag = AtomicBool::new(false);
 
     let started = Instant::now();
-    let mut results: Vec<LpResult<N>> = Vec::with_capacity(lp_count);
+    let mut results: Vec<Option<LpResult<N>>> = Vec::with_capacity(lp_count);
+
+    // Crash safety (DESIGN.md §4.2): first contained panic wins the slot;
+    // the watchdog aborts rounds exceeding the wall-clock deadline. Both
+    // poison the barrier and raise the stop flag so survivors drain.
+    let failure: Mutex<Option<FailureDiagnostics>> = Mutex::new(None);
+    let wd = Watchdog::new();
 
     std::thread::scope(|scope| {
+        if let Some(deadline) = cfg.watchdog.round_deadline {
+            let wd = &wd;
+            let barrier = &barrier;
+            let stop_flag = &stop_flag;
+            scope.spawn(move || {
+                wd.monitor(deadline, || {
+                    stop_flag.store(true, Ordering::Release);
+                    barrier.poison();
+                });
+            });
+        }
+
         let mut handles = Vec::new();
         for (idx, mut lp) in lps.into_iter().enumerate() {
             let inboxes = &inboxes;
@@ -144,99 +169,170 @@ pub(super) fn run<N: SimNode>(
             let barrier = &barrier;
             let stop_flag = &stop_flag;
             let dir = &dir;
+            let failure = &failure;
+            let wd = &wd;
             handles.push(scope.spawn(move || {
-                let mut psm = Psm::default();
-                let mut samples: Vec<RoundSample> = Vec::new();
-                let mut insert_seq: u64 = lp.fel.len() as u64;
-                let mut end_time = Time::ZERO;
-                let mut rounds: u64 = 0;
-                loop {
-                    // LBTS: min over all LPs' next timestamps + lookahead.
-                    let mut min = Time::MAX;
-                    for a in next_ts.iter() {
-                        min = min.min(Time(a.load(Ordering::Acquire)));
-                    }
-                    if min >= bound || min == Time::MAX || stop_flag.load(Ordering::Acquire) {
-                        break;
-                    }
-                    let window_end = min.saturating_add(lookahead).min(bound);
-                    rounds += 1;
-
-                    // Process.
-                    let t0 = Instant::now();
-                    let mut round_events: u32 = 0;
-                    while let Some(ev) = lp.fel.pop_below(window_end) {
-                        if ev.node.0 != lp.last_node {
-                            lp.node_switches += 1;
-                            lp.last_node = ev.node.0;
+                // Failure site, readable after a contained panic.
+                let round_c: Cell<u64> = Cell::new(0);
+                let vt_c: Cell<Time> = Cell::new(Time::ZERO);
+                let body = catch_unwind(AssertUnwindSafe(|| {
+                    let mut psm = Psm::default();
+                    let mut samples: Vec<RoundSample> = Vec::new();
+                    let mut insert_seq: u64 = lp.fel.len() as u64;
+                    let mut end_time = Time::ZERO;
+                    let mut rounds: u64 = 0;
+                    let mut last_window = Time::ZERO;
+                    loop {
+                        // LBTS: min over all LPs' next timestamps + lookahead.
+                        let mut min = Time::MAX;
+                        for a in next_ts.iter() {
+                            min = min.min(Time(a.load(Ordering::Acquire)));
                         }
-                        end_time = end_time.max(ev.key.ts);
-                        let (owner, local) = dir.locate(ev.node);
-                        debug_assert_eq!(owner, lp.id);
-                        let node = &mut lp.nodes[local as usize];
-                        let mut ctx = PinnedCtx::<N> {
-                            now: ev.key.ts,
-                            self_node: ev.node,
-                            lp_id: lp.id,
-                            fel: &mut lp.fel,
-                            insert_seq: &mut insert_seq,
-                            dir,
-                            inboxes,
-                            stop_flag,
-                            kernel_name: "barrier",
-                        };
-                        node.handle(ev.payload, &mut ctx);
-                        round_events += 1;
-                    }
-                    lp.total_events += round_events as u64;
-                    let cost = t0.elapsed().as_nanos() as u64;
-                    psm.p_ns += cost;
+                        if min >= bound || min == Time::MAX || stop_flag.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let window_end = min.saturating_add(lookahead).min(bound);
+                        rounds += 1;
+                        round_c.set(rounds);
 
-                    // Synchronize: everyone must finish sending first.
-                    let t0 = Instant::now();
-                    barrier.wait();
-                    psm.s_ns += t0.elapsed().as_nanos() as u64;
+                        // Process.
+                        let t0 = Instant::now();
+                        let mut round_events: u32 = 0;
+                        while let Some(ev) = lp.fel.pop_below(window_end) {
+                            if ev.node.0 != lp.last_node {
+                                lp.node_switches += 1;
+                                lp.last_node = ev.node.0;
+                            }
+                            end_time = end_time.max(ev.key.ts);
+                            vt_c.set(ev.key.ts);
+                            let (owner, local) = dir.locate(ev.node);
+                            debug_assert_eq!(owner, lp.id);
+                            let node = &mut lp.nodes[local as usize];
+                            let mut ctx = PinnedCtx::<N> {
+                                now: ev.key.ts,
+                                self_node: ev.node,
+                                lp_id: lp.id,
+                                fel: &mut lp.fel,
+                                insert_seq: &mut insert_seq,
+                                dir,
+                                inboxes,
+                                stop_flag,
+                                kernel_name: "barrier",
+                            };
+                            node.handle(ev.payload, &mut ctx);
+                            round_events += 1;
+                        }
+                        lp.total_events += round_events as u64;
+                        let cost = t0.elapsed().as_nanos() as u64;
+                        psm.p_ns += cost;
 
-                    // Receive: drain the shared inbox in arrival order.
-                    let t0 = Instant::now();
-                    let mut recv: u32 = 0;
-                    inboxes[idx].drain(|mut ev| {
-                        ev.key.seq = insert_seq;
-                        insert_seq += 1;
-                        lp.fel.push(ev);
-                        recv += 1;
-                    });
-                    next_ts[idx].store(lp.fel.next_ts().0, Ordering::Release);
-                    psm.m_ns += t0.elapsed().as_nanos() as u64;
+                        // Watchdog: a round only counts as progress when it
+                        // executed events or moved the window — an empty
+                        // zero-lookahead round loop must trip the deadline,
+                        // not feed it.
+                        if round_events > 0 || window_end > last_window {
+                            wd.tick();
+                        }
+                        last_window = window_end;
 
-                    if per_round {
-                        samples.push(RoundSample {
-                            window_start: min,
-                            window_end,
-                            cost_ns: cost as f32,
-                            events: round_events,
-                            recv,
+                        // Synchronize: everyone must finish sending first.
+                        let t0 = Instant::now();
+                        barrier.wait();
+                        psm.s_ns += t0.elapsed().as_nanos() as u64;
+
+                        // Receive: drain the shared inbox in arrival order.
+                        let t0 = Instant::now();
+                        let mut recv: u32 = 0;
+                        inboxes[idx].drain(|mut ev| {
+                            ev.key.seq = insert_seq;
+                            insert_seq += 1;
+                            lp.fel.push(ev);
+                            recv += 1;
                         });
-                    }
+                        next_ts[idx].store(lp.fel.next_ts().0, Ordering::Release);
+                        psm.m_ns += t0.elapsed().as_nanos() as u64;
 
-                    // Second barrier: next timestamps are published.
-                    let t0 = Instant::now();
-                    barrier.wait();
-                    psm.s_ns += t0.elapsed().as_nanos() as u64;
+                        if per_round {
+                            samples.push(RoundSample {
+                                window_start: min,
+                                window_end,
+                                cost_ns: cost as f32,
+                                events: round_events,
+                                recv,
+                            });
+                        }
+
+                        // Second barrier: next timestamps are published.
+                        let t0 = Instant::now();
+                        barrier.wait();
+                        psm.s_ns += t0.elapsed().as_nanos() as u64;
+                    }
+                    (lp, psm, samples, end_time, rounds)
+                }));
+                match body {
+                    Ok(res) => Some(res),
+                    Err(payload) => {
+                        record_failure(
+                            failure,
+                            FailureDiagnostics {
+                                kernel: "barrier",
+                                round: round_c.get(),
+                                phase: RunPhase::Process,
+                                lp: Some(LpId(idx as u32)),
+                                virtual_time: vt_c.get(),
+                                worker: idx,
+                                panic_message: panic_message(payload.as_ref()),
+                            },
+                        );
+                        // Release every thread blocked at the barrier and
+                        // stop the round loop; the panicking LP's state is
+                        // lost (mid-event), so the world is not reassembled.
+                        stop_flag.store(true, Ordering::Release);
+                        barrier.poison();
+                        // Unblock peers' LBTS loop: without our next_ts this
+                        // LP would still bound the window.
+                        next_ts[idx].store(Time::MAX.0, Ordering::Release);
+                        None
+                    }
                 }
-                (lp, psm, samples, end_time, rounds)
             }));
         }
-        for h in handles {
-            results.push(h.join().expect("LP thread panicked"));
+        for (idx, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(res) => results.push(res),
+                // The thread body is fully contained; a join error means the
+                // containment itself died. Record it — `try_run` must not
+                // panic.
+                Err(payload) => {
+                    stop_flag.store(true, Ordering::Release);
+                    barrier.poison();
+                    record_failure(
+                        &failure,
+                        FailureDiagnostics {
+                            kernel: "barrier",
+                            round: 0,
+                            phase: RunPhase::Control,
+                            lp: Some(LpId(idx as u32)),
+                            virtual_time: Time::ZERO,
+                            worker: idx,
+                            panic_message: panic_message(payload.as_ref()),
+                        },
+                    );
+                    results.push(None);
+                }
+            }
         }
+        wd.finish();
     });
 
     let wall = started.elapsed();
+    let stalled = wd.stalled();
+    let mut results: Vec<LpResult<N>> = results.into_iter().flatten().collect();
+    let complete = results.len() == lp_count;
     // Threads finish in join order; restore LP order by id.
     results.sort_by_key(|(lp, ..)| lp.id);
     let rounds = results.first().map_or(0, |r| r.4);
-    let rounds_profile = if per_round {
+    let rounds_profile = if per_round && complete {
         let n_rounds = results[0].2.len();
         let mut profile = Vec::with_capacity(n_rounds);
         for r in 0..n_rounds {
@@ -261,7 +357,7 @@ pub(super) fn run<N: SimNode>(
     let lps: Vec<LpState<N>> = results.into_iter().map(|(lp, ..)| lp).collect();
     let lp_totals = LpTotals {
         events: lps.iter().map(|lp| lp.total_events).collect(),
-        cost_ns: vec![0; lp_count],
+        cost_ns: vec![0; lps.len()],
         node_switches: lps.iter().map(|lp| lp.node_switches).collect(),
     };
     let events = lp_totals.events.iter().sum();
@@ -279,6 +375,31 @@ pub(super) fn run<N: SimNode>(
         lp_totals,
         rounds_profile,
     };
+    if let Some(diag) = failure.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        return Err(SimError::WorkerPanic {
+            diag,
+            partial: Box::new(report),
+        });
+    }
+    if stalled {
+        let blocked: Vec<LpId> = lps
+            .iter()
+            .filter(|lp| lp.fel.next_ts() < bound)
+            .map(|lp| lp.id)
+            .collect();
+        let diag = StallDiagnostics {
+            kernel: "barrier",
+            round: rounds,
+            deadline: cfg.watchdog.round_deadline.unwrap_or_default(),
+            virtual_time: end_time,
+            blocked,
+            cycle: Vec::new(),
+        };
+        return Err(SimError::Stalled {
+            diag,
+            partial: Box::new(report),
+        });
+    }
     let world = reassemble_world(lps, &partition, graph, stop_at);
     Ok((world, report))
 }

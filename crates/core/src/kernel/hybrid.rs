@@ -19,6 +19,7 @@
 //! order, so contiguous ranges preserve spatial locality like the paper's
 //! coarse pre-partition.
 
+use crate::error::SimError;
 use crate::metrics::RunReport;
 use crate::world::{SimNode, World};
 
@@ -30,11 +31,12 @@ pub(super) fn run<N: SimNode>(
     cfg: &RunConfig,
     hosts: usize,
     threads_per_host: usize,
-) -> Result<(World<N>, RunReport), KernelError> {
+) -> Result<(World<N>, RunReport), SimError> {
     if hosts == 0 || threads_per_host == 0 {
         return Err(KernelError::InvalidConfig(
             "hybrid kernel needs hosts >= 1 and threads_per_host >= 1".into(),
-        ));
+        )
+        .into());
     }
     // Pre-compute the partition (the same one `run_grouped` will build) to
     // derive the host assignment from LP weights.

@@ -21,6 +21,9 @@ pub mod hybrid;
 pub mod nullmsg;
 pub mod sequential;
 pub mod unison;
+pub(crate) mod watchdog;
+
+use crate::error::SimError;
 
 use crate::event::{Event, EventKey, LpId, NodeId};
 use crate::fel::Fel;
@@ -98,6 +101,32 @@ pub enum PartitionMode {
     SingleLp,
 }
 
+/// Round-progress watchdog configuration.
+///
+/// When `round_deadline` is set, the parallel kernels spawn a monitor
+/// thread that aborts the run (via barrier poisoning / waker bumping) when
+/// no synchronization round completes — and no null-message progress is
+/// made — within the deadline, returning [`SimError::Stalled`] with a
+/// diagnosis instead of hanging. Disabled by default: a deadline turns
+/// wall-clock pauses (e.g. a suspended laptop) into run failures, so it is
+/// opt-in. The sequential kernel ignores the watchdog (a single thread
+/// cannot be preempted between events; see DESIGN.md §4.2).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Maximum wall-clock time a synchronization round may take before the
+    /// run is aborted as stalled. `None` disables the watchdog.
+    pub round_deadline: Option<std::time::Duration>,
+}
+
+impl WatchdogConfig {
+    /// A watchdog with the given per-round deadline.
+    pub fn deadline(d: std::time::Duration) -> Self {
+        WatchdogConfig {
+            round_deadline: Some(d),
+        }
+    }
+}
+
 /// Full run configuration.
 #[derive(Clone, Debug)]
 pub struct RunConfig {
@@ -109,6 +138,14 @@ pub struct RunConfig {
     pub sched: SchedConfig,
     /// Instrumentation level.
     pub metrics: MetricsLevel,
+    /// Round-progress watchdog (disabled by default).
+    pub watchdog: WatchdogConfig,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig::sequential()
+    }
 }
 
 impl RunConfig {
@@ -119,6 +156,7 @@ impl RunConfig {
             partition: PartitionMode::SingleLp,
             sched: SchedConfig::default(),
             metrics: MetricsLevel::Summary,
+            watchdog: WatchdogConfig::default(),
         }
     }
 
@@ -129,6 +167,7 @@ impl RunConfig {
             partition: PartitionMode::Auto,
             sched: SchedConfig::default(),
             metrics: MetricsLevel::Summary,
+            watchdog: WatchdogConfig::default(),
         }
     }
 
@@ -139,6 +178,7 @@ impl RunConfig {
             partition: PartitionMode::Manual(assignment),
             sched: SchedConfig::default(),
             metrics: MetricsLevel::Summary,
+            watchdog: WatchdogConfig::default(),
         }
     }
 
@@ -149,6 +189,7 @@ impl RunConfig {
             partition: PartitionMode::Manual(assignment),
             sched: SchedConfig::default(),
             metrics: MetricsLevel::Summary,
+            watchdog: WatchdogConfig::default(),
         }
     }
 
@@ -161,6 +202,13 @@ impl RunConfig {
     /// Overrides the scheduling configuration.
     pub fn with_sched(mut self, sched: SchedConfig) -> Self {
         self.sched = sched;
+        self
+    }
+
+    /// Enables the round-progress watchdog with the given per-round
+    /// wall-clock deadline.
+    pub fn with_watchdog(mut self, round_deadline: std::time::Duration) -> Self {
+        self.watchdog = WatchdogConfig::deadline(round_deadline);
         self
     }
 }
@@ -193,10 +241,34 @@ impl std::error::Error for KernelError {}
 
 /// Runs `world` under `cfg`, returning the final world (with all node state,
 /// e.g. statistics) and a [`RunReport`].
+///
+/// This is the legacy infallible entry point: configuration errors are
+/// reported as [`KernelError`], but a contained worker panic or a watchdog
+/// abort (see [`try_run`]) re-panics on the calling thread, carrying the
+/// full diagnostic string. Use [`try_run`] to receive those as values.
 pub fn run<N: SimNode>(
     world: World<N>,
     cfg: &RunConfig,
 ) -> Result<(World<N>, RunReport), KernelError> {
+    match try_run(world, cfg) {
+        Ok(out) => Ok(out),
+        Err(SimError::Config(e)) => Err(e),
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Runs `world` under `cfg`, returning every failure — including contained
+/// worker panics and watchdog aborts — as a structured [`SimError`].
+///
+/// On [`SimError::WorkerPanic`] and [`SimError::Stalled`] the surviving
+/// workers have been drained via barrier poisoning and joined; the error
+/// carries the diagnostics plus the partial [`RunReport`] accumulated up to
+/// the abort. The world is consumed (its node state may be mid-event and is
+/// not returned).
+pub fn try_run<N: SimNode>(
+    world: World<N>,
+    cfg: &RunConfig,
+) -> Result<(World<N>, RunReport), SimError> {
     match &cfg.kernel {
         KernelKind::Sequential { compat_keys } => sequential::run(world, cfg, *compat_keys),
         KernelKind::Barrier => barrier::run(world, cfg),
@@ -234,13 +306,15 @@ pub(crate) fn build_partition<N: SimNode>(
 }
 
 /// Everything a kernel needs from a dismantled world: per-LP states, the
-/// node directory, the link graph, pending global events, and the stop time.
+/// node directory, the link graph, pending global events, the stop time,
+/// and the starting external sequence number (non-zero after a restore).
 pub(crate) type BuiltLps<N> = (
     Vec<LpState<N>>,
     NodeDirectory,
     crate::graph::LinkGraph,
     Vec<(Time, GlobalFn<N>)>,
     Option<Time>,
+    u64,
 );
 
 /// Distributes a world's nodes and initial events into per-LP states.
@@ -251,6 +325,8 @@ pub(crate) fn build_lps<N: SimNode>(world: World<N>, partition: &Partition) -> B
         init_events,
         init_globals,
         stop_at,
+        restored_lp_seqs,
+        restored_ext_seq,
     } = world;
     let directory = NodeDirectory::from_lp_nodes(nodes.len(), &partition.lp_nodes);
     let mut lps: Vec<LpState<N>> = (0..partition.lp_count)
@@ -267,11 +343,28 @@ pub(crate) fn build_lps<N: SimNode>(world: World<N>, partition: &Partition) -> B
         let (lp, _) = directory.locate(ev.node);
         lps[lp.index()].fel.push(ev);
     }
+    // Checkpoint restore: sequence counters continue where the saved run
+    // stopped, so post-resume events get the same tie-break keys the
+    // uninterrupted run would have assigned. The caller is responsible for
+    // resuming under the saved partition (LP counts must line up).
+    if let Some(seqs) = restored_lp_seqs {
+        assert_eq!(
+            seqs.len(),
+            lps.len(),
+            "restored world must run under its original partition \
+             (checkpoint had {} LPs, this partition has {})",
+            seqs.len(),
+            lps.len()
+        );
+        for (lp, seq) in lps.iter_mut().zip(seqs) {
+            lp.seq = seq;
+        }
+    }
     for lp in &mut lps {
         lp.refresh_next_ts();
     }
     let globals = init_globals.into_iter().map(|g| (g.ts, g.f)).collect();
-    (lps, directory, graph, globals, stop_at)
+    (lps, directory, graph, globals, stop_at, restored_ext_seq)
 }
 
 /// Reassembles a [`World`] from finished LP states (nodes return to their
@@ -293,12 +386,17 @@ pub(crate) fn reassemble_world<N: SimNode>(
     World {
         nodes: slots
             .into_iter()
+            // INVARIANT: `partition.lp_nodes` covers every node id exactly
+            // once (checked when the partition is built), so the loop above
+            // filled each slot.
             .map(|n| n.expect("every node slot filled"))
             .collect(),
         graph,
         init_events: Vec::new(),
         init_globals: Vec::new(),
         stop_at,
+        restored_lp_seqs: None,
+        restored_ext_seq: 0,
     }
 }
 

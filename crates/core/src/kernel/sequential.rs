@@ -13,9 +13,12 @@
 //! Global events (public LP) are fully supported: they run inline whenever
 //! their timestamp precedes the next node event.
 
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
+use crate::error::{panic_message, FailureDiagnostics, RunPhase, SimError};
 use crate::event::{Event, EventKey, LpId, NodeId};
 use crate::fel::Fel;
 use crate::global::{GlobalFn, WorldAccess};
@@ -24,7 +27,7 @@ use crate::metrics::{LpTotals, Psm, RunReport};
 use crate::time::Time;
 use crate::world::{NodeDirectory, SimCtx, SimNode, World};
 
-use super::{build_lps, build_partition, reassemble_world, KernelError, RunConfig};
+use super::{build_lps, build_partition, reassemble_world, RunConfig};
 
 /// Sequential [`SimCtx`]: one global FEL, insertion-order or compat keys.
 struct SeqCtx<'a, N: SimNode> {
@@ -101,9 +104,15 @@ pub(super) fn run<N: SimNode>(
     world: World<N>,
     cfg: &RunConfig,
     compat_keys: bool,
-) -> Result<(World<N>, RunReport), KernelError> {
+) -> Result<(World<N>, RunReport), SimError> {
+    let kernel_name: &'static str = if compat_keys {
+        "sequential(compat)"
+    } else {
+        "sequential"
+    };
     let mut partition = build_partition(&world, &cfg.partition)?;
-    let (lps, dir, mut graph, init_globals, stop_at) = build_lps(world, &partition);
+    let (lps, dir, mut graph, init_globals, stop_at, restored_ext_seq) =
+        build_lps(world, &partition);
     let lp_count = lps.len();
 
     // Pull all initial events out of the per-LP FELs into the global FEL.
@@ -114,6 +123,13 @@ pub(super) fn run<N: SimNode>(
             fel.push(ev);
         }
     }
+    // Compat-key sequence counters continue from restored values (all zero
+    // for a fresh world), so a checkpointed run resumed here assigns the
+    // same tie-break keys it would have uninterrupted.
+    let mut seqs = vec![0u64; lp_count.max(1)];
+    for (i, lp) in lps.iter().enumerate() {
+        seqs[i] = lp.seq;
+    }
     let slots = LpSlots::new(lps, dir.clone());
     // Single-threaded kernel: the whole run is one claim-audit phase with
     // one owner, so one generation bump up front suffices.
@@ -121,7 +137,7 @@ pub(super) fn run<N: SimNode>(
 
     // Public LP: global events, including the kernel-inserted stop event.
     let mut public: Fel<GlobalFn<N>> = Fel::new();
-    let mut ext_seq: u64 = 0;
+    let mut ext_seq: u64 = restored_ext_seq;
     for (ts, f) in init_globals {
         public.push(Event {
             key: EventKey::external(ts, ext_seq),
@@ -140,7 +156,6 @@ pub(super) fn run<N: SimNode>(
     }
 
     let stop_flag = AtomicBool::new(false);
-    let mut seqs = vec![0u64; lp_count.max(1)];
     let mut pending_globals: Vec<PendingGlobal<N>> = Vec::new();
     let mut topology_dirty = false;
 
@@ -151,7 +166,15 @@ pub(super) fn run<N: SimNode>(
     let mut now = Time::ZERO;
     let started = Instant::now();
 
-    loop {
+    // Failure site, updated just before each handler/global runs so a
+    // contained panic can report where it happened.
+    let site: Cell<(RunPhase, Option<LpId>, Time)> =
+        Cell::new((RunPhase::Control, None, Time::ZERO));
+
+    // The event loop runs inside `catch_unwind` so a panicking model handler
+    // (or global event) is contained: the loop's borrows end with the
+    // closure, letting the aftermath build a partial report from the slots.
+    let outcome = catch_unwind(AssertUnwindSafe(|| loop {
         if stop_flag.load(Ordering::Acquire) {
             break;
         }
@@ -164,8 +187,11 @@ pub(super) fn run<N: SimNode>(
             // Global events run before node events at the same instant,
             // matching the windowed kernels (a window never extends past
             // N_pub).
+            // INVARIANT: `next_pub < Time::MAX` implies the public FEL is
+            // non-empty (`next_ts` returns MAX only when empty).
             let g = public.pop().expect("public FEL non-empty");
             now = g.key.ts;
+            site.set((RunPhase::Global, None, now));
             let mut stop = false;
             let mut new_globals: Vec<(Time, GlobalFn<N>)> = Vec::new();
             {
@@ -181,6 +207,10 @@ pub(super) fn run<N: SimNode>(
                         &mut stop,
                         &mut new_globals,
                         &mut ext_seq,
+                        // Events pulled into the kernel-private global FEL
+                        // are invisible to a checkpoint, so the sequential
+                        // kernel does not offer one.
+                        None,
                     )
                 };
                 (g.payload)(&mut wa);
@@ -212,6 +242,7 @@ pub(super) fn run<N: SimNode>(
             continue;
         }
 
+        // INVARIANT: `next_ev < Time::MAX` implies the FEL is non-empty.
         let ev = fel.pop().expect("FEL non-empty");
         now = ev.key.ts;
         if ev.node.0 != last_node {
@@ -219,6 +250,7 @@ pub(super) fn run<N: SimNode>(
             last_node = ev.node.0;
         }
         let (lp_id, local) = dir.locate(ev.node);
+        site.set((RunPhase::Process, Some(lp_id), now));
         // SAFETY: single-threaded kernel; exclusive by construction.
         let lp = unsafe { slots.get_mut(lp_id.index()) };
         let node = &mut lp.nodes[local as usize];
@@ -251,7 +283,7 @@ pub(super) fn run<N: SimNode>(
             });
             ext_seq += 1;
         }
-    }
+    }));
 
     let wall = started.elapsed();
     let (lps, _) = slots.into_inner();
@@ -264,11 +296,7 @@ pub(super) fn run<N: SimNode>(
         lp_totals.node_switches[0] = node_switches;
     }
     let report = RunReport {
-        kernel: if compat_keys {
-            "sequential(compat)".into()
-        } else {
-            "sequential".into()
-        },
+        kernel: kernel_name.into(),
         wall,
         events,
         global_events,
@@ -285,6 +313,25 @@ pub(super) fn run<N: SimNode>(
         lp_totals,
         rounds_profile: None,
     };
-    let world = reassemble_world(lps, &partition, graph, stop_at);
-    Ok((world, report))
+    match outcome {
+        Ok(()) => {
+            let world = reassemble_world(lps, &partition, graph, stop_at);
+            Ok((world, report))
+        }
+        Err(payload) => {
+            let (phase, lp, virtual_time) = site.get();
+            Err(SimError::WorkerPanic {
+                diag: FailureDiagnostics {
+                    kernel: kernel_name,
+                    round: 0,
+                    phase,
+                    lp,
+                    virtual_time,
+                    worker: 0,
+                    panic_message: panic_message(payload.as_ref()),
+                },
+                partial: Box::new(report),
+            })
+        }
+    }
 }

@@ -25,12 +25,17 @@
 //! their own group, modeling the cluster deployment where load balancing
 //! happens within a host and only the window all-reduce is global.
 
-use std::cell::UnsafeCell;
+use std::cell::{Cell, UnsafeCell};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
 use std::time::Instant;
 
+use crate::error::{
+    panic_message, record_failure, FailureDiagnostics, RunPhase, SimError, StallDiagnostics,
+};
 use crate::event::{Event, EventKey, LpId, NodeId};
 use crate::fel::Fel;
-use crate::global::{GlobalFn, WorldAccess};
+use crate::global::{CkptEnv, GlobalFn, WorldAccess};
 use crate::lp::LpSlots;
 use crate::mailbox::Mailboxes;
 use crate::metrics::{LpTotals, MetricsLevel, Psm, RoundRecord, RunReport};
@@ -40,7 +45,12 @@ use crate::sync_shim::{AtomicBool, AtomicUsize, CachePadded, Ordering};
 use crate::time::Time;
 use crate::world::{SimNode, World};
 
+use super::watchdog::Watchdog;
 use super::{build_lps, build_partition, reassemble_world, KernelError, RoundCtx, RunConfig};
+
+/// Failure site updated by the processing phase just before each handler
+/// runs, so a contained panic can be attributed to an LP and virtual time.
+type Site = Cell<(Option<LpId>, Time)>;
 
 /// How LPs and workers are grouped (single group = plain Unison; one group
 /// per simulated host = hybrid kernel).
@@ -94,9 +104,9 @@ pub(super) fn run<N: SimNode>(
     world: World<N>,
     cfg: &RunConfig,
     threads: usize,
-) -> Result<(World<N>, RunReport), KernelError> {
+) -> Result<(World<N>, RunReport), SimError> {
     if threads == 0 {
-        return Err(KernelError::InvalidConfig("threads must be >= 1".into()));
+        return Err(KernelError::InvalidConfig("threads must be >= 1".into()).into());
     }
     run_grouped(world, cfg, threads, None, "unison")
 }
@@ -107,19 +117,20 @@ pub(super) fn run_grouped<N: SimNode>(
     cfg: &RunConfig,
     threads: usize,
     grouping: Option<Grouping>,
-    kernel_name: &str,
-) -> Result<(World<N>, RunReport), KernelError> {
+    kernel_name: &'static str,
+) -> Result<(World<N>, RunReport), SimError> {
     let mut partition = build_partition(&world, &cfg.partition)?;
-    let (lps, dir, mut graph, init_globals, stop_at) = build_lps(world, &partition);
+    let (lps, dir, mut graph, init_globals, stop_at, restored_ext_seq) =
+        build_lps(world, &partition);
     let lp_count = lps.len();
     if lp_count == 0 {
-        return Err(KernelError::InvalidPartition("world has no nodes".into()));
+        return Err(KernelError::InvalidPartition("world has no nodes".into()).into());
     }
     let grouping = grouping.unwrap_or_else(|| Grouping::single(lp_count, threads));
     if grouping.worker_group.len() != threads || grouping.lp_group.len() != lp_count {
-        return Err(KernelError::InvalidConfig(
-            "grouping does not match thread/LP counts".into(),
-        ));
+        return Err(
+            KernelError::InvalidConfig("grouping does not match thread/LP counts".into()).into(),
+        );
     }
     let groups = grouping.groups;
 
@@ -131,9 +142,10 @@ pub(super) fn run_grouped<N: SimNode>(
     let mailboxes: Mailboxes<N::Payload> = Mailboxes::new(lp_count, &channels);
     let slots = LpSlots::new(lps, dir);
 
-    // Public LP.
+    // Public LP. The external sequence counter continues from a restored
+    // checkpoint's value (0 for a fresh world).
     let mut public: Fel<GlobalFn<N>> = Fel::new();
-    let mut ext_seq: u64 = 0;
+    let mut ext_seq: u64 = restored_ext_seq;
     for (ts, f) in init_globals {
         public.push(Event {
             key: EventKey::external(ts, ext_seq),
@@ -201,7 +213,24 @@ pub(super) fn run_grouped<N: SimNode>(
     let mut main_psm = Psm::default();
     let main_group = grouping.worker_group[0] as usize;
 
+    // Crash-safety plumbing (DESIGN.md §4.2): the first contained panic
+    // wins the diagnostics slot; the watchdog aborts rounds that exceed
+    // their wall-clock deadline. Both abort paths poison the barrier so
+    // every thread drains out at its next synchronization point.
+    let failure: Mutex<Option<FailureDiagnostics>> = Mutex::new(None);
+    let wd = Watchdog::new();
+
     std::thread::scope(|scope| {
+        // Round-progress monitor (opt-in): fires when the main thread stops
+        // ticking for longer than the deadline.
+        if let Some(deadline) = cfg.watchdog.round_deadline {
+            let wd = &wd;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                wd.monitor(deadline, || barrier.poison());
+            });
+        }
+
         // Spawn `threads - 1` workers; the main thread is worker 0 and also
         // runs the serial phases.
         let mut handles = Vec::new();
@@ -214,24 +243,79 @@ pub(super) fn run_grouped<N: SimNode>(
             let cursor_recv = &cursor_recv;
             let stop_flag = &stop_flag;
             let mailboxes = &mailboxes;
+            let failure = &failure;
             handles.push(scope.spawn(move || {
                 let mut psm = Psm::default();
+                let mut round: u64 = 0;
                 loop {
                     wait_timed(barrier, &mut psm.s_ns); // B0: plan published
-                                                        // SAFETY: read-only access during parallel phases.
+                    if barrier.is_poisoned() {
+                        break;
+                    }
+                    // SAFETY: read-only access during parallel phases.
                     let p = unsafe { &*plan.0.get() };
                     if p.done {
                         break;
                     }
+                    round += 1;
+                    let site: Site = Cell::new((None, p.window_start));
                     let t0 = Instant::now();
-                    process_phase(slots, mailboxes, &cursor_proc[g], &p.order[g], p, stop_flag);
+                    let r = catch_unwind(AssertUnwindSafe(|| {
+                        process_phase(
+                            slots,
+                            mailboxes,
+                            &cursor_proc[g],
+                            &p.order[g],
+                            p,
+                            stop_flag,
+                            &site,
+                        )
+                    }));
                     psm.p_ns += t0.elapsed().as_nanos() as u64;
+                    if let Err(payload) = r {
+                        contain(
+                            failure,
+                            barrier,
+                            kernel_name,
+                            round,
+                            RunPhase::Process,
+                            &site,
+                            w,
+                            payload,
+                        );
+                        break;
+                    }
                     wait_timed(barrier, &mut psm.s_ns); // B1
+                    if barrier.is_poisoned() {
+                        break;
+                    }
                     wait_timed(barrier, &mut psm.s_ns); // B2 (main ran globals)
+                    if barrier.is_poisoned() {
+                        break;
+                    }
+                    let site: Site = Cell::new((None, p.window_end));
                     let t0 = Instant::now();
-                    receive_phase(slots, mailboxes, &cursor_recv[g], &p.group_lps[g]);
+                    let r = catch_unwind(AssertUnwindSafe(|| {
+                        receive_phase(slots, mailboxes, &cursor_recv[g], &p.group_lps[g], &site)
+                    }));
                     psm.m_ns += t0.elapsed().as_nanos() as u64;
+                    if let Err(payload) = r {
+                        contain(
+                            failure,
+                            barrier,
+                            kernel_name,
+                            round,
+                            RunPhase::Receive,
+                            &site,
+                            w,
+                            payload,
+                        );
+                        break;
+                    }
                     wait_timed(barrier, &mut psm.s_ns); // B3
+                    if barrier.is_poisoned() {
+                        break;
+                    }
                 }
                 psm
             }));
@@ -243,128 +327,196 @@ pub(super) fn run_grouped<N: SimNode>(
         slots.begin_phase(); // covers phase 1 of round 1
         loop {
             wait_timed(&barrier, &mut main_psm.s_ns); // B0
-                                                      // SAFETY: parallel-phase read.
+            if barrier.is_poisoned() {
+                break;
+            }
+            // SAFETY: parallel-phase read.
             let p = unsafe { &*plan.0.get() };
             if p.done {
                 break;
             }
             let window_start = p.window_start;
             let window_end = p.window_end;
+            let site: Site = Cell::new((None, window_start));
             let t0 = Instant::now();
-            process_phase(
-                &slots,
-                &mailboxes,
-                &cursor_proc[main_group],
-                &p.order[main_group],
-                p,
-                &stop_flag,
-            );
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                process_phase(
+                    &slots,
+                    &mailboxes,
+                    &cursor_proc[main_group],
+                    &p.order[main_group],
+                    p,
+                    &stop_flag,
+                    &site,
+                )
+            }));
             main_psm.p_ns += t0.elapsed().as_nanos() as u64;
+            if let Err(payload) = r {
+                contain(
+                    &failure,
+                    &barrier,
+                    kernel_name,
+                    rounds + 1,
+                    RunPhase::Process,
+                    &site,
+                    0,
+                    payload,
+                );
+                break;
+            }
             wait_timed(&barrier, &mut main_psm.s_ns); // B1
+            if barrier.is_poisoned() {
+                break;
+            }
 
             // ---- Phase 2: global events (main thread only) ----
             slots.begin_phase(); // covers phase 2 (workers idle until B2)
             let t0 = Instant::now();
-            let mut topology_dirty = false;
             let mut stopped = stop_flag.load(Ordering::Acquire);
-            for c in cursor_recv.iter() {
-                c.store(0, Ordering::Relaxed);
-            }
-            // Route overflow events and merge node-scheduled globals.
-            for i in 0..lp_count {
-                let (outflow, pending) = {
-                    // SAFETY: workers wait at B2; main is exclusive. The
-                    // borrow ends inside this block, before any other slot
-                    // is touched.
-                    let lp = unsafe { slots.get_mut(i) };
-                    if lp.outflow.is_empty() && lp.pending_globals.is_empty() {
-                        continue;
-                    }
-                    (
-                        std::mem::take(&mut lp.outflow),
-                        std::mem::take(&mut lp.pending_globals),
-                    )
-                };
-                for ev in outflow {
-                    let dst = slots.directory().lp_of(ev.node);
-                    // SAFETY: main-thread exclusivity; the source LP borrow
-                    // above has already ended.
-                    let dst_lp = unsafe { slots.get_mut(dst.index()) };
-                    dst_lp.fel.push(ev);
+            let site: Site = Cell::new((None, window_end));
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                let mut topology_dirty = false;
+                for c in cursor_recv.iter() {
+                    c.store(0, Ordering::Relaxed);
                 }
-                for pg in pending {
-                    public.push(Event {
-                        key: EventKey {
-                            // Clamp: globals cannot precede the end of the
-                            // window that scheduled them.
-                            ts: pg.ts.max(window_end),
-                            sender_ts: pg.sender_ts,
-                            sender_lp: LpId(i as u32),
-                            seq: ext_seq,
-                        },
-                        node: NodeId(u32::MAX),
-                        payload: pg.f,
-                    });
-                    ext_seq += 1;
-                }
-            }
-            // Execute due global events.
-            // `Time::MAX` means "no global event" — it must not satisfy the
-            // bound even when the window itself is unbounded (linkless
-            // worlds have an infinite lookahead).
-            while !stopped && public.next_ts() != Time::MAX && public.next_ts() <= window_end {
-                let g = public.pop().expect("public FEL non-empty");
-                let now = g.key.ts;
-                end_time = end_time.max(now);
-                let mut stop = false;
-                let mut new_globals: Vec<(Time, GlobalFn<N>)> = Vec::new();
-                {
-                    // SAFETY: workers wait at B2; the main thread holds
-                    // exclusive access to every LP slot.
-                    let mut wa = unsafe {
-                        WorldAccess::new(
-                            now,
-                            &slots,
-                            &mut graph,
-                            &mut partition,
-                            &mut topology_dirty,
-                            &mut stop,
-                            &mut new_globals,
-                            &mut ext_seq,
+                // Route overflow events and merge node-scheduled globals.
+                for i in 0..lp_count {
+                    let (outflow, pending) = {
+                        // SAFETY: workers wait at B2; main is exclusive. The
+                        // borrow ends inside this block, before any other slot
+                        // is touched.
+                        let lp = unsafe { slots.get_mut(i) };
+                        if lp.outflow.is_empty() && lp.pending_globals.is_empty() {
+                            continue;
+                        }
+                        (
+                            std::mem::take(&mut lp.outflow),
+                            std::mem::take(&mut lp.pending_globals),
                         )
                     };
-                    (g.payload)(&mut wa);
+                    for ev in outflow {
+                        let dst = slots.directory().lp_of(ev.node);
+                        // SAFETY: main-thread exclusivity; the source LP borrow
+                        // above has already ended.
+                        let dst_lp = unsafe { slots.get_mut(dst.index()) };
+                        dst_lp.fel.push(ev);
+                    }
+                    for pg in pending {
+                        public.push(Event {
+                            key: EventKey {
+                                // Clamp: globals cannot precede the end of the
+                                // window that scheduled them.
+                                ts: pg.ts.max(window_end),
+                                sender_ts: pg.sender_ts,
+                                sender_lp: LpId(i as u32),
+                                seq: ext_seq,
+                            },
+                            node: NodeId(u32::MAX),
+                            payload: pg.f,
+                        });
+                        ext_seq += 1;
+                    }
                 }
-                global_events += 1;
-                for (ts, f) in new_globals {
-                    public.push(Event {
-                        key: EventKey::external(ts, ext_seq),
-                        node: NodeId(u32::MAX),
-                        payload: f,
-                    });
-                    ext_seq += 1;
+                // Execute due global events.
+                // `Time::MAX` means "no global event" — it must not satisfy the
+                // bound even when the window itself is unbounded (linkless
+                // worlds have an infinite lookahead).
+                while !stopped && public.next_ts() != Time::MAX && public.next_ts() <= window_end {
+                    // INVARIANT: `next_ts != Time::MAX` implies non-empty.
+                    let g = public.pop().expect("public FEL non-empty");
+                    let now = g.key.ts;
+                    end_time = end_time.max(now);
+                    site.set((None, now));
+                    let mut stop = false;
+                    let mut new_globals: Vec<(Time, GlobalFn<N>)> = Vec::new();
+                    {
+                        // SAFETY: workers wait at B2; the main thread holds
+                        // exclusive access to every LP slot.
+                        let mut wa = unsafe {
+                            WorldAccess::new(
+                                now,
+                                &slots,
+                                &mut graph,
+                                &mut partition,
+                                &mut topology_dirty,
+                                &mut stop,
+                                &mut new_globals,
+                                &mut ext_seq,
+                                Some(CkptEnv {
+                                    mailboxes: &mailboxes,
+                                    stop_at,
+                                }),
+                            )
+                        };
+                        (g.payload)(&mut wa);
+                    }
+                    global_events += 1;
+                    for (ts, f) in new_globals {
+                        public.push(Event {
+                            key: EventKey::external(ts, ext_seq),
+                            node: NodeId(u32::MAX),
+                            payload: f,
+                        });
+                        ext_seq += 1;
+                    }
+                    if stop {
+                        stopped = true;
+                    }
                 }
-                if stop {
-                    stopped = true;
+                if topology_dirty {
+                    partition.recompute_lookahead(&graph);
                 }
-            }
-            if topology_dirty {
-                partition.recompute_lookahead(&graph);
-            }
+            }));
             main_psm.p_ns += t0.elapsed().as_nanos() as u64;
+            if let Err(payload) = r {
+                contain(
+                    &failure,
+                    &barrier,
+                    kernel_name,
+                    rounds + 1,
+                    RunPhase::Global,
+                    &site,
+                    0,
+                    payload,
+                );
+                break;
+            }
             slots.begin_phase(); // covers phase 3 (released by B2)
             wait_timed(&barrier, &mut main_psm.s_ns); // B2
+            if barrier.is_poisoned() {
+                break;
+            }
 
             // ---- Phase 3: receive (parallel) ----
+            let site: Site = Cell::new((None, window_end));
             let t0 = Instant::now();
-            receive_phase(
-                &slots,
-                &mailboxes,
-                &cursor_recv[main_group],
-                &p.group_lps[main_group],
-            );
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                receive_phase(
+                    &slots,
+                    &mailboxes,
+                    &cursor_recv[main_group],
+                    &p.group_lps[main_group],
+                    &site,
+                )
+            }));
             main_psm.m_ns += t0.elapsed().as_nanos() as u64;
+            if let Err(payload) = r {
+                contain(
+                    &failure,
+                    &barrier,
+                    kernel_name,
+                    rounds + 1,
+                    RunPhase::Receive,
+                    &site,
+                    0,
+                    payload,
+                );
+                break;
+            }
             wait_timed(&barrier, &mut main_psm.s_ns); // B3
+            if barrier.is_poisoned() {
+                break;
+            }
 
             // ---- Phase 4: update window + schedule (main thread only) ----
             slots.begin_phase(); // covers phase 4 (workers idle until B0)
@@ -450,15 +602,50 @@ pub(super) fn run_grouped<N: SimNode>(
             }
             slots.begin_phase(); // covers the next round's phase 1
             main_psm.m_ns += t0.elapsed().as_nanos() as u64;
+            // One round completed: feed the watchdog.
+            wd.tick();
         }
 
-        for h in handles {
-            worker_psm.push(h.join().expect("worker panicked"));
+        // Unblock the monitor thread (if any) before joining workers, so a
+        // clean shutdown never waits out the deadline.
+        wd.finish();
+        for (i, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(psm) => worker_psm.push(psm),
+                // Workers contain their own panics, so a join error means
+                // the containment machinery itself died (e.g. a panic in
+                // barrier bookkeeping). Record it instead of propagating —
+                // `try_run` must not panic.
+                Err(payload) => {
+                    barrier.poison();
+                    record_failure(
+                        &failure,
+                        FailureDiagnostics {
+                            kernel: kernel_name,
+                            round: rounds,
+                            phase: RunPhase::Control,
+                            lp: None,
+                            virtual_time: end_time,
+                            worker: i + 1,
+                            panic_message: panic_message(payload.as_ref()),
+                        },
+                    );
+                }
+            }
         }
     });
 
     let wall = started.elapsed();
-    let (lps, _) = slots.into_inner();
+    let stalled = wd.stalled();
+    let (mut lps, _) = slots.into_inner();
+    // An abort can leave cross-LP events sent in the aborted round's process
+    // phase undelivered (the receive phase never ran). Deliver them now so
+    // the stall diagnosis sees every LP that still has work; on a completed
+    // run the mailboxes are already empty.
+    for lp in lps.iter_mut() {
+        let id = lp.id.0;
+        mailboxes.drain(id, |ev| lp.fel.push(ev));
+    }
     let lp_totals = LpTotals {
         events: lps.iter().map(|lp| lp.total_events).collect(),
         cost_ns: lps.iter().map(|lp| lp.last_cost_ns).collect(),
@@ -481,8 +668,62 @@ pub(super) fn run_grouped<N: SimNode>(
         lp_totals,
         rounds_profile,
     };
+    if let Some(diag) = failure.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        return Err(SimError::WorkerPanic {
+            diag,
+            partial: Box::new(report),
+        });
+    }
+    if stalled {
+        let blocked: Vec<LpId> = lps
+            .iter()
+            .filter(|lp| lp.fel.next_ts() != Time::MAX || !lp.outflow.is_empty())
+            .map(|lp| lp.id)
+            .collect();
+        let diag = StallDiagnostics {
+            kernel: kernel_name,
+            round: rounds,
+            deadline: cfg.watchdog.round_deadline.unwrap_or_default(),
+            virtual_time: end_time,
+            blocked,
+            cycle: Vec::new(),
+        };
+        return Err(SimError::Stalled {
+            diag,
+            partial: Box::new(report),
+        });
+    }
     let world = reassemble_world(lps, &partition, graph, stop_at);
     Ok((world, report))
+}
+
+/// Records a contained panic's diagnostics (first failure wins) and poisons
+/// the barrier so every other thread drains out of the round loop.
+#[allow(clippy::too_many_arguments)]
+fn contain(
+    failure: &Mutex<Option<FailureDiagnostics>>,
+    barrier: &SpinBarrier,
+    kernel: &'static str,
+    round: u64,
+    phase: RunPhase,
+    site: &Site,
+    worker: usize,
+    payload: Box<dyn std::any::Any + Send>,
+) {
+    let (lp, virtual_time) = site.get();
+    record_failure(
+        failure,
+        FailureDiagnostics {
+            kernel,
+            round,
+            phase,
+            lp,
+            virtual_time,
+            worker,
+            panic_message: panic_message(payload.as_ref()),
+        },
+    );
+    barrier.poison();
 }
 
 /// Barrier wait with the blocked time charged to `s_ns`.
@@ -494,6 +735,7 @@ fn wait_timed(barrier: &SpinBarrier, s_ns: &mut u64) {
 }
 
 /// Phase 1: claim LPs in schedule order and execute their window events.
+#[allow(clippy::too_many_arguments)]
 fn process_phase<N: SimNode>(
     slots: &LpSlots<N>,
     mailboxes: &Mailboxes<N::Payload>,
@@ -501,6 +743,7 @@ fn process_phase<N: SimNode>(
     order: &[u32],
     plan: &RoundPlan,
     stop_flag: &AtomicBool,
+    site: &Site,
 ) {
     let dir = slots.directory();
     loop {
@@ -528,6 +771,7 @@ fn process_phase<N: SimNode>(
             }
             let (owner, local) = dir.locate(ev.node);
             debug_assert_eq!(owner, lp.id, "event routed to wrong LP");
+            site.set((Some(lp.id), ev.key.ts));
             let node = &mut lp.nodes[local as usize];
             let mut ctx = RoundCtx::<N> {
                 now: ev.key.ts,
@@ -557,6 +801,7 @@ fn receive_phase<N: SimNode>(
     mailboxes: &Mailboxes<N::Payload>,
     cursor: &AtomicUsize,
     group_lps: &[u32],
+    site: &Site,
 ) {
     loop {
         let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -564,6 +809,7 @@ fn receive_phase<N: SimNode>(
             break;
         }
         let lp_idx = group_lps[i] as usize;
+        site.set((Some(LpId(lp_idx as u32)), site.get().1));
         // SAFETY: unique claim via the cursor, as in `process_phase`.
         let lp = unsafe { slots.get_mut(lp_idx) };
         let mut recv: u64 = 0;

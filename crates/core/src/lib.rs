@@ -59,6 +59,8 @@
 
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod checkpoint;
+pub mod error;
 pub mod event;
 pub mod fel;
 pub mod global;
@@ -77,11 +79,16 @@ pub mod sync_shim;
 pub mod time;
 pub mod world;
 
+pub use checkpoint::{
+    latest_checkpoint, resume, schedule_checkpoints, CheckpointConfig, Resumed, Snapshot,
+    SnapshotError, SnapshotReader, SnapshotWriter,
+};
+pub use error::{FailureDiagnostics, RunPhase, SimError, StallDiagnostics};
 pub use event::{Event, EventKey, LpId, NodeId};
 pub use fel::Fel;
 pub use global::{GlobalFn, WorldAccess};
 pub use graph::{LinkGraph, LinkSpec};
-pub use kernel::{run, KernelError, KernelKind, PartitionMode, RunConfig};
+pub use kernel::{run, try_run, KernelError, KernelKind, PartitionMode, RunConfig, WatchdogConfig};
 pub use metrics::{LpTotals, MetricsLevel, Psm, RoundRecord, RunReport};
 pub use partition::{fine_grained_partition, manual_partition, partition_below_bound, Partition};
 pub use perfmodel::{CostParams, ModelResult, PerfModel};

@@ -286,7 +286,10 @@ impl<'a> PerfModel<'a> {
                 let (idx, _) = loads
                     .iter()
                     .enumerate()
+                    // INVARIANT: loads are finite sums of finite profiled
+                    // costs; `loads` has `cores > 0` entries.
                     .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    // INVARIANT: `loads` has `cores > 0` entries.
                     .expect("cores > 0");
                 loads[idx] += actual[lp as usize];
             }
@@ -347,14 +350,19 @@ impl<'a> PerfModel<'a> {
                 let mut lps: Vec<u32> = group.clone();
                 lps.sort_by(|&a, &b| {
                     rec.lp_cost_ns[b as usize]
+                        // INVARIANT: profiled costs are finite u64 counters.
                         .partial_cmp(&rec.lp_cost_ns[a as usize])
+                        // INVARIANT: see above — total order on finite costs.
                         .expect("finite costs")
                 });
                 for lp in lps {
                     let (idx, _) = loads
                         .iter()
                         .enumerate()
+                        // INVARIANT: loads are finite sums of finite costs;
+                        // `loads` has `threads_per_host > 0` entries.
                         .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                        // INVARIANT: `loads` is non-empty.
                         .expect("threads_per_host > 0");
                     loads[idx] += rec.lp_cost_ns[lp as usize] as f64;
                 }
@@ -391,6 +399,7 @@ impl<'a> PerfModel<'a> {
             if r % bucket == 0 {
                 out.push(vec![0.0; n]);
             }
+            // INVARIANT: round 0 pushes the first bucket (0 % bucket == 0).
             let last = out.last_mut().expect("bucket pushed");
             for (acc, &cost) in last.iter_mut().zip(&rec.lp_cost_ns) {
                 *acc += cost as f64;

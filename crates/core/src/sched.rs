@@ -91,7 +91,10 @@ pub fn lpt_makespan(order: &[u32], actual: &[f64], threads: usize) -> f64 {
         let (idx, _) = loads
             .iter()
             .enumerate()
+            // INVARIANT: loads are finite sums of finite costs, so the
+            // comparison is total; `loads` is non-empty (threads.max(1)).
             .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            // INVARIANT: `loads` is non-empty (threads.max(1) entries).
             .expect("threads > 0");
         loads[idx] += actual[lp as usize];
     }
@@ -105,7 +108,9 @@ pub fn ideal_makespan(actual: &[f64], threads: usize) -> f64 {
     let mut order: Vec<u32> = (0..actual.len() as u32).collect();
     order.sort_unstable_by(|&a, &b| {
         actual[b as usize]
+            // INVARIANT: profiled costs are finite (ns counters cast to f64).
             .partial_cmp(&actual[a as usize])
+            // INVARIANT: see above — finite costs compare totally.
             .unwrap()
             .then(a.cmp(&b))
     });

@@ -48,10 +48,24 @@ pub const SPIN_YIELD_THRESHOLD: u32 = 64;
 /// `Relaxed` is sufficient; the loom model `barrier_generation_reuse`
 /// machine-checks this argument (a `debug_assert` in `wait` would trip if a
 /// stale count ever doubled-up arrivals).
+/// ## Poisoning
+///
+/// [`SpinBarrier::poison`] marks the barrier permanently broken. Every
+/// participant currently spinning in `wait` — and every later caller —
+/// returns immediately (with `false`) instead of waiting for stragglers.
+/// This is the drain path used by the kernels' panic containment and the
+/// round-progress watchdog: when one worker dies, the survivors must fall
+/// out of the round loop instead of spinning on a generation that can never
+/// complete. A poisoned barrier never recovers; callers are expected to
+/// check [`SpinBarrier::is_poisoned`] after each `wait` and stop
+/// participating. Because a participant calls `wait` at most once more
+/// after observing poison, the per-generation arrival count stays bounded
+/// by `threads` and the stale-count `debug_assert` still holds.
 pub struct SpinBarrier {
     threads: usize,
     count: AtomicUsize,
     sense: AtomicBool,
+    poisoned: AtomicBool,
     spin_limit: u32,
 }
 
@@ -70,13 +84,35 @@ impl SpinBarrier {
             threads,
             count: AtomicUsize::new(0),
             sense: AtomicBool::new(false),
+            poisoned: AtomicBool::new(false),
             spin_limit,
         }
     }
 
+    /// Marks the barrier permanently broken, releasing every current and
+    /// future waiter (their `wait` returns `false`). Idempotent.
+    pub fn poison(&self) {
+        // Release: a waiter that observes the poison with Acquire also
+        // observes everything the poisoner wrote before it (e.g. the
+        // failure diagnostics recorded by a panicking worker).
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    /// Whether [`SpinBarrier::poison`] has been called.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
     /// Blocks until all participants have called `wait`. Returns `true` for
-    /// exactly one participant per generation (the last to arrive).
+    /// exactly one participant per generation (the last to arrive), or
+    /// `false` immediately when the barrier is (or becomes) poisoned.
     pub fn wait(&self) -> bool {
+        // Checked before the arrival fetch_add so a drained participant
+        // never contributes a stale count to a generation that will not
+        // complete.
+        if self.is_poisoned() {
+            return false;
+        }
         let local_sense = !self.sense.load(Ordering::Relaxed);
         let arrived = self.count.fetch_add(1, Ordering::AcqRel) + 1;
         // A stale (unreset) count from a previous generation would surface
@@ -97,6 +133,9 @@ impl SpinBarrier {
         } else {
             let mut spins = 0u32;
             while self.sense.load(Ordering::Acquire) != local_sense {
+                if self.is_poisoned() {
+                    return false;
+                }
                 if spins < self.spin_limit {
                     spins += 1;
                     spin_loop();
@@ -176,6 +215,34 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(leaders.load(std::sync::atomic::Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn poison_releases_current_and_future_waiters() {
+        let barrier = Arc::new(SpinBarrier::new(2));
+        let waiter = {
+            let barrier = Arc::clone(&barrier);
+            // Only 1 of 2 participants ever arrives: without poison this
+            // thread would spin forever.
+            std::thread::spawn(move || barrier.wait())
+        };
+        // Give the waiter a chance to enter the spin loop, then poison.
+        std::thread::yield_now();
+        barrier.poison();
+        assert!(!waiter.join().unwrap(), "poisoned wait must not lead");
+        assert!(barrier.is_poisoned());
+        // Later arrivals drain immediately as well.
+        assert!(!barrier.wait());
+        assert!(!barrier.wait());
+    }
+
+    #[test]
+    fn poison_is_idempotent_and_sticky() {
+        let b = SpinBarrier::new(3);
+        b.poison();
+        b.poison();
+        assert!(b.is_poisoned());
+        assert!(!b.wait());
     }
 
     #[test]

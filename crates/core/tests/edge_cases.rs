@@ -79,6 +79,7 @@ fn run_without_stop_time_drains_all_events() {
 fn single_lp_barrier_kernel_degenerates_gracefully() {
     let world = one_node_world(25);
     let cfg = RunConfig {
+        watchdog: Default::default(),
         kernel: KernelKind::Barrier,
         partition: PartitionMode::SingleLp,
         sched: SchedConfig::default(),
@@ -100,6 +101,7 @@ fn more_threads_than_lps_is_fine() {
 #[test]
 fn hybrid_clamps_host_count_to_lps() {
     let cfg = RunConfig {
+        watchdog: Default::default(),
         kernel: KernelKind::Hybrid {
             hosts: 16,
             threads_per_host: 1,
@@ -116,6 +118,7 @@ fn hybrid_clamps_host_count_to_lps() {
 #[test]
 fn manual_partition_wrong_length_is_rejected() {
     let cfg = RunConfig {
+        watchdog: Default::default(),
         kernel: KernelKind::Unison { threads: 1 },
         partition: PartitionMode::Manual(vec![0, 1]),
         sched: SchedConfig::default(),

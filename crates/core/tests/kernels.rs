@@ -112,6 +112,7 @@ fn unison_matches_compat_sequential_bitwise() {
     let (w_seq, rep_seq) = kernel::run(
         ring_world(N, DELAY, TOKENS, STOP),
         &RunConfig {
+            watchdog: Default::default(),
             kernel: KernelKind::Sequential { compat_keys: true },
             partition: PartitionMode::Auto,
             sched: SchedConfig::default(),
@@ -156,6 +157,7 @@ fn all_kernels_agree_on_event_totals() {
     let (_, hy) = kernel::run(
         ring_world(N, DELAY, TOKENS, STOP),
         &RunConfig {
+            watchdog: Default::default(),
             kernel: KernelKind::Hybrid {
                 hosts: 2,
                 threads_per_host: 2,
@@ -183,6 +185,7 @@ fn hybrid_matches_unison_bitwise() {
     let (w_hy, rep_hy) = kernel::run(
         ring_world(N, DELAY, TOKENS, STOP),
         &RunConfig {
+            watchdog: Default::default(),
             kernel: KernelKind::Hybrid {
                 hosts: 2,
                 threads_per_host: 2,
@@ -386,6 +389,7 @@ fn topology_change_recomputes_lookahead() {
 #[test]
 fn manual_partition_controls_lp_count() {
     let cfg = RunConfig {
+        watchdog: Default::default(),
         kernel: KernelKind::Unison { threads: 2 },
         partition: PartitionMode::Manual((0..N as u32).map(|i| i % 4).collect()),
         sched: SchedConfig::default(),
@@ -401,6 +405,7 @@ fn partition_bound_sweeps_granularity() {
     // everything merges into one LP.
     for (bound, expect) in [(Time(1), N as u32), (Time(1_000_000), 1)] {
         let cfg = RunConfig {
+            watchdog: Default::default(),
             kernel: KernelKind::Unison { threads: 1 },
             partition: PartitionMode::Bound(bound),
             sched: SchedConfig::default(),

@@ -22,9 +22,13 @@
 //! 3. an atomic work cursor hands each slot index to exactly one claimant,
 //!    so per-slot mutable access is exclusive even with `Relaxed` claims;
 //! 4. the mailbox queue's Release-push / Acquire-drain pair carries a
-//!    happens-before edge from producer writes to consumer reads.
+//!    happens-before edge from producer writes to consumer reads;
+//! 5. poisoning the barrier releases every current and future waiter — no
+//!    interleaving lets a worker spin past a poisoned generation — and the
+//!    Release-poison / Acquire-observe pair publishes the poisoner's
+//!    diagnostics writes (the crash-containment drain path, DESIGN.md §4.2).
 //!
-//! A fifth, deliberately broken model double-checks the checker: weakening
+//! A final, deliberately broken model double-checks the checker: weakening
 //! a publish to `Relaxed` must be reported as a data race.
 
 #![cfg(loom)]
@@ -199,6 +203,50 @@ fn mailbox_handoff_happens_before() {
         });
         assert_eq!(v, 5, "mailbox drain did not publish the payload write");
         t.join().unwrap();
+    });
+}
+
+/// Claim 5: poison releases waiters. One of two participants arrives and
+/// spins; the other poisons the barrier instead of ever arriving. In every
+/// interleaving the waiter must fall out of `wait` with `false` (a worker
+/// spinning past a poisoned generation would show up here as a deadlock),
+/// and its subsequent read of the poisoner's plain diagnostics write must
+/// be ordered by the Release-poison / Acquire-observe edge. Late arrivals
+/// after the poison must drain immediately as well.
+#[test]
+fn barrier_poison_releases_waiters() {
+    loom::model(|| {
+        // spin_limit 0: every failed check yields, so the model scheduler
+        // can always run the poisoner.
+        let bar = Arc::new(SpinBarrier::with_spin_limit(2, 0));
+        let diag = Arc::new(UnsafeCell::new(0u32));
+
+        let waiter = {
+            let bar = Arc::clone(&bar);
+            let diag = Arc::clone(&diag);
+            thread::spawn(move || {
+                let led = bar.wait();
+                assert!(!led, "a poisoned generation must not elect a leader");
+                assert!(bar.is_poisoned(), "wait may only drain via poison here");
+                diag.with(|p| {
+                    // SAFETY: `wait` can only have returned by observing the
+                    // poison flag with Acquire, which orders this read after
+                    // the poisoner's write below.
+                    unsafe { *p }
+                })
+            })
+        };
+
+        diag.with_mut(|p| {
+            // SAFETY: written before the Release poison; the waiter reads
+            // only after its Acquire observation of the flag.
+            unsafe { *p = 42 }
+        });
+        bar.poison();
+        let v = waiter.join().unwrap();
+        assert_eq!(v, 42, "poison did not publish the diagnostics write");
+        // A participant arriving after the poison drains immediately too.
+        assert!(!bar.wait());
     });
 }
 

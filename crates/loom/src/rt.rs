@@ -78,8 +78,15 @@ pub(crate) enum State {
 pub(crate) struct ThreadInfo {
     pub state: State,
     pub vc: VClock,
-    /// Global write counter observed at this thread's last load/yield —
-    /// `yield_now` only parks when nothing new has been written since.
+    /// Global write counter observed at this thread's last yield (or at
+    /// spawn) — `yield_now` only parks when nothing has been written since.
+    /// Plain loads must NOT update this: a spin loop reads several atomics
+    /// per iteration, and counting a later load of variable B as having
+    /// "observed" an earlier write to variable A would park the loop with a
+    /// stale A in hand — a lost wake-up the real spin loop cannot exhibit
+    /// (it re-reads A on the next iteration). Parking is sound exactly when
+    /// no write landed since the previous yield: then every load in the
+    /// iteration saw the freshest value and re-looping changes nothing.
     pub seen_writes: u64,
     /// Set when the thread finishes; joined into the joiner's clock.
     pub final_vc: Option<VClock>,

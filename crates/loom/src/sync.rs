@@ -37,7 +37,6 @@ pub mod atomic {
         fn load(&self, order: Ordering) -> u64 {
             with_rt(|rt, tid| {
                 visible_op(rt, tid, |ex, tid| {
-                    ex.threads[tid].seen_writes = ex.write_seq;
                     if is_acquire(order) {
                         let sync = ex.atomics[self.idx].sync.clone();
                         ex.threads[tid].vc.join(&sync);
@@ -72,7 +71,6 @@ pub mod atomic {
         fn rmw(&self, order: Ordering, f: impl FnOnce(u64) -> u64) -> u64 {
             with_rt(|rt, tid| {
                 visible_op(rt, tid, |ex, tid| {
-                    ex.threads[tid].seen_writes = ex.write_seq;
                     let old = ex.atomics[self.idx].value;
                     if is_acquire(order) {
                         let sync = ex.atomics[self.idx].sync.clone();
@@ -98,7 +96,6 @@ pub mod atomic {
         ) -> Result<u64, u64> {
             with_rt(|rt, tid| {
                 visible_op(rt, tid, |ex, tid| {
-                    ex.threads[tid].seen_writes = ex.write_seq;
                     let old = ex.atomics[self.idx].value;
                     if old == current {
                         if is_acquire(success) {

@@ -6,7 +6,7 @@
 //! motivates (DDoS-like floods, synchronized bursts) that stateful TCP
 //! cannot express.
 
-use unison_core::{DataRate, Rng, Time};
+use unison_core::{snapshot_struct, DataRate, Rng, Time};
 
 /// Configuration of one On/Off UDP source.
 #[derive(Clone, Debug)]
@@ -116,6 +116,25 @@ impl OnOffApp {
         }
     }
 }
+
+snapshot_struct!(OnOffConfig {
+    dst,
+    rate,
+    pkt_bytes,
+    mean_on,
+    mean_off,
+    until,
+    seed
+});
+
+snapshot_struct!(OnOffApp {
+    cfg,
+    rng,
+    on,
+    period_end,
+    seq,
+    sent
+});
 
 #[cfg(test)]
 mod tests {

@@ -328,6 +328,7 @@ impl NetSim {
     /// Runs on the chosen kernel with automatic partitioning.
     pub fn run(self, kernel_kind: KernelKind) -> SimResult {
         self.run_with(&RunConfig {
+            watchdog: Default::default(),
             kernel: kernel_kind,
             partition: PartitionMode::Auto,
             sched: SchedConfig::default(),

@@ -48,6 +48,7 @@ pub mod packet;
 pub mod queue;
 pub mod reconfig;
 pub mod route;
+pub(crate) mod snapshot;
 pub mod tcp;
 pub mod trace;
 

@@ -6,13 +6,17 @@
 
 use std::collections::HashMap;
 
-use unison_core::{NodeId, SimCtx, SimCtxExt, SimNode, Time};
+use unison_core::{
+    snapshot_struct, NodeId, SimCtx, SimCtxExt, SimNode, Snapshot, SnapshotError, SnapshotReader,
+    SnapshotWriter, Time,
+};
 use unison_stats::Summary;
 
 use crate::app::{OnOffAction, OnOffApp};
 use crate::packet::{FlowId, Packet, PacketKind, RipMsg};
 use crate::queue::Queue;
 use crate::route::Routing;
+use crate::snapshot::{load_map, load_summary, save_map, save_summary};
 use crate::tcp::{TcpConfig, TcpReceiver, TcpSender};
 use crate::trace::{TraceBuffer, TraceEntry, TraceKind};
 
@@ -528,6 +532,132 @@ impl SimNode for NetNode {
                 }
             }
         }
+    }
+}
+
+impl Snapshot for NetEvent {
+    fn save(&self, w: &mut SnapshotWriter) {
+        match self {
+            NetEvent::Arrive { dev, packet } => {
+                w.u8(0);
+                dev.save(w);
+                packet.save(w);
+            }
+            NetEvent::TxDone { dev } => {
+                w.u8(1);
+                dev.save(w);
+            }
+            NetEvent::FlowStart { dst, bytes } => {
+                w.u8(2);
+                dst.save(w);
+                bytes.save(w);
+            }
+            NetEvent::Rto { flow } => {
+                w.u8(3);
+                flow.save(w);
+            }
+            NetEvent::RipTick => w.u8(4),
+            NetEvent::RipTriggered => w.u8(5),
+            NetEvent::AppTick { app } => {
+                w.u8(6);
+                app.save(w);
+            }
+        }
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(match r.u8()? {
+            0 => NetEvent::Arrive {
+                dev: u8::load(r)?,
+                packet: Packet::load(r)?,
+            },
+            1 => NetEvent::TxDone { dev: u8::load(r)? },
+            2 => NetEvent::FlowStart {
+                dst: u32::load(r)?,
+                bytes: u64::load(r)?,
+            },
+            3 => NetEvent::Rto {
+                flow: FlowId::load(r)?,
+            },
+            4 => NetEvent::RipTick,
+            5 => NetEvent::RipTriggered,
+            6 => NetEvent::AppTick { app: u16::load(r)? },
+            t => return Err(SnapshotError::Corrupt(format!("invalid net event {t}"))),
+        })
+    }
+}
+
+snapshot_struct!(Device {
+    peer,
+    peer_dev,
+    rate,
+    delay,
+    queue,
+    busy,
+    up,
+    link_id
+});
+
+snapshot_struct!(UdpRx {
+    bytes,
+    pkts,
+    max_seq
+});
+
+impl Snapshot for NodeMonitor {
+    fn save(&self, w: &mut SnapshotWriter) {
+        save_summary(&self.rtt_ns, w);
+        save_summary(&self.queue_delay_ns, w);
+        self.routing_drops.save(w);
+        self.rto_fires.save(w);
+        self.flows_started.save(w);
+        self.forwarded.save(w);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(NodeMonitor {
+            rtt_ns: load_summary(r)?,
+            queue_delay_ns: load_summary(r)?,
+            routing_drops: u64::load(r)?,
+            rto_fires: u64::load(r)?,
+            flows_started: u64::load(r)?,
+            forwarded: u64::load(r)?,
+        })
+    }
+}
+
+impl Snapshot for NetNode {
+    fn save(&self, w: &mut SnapshotWriter) {
+        self.id.save(w);
+        self.is_host.save(w);
+        self.devices.save(w);
+        self.routing.save(w);
+        self.tcp_cfg.save(w);
+        // Socket and UDP maps are written in sorted flow order — HashMap
+        // iteration order must not leak into the canonical encoding.
+        save_map(&self.senders, w);
+        save_map(&self.receivers, w);
+        self.apps.save(w);
+        save_map(&self.udp_rx, w);
+        self.trace.save(w);
+        self.mon.save(w);
+        self.next_sport.save(w);
+        self.out_buf.save(w);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(NetNode {
+            id: NodeId::load(r)?,
+            is_host: bool::load(r)?,
+            devices: Vec::load(r)?,
+            routing: Routing::load(r)?,
+            tcp_cfg: TcpConfig::load(r)?,
+            senders: load_map(r)?,
+            receivers: load_map(r)?,
+            apps: Vec::load(r)?,
+            udp_rx: load_map(r)?,
+            trace: Option::load(r)?,
+            mon: NodeMonitor::load(r)?,
+            next_sport: u16::load(r)?,
+            out_buf: Vec::load(r)?,
+        })
     }
 }
 

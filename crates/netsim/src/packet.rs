@@ -5,7 +5,7 @@
 //! carries its flow identity, a TCP-like header variant, its wire size and
 //! ECN state.
 
-use unison_core::Time;
+use unison_core::{snapshot_struct, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter, Time};
 
 /// Flow identity: a 4-tuple over node ids and ports.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
@@ -176,6 +176,87 @@ impl Packet {
         h ^ (h >> 31)
     }
 }
+
+snapshot_struct!(FlowId {
+    src,
+    dst,
+    sport,
+    dport
+});
+
+snapshot_struct!(RipMsg { from, routes });
+
+impl Snapshot for PacketKind {
+    fn save(&self, w: &mut SnapshotWriter) {
+        match self {
+            PacketKind::Data {
+                seq,
+                len,
+                size,
+                retx,
+            } => {
+                w.u8(0);
+                seq.save(w);
+                len.save(w);
+                size.save(w);
+                retx.save(w);
+            }
+            PacketKind::Ack {
+                ack,
+                ece,
+                echo_ts,
+                echo_retx,
+            } => {
+                w.u8(1);
+                ack.save(w);
+                ece.save(w);
+                echo_ts.save(w);
+                echo_retx.save(w);
+            }
+            PacketKind::Rip(msg) => {
+                w.u8(2);
+                msg.save(w);
+            }
+            PacketKind::Datagram { seq, len } => {
+                w.u8(3);
+                seq.save(w);
+                len.save(w);
+            }
+        }
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(match r.u8()? {
+            0 => PacketKind::Data {
+                seq: u64::load(r)?,
+                len: u32::load(r)?,
+                size: u64::load(r)?,
+                retx: bool::load(r)?,
+            },
+            1 => PacketKind::Ack {
+                ack: u64::load(r)?,
+                ece: bool::load(r)?,
+                echo_ts: Time::load(r)?,
+                echo_retx: bool::load(r)?,
+            },
+            2 => PacketKind::Rip(Box::new(RipMsg::load(r)?)),
+            3 => PacketKind::Datagram {
+                seq: u64::load(r)?,
+                len: u32::load(r)?,
+            },
+            t => return Err(SnapshotError::Corrupt(format!("invalid packet kind {t}"))),
+        })
+    }
+}
+
+snapshot_struct!(Packet {
+    flow,
+    kind,
+    bytes,
+    ecn_capable,
+    ecn_ce,
+    sent_at,
+    enqueued_at
+});
 
 #[cfg(test)]
 mod tests {

@@ -7,7 +7,9 @@
 
 use std::collections::VecDeque;
 
-use unison_core::{Rng, Time};
+use unison_core::{
+    snapshot_struct, Rng, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter, Time,
+};
 
 use crate::packet::Packet;
 
@@ -198,6 +200,61 @@ impl Queue {
         Some(p)
     }
 }
+
+impl Snapshot for QueueConfig {
+    fn save(&self, w: &mut SnapshotWriter) {
+        match *self {
+            QueueConfig::DropTail { limit_bytes } => {
+                w.u8(0);
+                limit_bytes.save(w);
+            }
+            QueueConfig::Red {
+                limit_bytes,
+                min_th,
+                max_th,
+                max_p,
+                w_q,
+                mark_ecn,
+            } => {
+                w.u8(1);
+                limit_bytes.save(w);
+                min_th.save(w);
+                max_th.save(w);
+                max_p.save(w);
+                w_q.save(w);
+                mark_ecn.save(w);
+            }
+        }
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(match r.u8()? {
+            0 => QueueConfig::DropTail {
+                limit_bytes: u32::load(r)?,
+            },
+            1 => QueueConfig::Red {
+                limit_bytes: u32::load(r)?,
+                min_th: u32::load(r)?,
+                max_th: u32::load(r)?,
+                max_p: f64::load(r)?,
+                w_q: f64::load(r)?,
+                mark_ecn: bool::load(r)?,
+            },
+            t => return Err(SnapshotError::Corrupt(format!("invalid queue config {t}"))),
+        })
+    }
+}
+
+snapshot_struct!(Queue {
+    config,
+    packets,
+    bytes,
+    avg,
+    count,
+    rng,
+    drops,
+    marks,
+    accepted
+});
 
 #[cfg(test)]
 mod tests {

@@ -14,9 +14,10 @@
 
 use std::collections::HashMap;
 
-use unison_core::Time;
+use unison_core::{snapshot_struct, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter, Time};
 
 use crate::packet::RipMsg;
+use crate::snapshot::{load_map, save_map};
 
 /// RIP's unreachable metric.
 pub const RIP_INFINITY: u8 = 16;
@@ -232,6 +233,47 @@ impl RipState {
             }
         }
         changed
+    }
+}
+
+snapshot_struct!(StaticTable { offsets, devs });
+
+snapshot_struct!(RipRoute { metric, dev });
+
+impl Snapshot for RipState {
+    fn save(&self, w: &mut SnapshotWriter) {
+        save_map(&self.table, w);
+        self.update_interval.save(w);
+        self.triggered_pending.save(w);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(RipState {
+            table: load_map(r)?,
+            update_interval: Time::load(r)?,
+            triggered_pending: bool::load(r)?,
+        })
+    }
+}
+
+impl Snapshot for Routing {
+    fn save(&self, w: &mut SnapshotWriter) {
+        match self {
+            Routing::Static(t) => {
+                w.u8(0);
+                t.save(w);
+            }
+            Routing::Rip(s) => {
+                w.u8(1);
+                s.save(w);
+            }
+        }
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        match r.u8()? {
+            0 => Ok(Routing::Static(StaticTable::load(r)?)),
+            1 => Ok(Routing::Rip(RipState::load(r)?)),
+            t => Err(SnapshotError::Corrupt(format!("invalid routing tag {t}"))),
+        }
     }
 }
 

@@ -1,0 +1,113 @@
+//! Checkpoint-encoding helpers for model state (DESIGN.md §4.2).
+//!
+//! The [`Snapshot`] encoding must be canonical — equal states, equal bytes
+//! — but `HashMap` iteration order is arbitrary and [`Summary`] keeps its
+//! accumulator private. These helpers bridge both: maps are written in
+//! sorted key order, summaries through their raw-parts accessors.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use unison_core::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
+use unison_stats::Summary;
+
+/// Writes a map as `len` followed by `(key, value)` pairs in ascending key
+/// order (the canonical form; plain iteration order is nondeterministic).
+pub(crate) fn save_map<K, V>(m: &HashMap<K, V>, w: &mut SnapshotWriter)
+where
+    K: Snapshot + Ord + Eq + Hash,
+    V: Snapshot,
+{
+    (m.len() as u64).save(w);
+    let mut keys: Vec<&K> = m.keys().collect();
+    keys.sort_unstable();
+    for k in keys {
+        k.save(w);
+        m[k].save(w);
+    }
+}
+
+/// Inverse of [`save_map`].
+pub(crate) fn load_map<K, V>(r: &mut SnapshotReader<'_>) -> Result<HashMap<K, V>, SnapshotError>
+where
+    K: Snapshot + Eq + Hash,
+    V: Snapshot,
+{
+    let n = usize::load(r)?;
+    let mut out = HashMap::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        let k = K::load(r)?;
+        let v = V::load(r)?;
+        out.insert(k, v);
+    }
+    Ok(out)
+}
+
+/// Writes a summary's raw accumulator (bit-exact, including the Welford
+/// `m2` term and the `±inf` min/max of an empty summary).
+pub(crate) fn save_summary(s: &Summary, w: &mut SnapshotWriter) {
+    let (count, mean, m2, min, max, sum) = s.to_raw_parts();
+    count.save(w);
+    mean.save(w);
+    m2.save(w);
+    min.save(w);
+    max.save(w);
+    sum.save(w);
+}
+
+/// Inverse of [`save_summary`].
+pub(crate) fn load_summary(r: &mut SnapshotReader<'_>) -> Result<Summary, SnapshotError> {
+    Ok(Summary::from_raw_parts(
+        u64::load(r)?,
+        f64::load(r)?,
+        f64::load(r)?,
+        f64::load(r)?,
+        f64::load(r)?,
+        f64::load(r)?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_encoding_is_sorted_and_roundtrips() {
+        let mut m = HashMap::new();
+        m.insert(9u32, 90u64);
+        m.insert(1u32, 10u64);
+        m.insert(5u32, 50u64);
+        let mut w = SnapshotWriter::new();
+        save_map(&m, &mut w);
+        let bytes = w.into_bytes();
+        // len, then keys 1, 5, 9 in order.
+        assert_eq!(&bytes[8..12], &1u32.to_le_bytes());
+        assert_eq!(&bytes[20..24], &5u32.to_le_bytes());
+        let mut r = SnapshotReader::new(&bytes);
+        let out: HashMap<u32, u64> = load_map(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(out, m);
+    }
+
+    #[test]
+    fn summary_roundtrips_bit_exact() {
+        let mut s = Summary::new();
+        for x in [3.5, -1.0, 0.25, 1e9] {
+            s.add(x);
+        }
+        let mut w = SnapshotWriter::new();
+        save_summary(&s, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapshotReader::new(&bytes);
+        let out = load_summary(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(out.to_raw_parts(), s.to_raw_parts());
+        // Empty summaries keep their infinities.
+        let mut w = SnapshotWriter::new();
+        save_summary(&Summary::new(), &mut w);
+        let bytes = w.into_bytes();
+        let out = load_summary(&mut SnapshotReader::new(&bytes)).unwrap();
+        assert_eq!(out.min(), f64::INFINITY);
+        assert_eq!(out.max(), f64::NEG_INFINITY);
+    }
+}

@@ -12,7 +12,7 @@
 
 use std::collections::BTreeMap;
 
-use unison_core::Time;
+use unison_core::{snapshot_struct, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter, Time};
 
 use crate::packet::{FlowId, Packet, MSS};
 
@@ -392,6 +392,88 @@ impl TcpSender {
         true
     }
 }
+
+impl Snapshot for TransportKind {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.u8(match self {
+            TransportKind::NewReno => 0,
+            TransportKind::Dctcp => 1,
+        });
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        match r.u8()? {
+            0 => Ok(TransportKind::NewReno),
+            1 => Ok(TransportKind::Dctcp),
+            t => Err(SnapshotError::Corrupt(format!(
+                "invalid transport kind {t}"
+            ))),
+        }
+    }
+}
+
+snapshot_struct!(TcpConfig {
+    kind,
+    init_cwnd,
+    min_rto,
+    dctcp_g,
+    limited_transmit
+});
+
+impl Snapshot for CcState {
+    fn save(&self, w: &mut SnapshotWriter) {
+        match *self {
+            CcState::Open => w.u8(0),
+            CcState::FastRecovery { recover } => {
+                w.u8(1);
+                recover.save(w);
+            }
+        }
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        match r.u8()? {
+            0 => Ok(CcState::Open),
+            1 => Ok(CcState::FastRecovery {
+                recover: u64::load(r)?,
+            }),
+            t => Err(SnapshotError::Corrupt(format!("invalid cc state {t}"))),
+        }
+    }
+}
+
+snapshot_struct!(TcpSender {
+    flow,
+    size,
+    cfg,
+    cwnd,
+    ssthresh,
+    snd_nxt,
+    snd_una,
+    dup_acks,
+    state,
+    srtt_ns,
+    rttvar_ns,
+    rto,
+    rto_gen,
+    alpha,
+    ce_bytes,
+    acked_bytes,
+    window_end,
+    retransmits,
+    rto_deadline,
+    timer_pending,
+    completed_at,
+    first_sent
+});
+
+snapshot_struct!(TcpReceiver {
+    flow,
+    size,
+    rcv_nxt,
+    ooo,
+    bytes_rx,
+    first_rx,
+    completed_at
+});
 
 /// What the receiver wants sent back after a data arrival.
 #[derive(Clone, Copy, Debug)]

@@ -6,7 +6,9 @@
 //! execution and stays deterministic. [`Trace::collect`] merges the
 //! buffers into one global, time-ordered log after the run.
 
-use unison_core::{Time, World};
+use unison_core::{
+    snapshot_struct, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter, Time, World,
+};
 
 use crate::node::NetNode;
 use crate::packet::FlowId;
@@ -75,6 +77,40 @@ impl TraceBuffer {
         &self.entries
     }
 }
+
+impl Snapshot for TraceKind {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.u8(match self {
+            TraceKind::Arrive => 0,
+            TraceKind::TxStart => 1,
+            TraceKind::Drop => 2,
+        });
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        match r.u8()? {
+            0 => Ok(TraceKind::Arrive),
+            1 => Ok(TraceKind::TxStart),
+            2 => Ok(TraceKind::Drop),
+            t => Err(SnapshotError::Corrupt(format!("invalid trace kind {t}"))),
+        }
+    }
+}
+
+snapshot_struct!(TraceEntry {
+    ts,
+    node,
+    dev,
+    kind,
+    flow,
+    bytes,
+    backlog
+});
+
+snapshot_struct!(TraceBuffer {
+    entries,
+    capacity,
+    truncated
+});
 
 /// A merged global trace.
 #[derive(Debug, Default)]

@@ -81,6 +81,7 @@ fn all_kernels_complete_the_same_flows() {
     let manual_lp = manual::by_cluster(&topo);
     let bar = build()
         .run_with(&RunConfig {
+            watchdog: Default::default(),
             kernel: KernelKind::Barrier,
             partition: PartitionMode::Manual(manual_lp.clone()),
             sched: SchedConfig::default(),
@@ -89,6 +90,7 @@ fn all_kernels_complete_the_same_flows() {
         .unwrap();
     let nm = build()
         .run_with(&RunConfig {
+            watchdog: Default::default(),
             kernel: KernelKind::NullMessage,
             partition: PartitionMode::Manual(manual_lp),
             sched: SchedConfig::default(),
@@ -146,6 +148,7 @@ fn unison_matches_compat_sequential_on_network() {
     };
     let seq = build()
         .run_with(&RunConfig {
+            watchdog: Default::default(),
             kernel: KernelKind::Sequential { compat_keys: true },
             partition: PartitionMode::Auto,
             sched: SchedConfig::default(),

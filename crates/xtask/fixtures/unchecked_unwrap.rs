@@ -1,0 +1,35 @@
+//! Fixture: bare unwrap/expect calls that rule 6 must flag, mixed with
+//! annotated and out-of-scope forms it must not.
+
+fn flagged(v: Option<u32>, r: Result<u32, String>) -> u32 {
+    let a = v.unwrap();
+    let b = r.expect("always Ok");
+    a + b
+}
+
+fn covered(v: Option<u32>) -> u32 {
+    // INVARIANT: the caller inserted the key on the previous line.
+    let a = v.unwrap();
+    let b = v.unwrap(); // INVARIANT: same value, same reasoning.
+    a + b
+}
+
+fn not_a_method_call(v: Option<u32>) -> u32 {
+    // `unwrap_or` and friends are different identifiers; a doc mention of
+    // .unwrap() is comment text; #[expect] is an attribute, not a call.
+    #[expect(dead_code)]
+    fn helper() {}
+    let s = "call .unwrap() here";
+    v.unwrap_or(s.len() as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_freely() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let r: Result<u32, ()> = Ok(2);
+        assert_eq!(r.expect("ok"), 2);
+    }
+}

@@ -1,7 +1,7 @@
 //! The workspace lint rules (see `cargo xtask lint`).
 //!
-//! Five rules, all motivated by the kernel's concurrency-safety contract
-//! (DESIGN.md):
+//! Six rules, all motivated by the kernel's concurrency- and crash-safety
+//! contracts (DESIGN.md):
 //!
 //! 1. **`safety-comment`** — every `unsafe` block or `unsafe impl` must be
 //!    immediately preceded by a `// SAFETY:` comment (attributes may sit
@@ -27,6 +27,16 @@
 //!    carry `#![deny(unsafe_op_in_unsafe_fn)]` in its crate root, so
 //!    `unsafe fn` bodies still require explicit `unsafe {}` blocks (which
 //!    rule 1 then forces to carry `// SAFETY:` comments).
+//! 6. **`unchecked-unwrap`** — `.unwrap()`/`.expect(…)` on the fallible
+//!    paths (`crates/core/src`, `crates/bench/src/harness.rs`) must carry
+//!    an `// INVARIANT:` comment stating why the value cannot be
+//!    absent/Err (same placement rules as `// SAFETY:`), be converted to a
+//!    structured `SimError`, or live on the reviewed allow-list. A bare
+//!    unwrap in kernel code turns a recoverable condition into an
+//!    uncontained panic — the crash-safety contract (DESIGN.md §4.2) wants
+//!    either a documented invariant or an error. Test modules (everything
+//!    at and below a `#[cfg(test)]`-style attribute, by the bottom-of-file
+//!    convention) are exempt.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -79,6 +89,20 @@ fn in_core_src(rel: &str) -> bool {
     rel.starts_with("crates/core/src/")
 }
 
+/// Files subject to rule 6: code that runs inside (or drives) the kernels,
+/// where a stray panic bypasses the containment machinery's diagnostics.
+fn unwrap_checked(rel: &str) -> bool {
+    in_core_src(rel) || rel == "crates/bench/src/harness.rs"
+}
+
+/// Reviewed call sites exempt from rule 6. Extend only after review: every
+/// entry is a file whose unchecked unwraps have been audited as
+/// unreachable-by-construction AND too noisy to annotate individually.
+fn unwrap_allowed(rel: &str) -> bool {
+    const EXACT: &[&str] = &[];
+    EXACT.contains(&rel)
+}
+
 /// The significant token following the `unsafe` keyword at `(line, col)`:
 /// `Some("{")` for a block, `Some("impl")`, `Some("fn")`, etc.
 fn token_after_unsafe(lines: &[Line], line: usize, col: usize) -> Option<String> {
@@ -111,22 +135,23 @@ fn token_after_unsafe(lines: &[Line], line: usize, col: usize) -> Option<String>
     }
 }
 
-/// True if the `unsafe` at `line` is covered by a `// SAFETY:` comment:
-/// either on the same line, or in the contiguous comment block immediately
-/// above (attribute-only lines may intervene; blank/code lines break it).
-fn has_safety_comment(lines: &[Line], line: usize) -> bool {
-    if lines[line].comment.contains("SAFETY:") {
+/// True if the construct at `line` is covered by a `// <marker>` comment
+/// (e.g. `SAFETY:`, `INVARIANT:`): either on the same line, or in the
+/// contiguous comment block immediately above (attribute-only lines may
+/// intervene; blank/code lines break it).
+fn has_marker_comment(lines: &[Line], line: usize, marker: &str) -> bool {
+    if lines[line].comment.contains(marker) {
         return true;
     }
     let mut j = line;
     while j > 0 {
         j -= 1;
         let l = &lines[j];
-        // Comment and attribute lines may both carry the SAFETY text (a
+        // Comment and attribute lines may both carry the marker text (a
         // trailing comment on an attribute counts); anything else breaks
-        // the association with the `unsafe` below.
+        // the association with the construct below.
         if l.is_pure_comment() || l.is_attr_only() {
-            if l.comment.contains("SAFETY:") {
+            if l.comment.contains(marker) {
                 return true;
             }
         } else {
@@ -136,14 +161,36 @@ fn has_safety_comment(lines: &[Line], line: usize) -> bool {
     false
 }
 
+fn has_safety_comment(lines: &[Line], line: usize) -> bool {
+    has_marker_comment(lines, line, "SAFETY:")
+}
+
+/// True if the token at char offset `col` is a method call receiver — the
+/// nearest non-whitespace char before it on the line is `.` (multi-line
+/// chains keep the dot on the call's line in this codebase's style).
+fn is_method_call(code: &str, col: usize) -> bool {
+    code.chars()
+        .take(col)
+        .collect::<String>()
+        .trim_end()
+        .ends_with('.')
+}
+
 /// Lints a single file's source text. `rel` is the workspace-relative path
 /// with forward slashes; it decides which rules apply.
 pub fn lint_file(rel: &str, src: &str) -> Vec<Finding> {
     let lines = lexer::scan(src);
     let mut findings = Vec::new();
     let mut reported_allowlist = false;
+    // Rule 6 exempts test modules; by repo convention a `#[cfg(test)]` (or
+    // `#[cfg(all(test, not(loom)))]`) attribute starts the bottom-of-file
+    // test module, so everything after it is test code.
+    let mut in_tests = false;
 
     for (i, l) in lines.iter().enumerate() {
+        if l.code.contains("#[cfg(") && lexer::has_token(&l.code, "test") {
+            in_tests = true;
+        }
         for col in lexer::find_tokens(&l.code, "unsafe") {
             // Rule 2: allow-list.
             if !unsafe_allowed(rel) && !reported_allowlist {
@@ -216,6 +263,28 @@ pub fn lint_file(rel: &str, src: &str) -> Vec<Finding> {
                           wall-clock for P/S/M reporting"
                         .into(),
                 });
+            }
+        }
+
+        // Rule 6: unchecked `.unwrap()`/`.expect(…)` on fallible paths.
+        if unwrap_checked(rel) && !unwrap_allowed(rel) && !in_tests {
+            for word in ["unwrap", "expect"] {
+                for col in lexer::find_tokens(&l.code, word) {
+                    if is_method_call(&l.code, col) && !has_marker_comment(&lines, i, "INVARIANT:")
+                    {
+                        findings.push(Finding {
+                            path: rel.to_string(),
+                            line: i + 1,
+                            rule: "unchecked-unwrap",
+                            msg: format!(
+                                "`.{word}` without an `// INVARIANT:` comment stating why \
+                                 it cannot fail; document the invariant, return a \
+                                 structured `SimError`, or add the file to the reviewed \
+                                 allow-list in crates/xtask/src/lint.rs"
+                            ),
+                        });
+                    }
+                }
             }
         }
     }

@@ -158,6 +158,45 @@ fn missing_deny_attr_is_flagged() {
 }
 
 #[test]
+fn unchecked_unwrap_in_core_is_flagged() {
+    let f = lint_file(
+        "crates/core/src/fixture.rs",
+        &fixture("unchecked_unwrap.rs"),
+    );
+    // Exactly the two bare calls in `flagged()`: annotated, non-method and
+    // test-module forms stay clean.
+    assert_eq!(
+        rules_of(&f),
+        vec!["unchecked-unwrap", "unchecked-unwrap"],
+        "{f:?}"
+    );
+    assert_eq!(f[0].line, 5, "{f:?}");
+    assert_eq!(f[1].line, 6, "{f:?}");
+}
+
+#[test]
+fn unchecked_unwrap_applies_to_bench_harness() {
+    let f = lint_file(
+        "crates/bench/src/harness.rs",
+        &fixture("unchecked_unwrap.rs"),
+    );
+    assert_eq!(
+        rules_of(&f),
+        vec!["unchecked-unwrap", "unchecked-unwrap"],
+        "{f:?}"
+    );
+}
+
+#[test]
+fn unchecked_unwrap_outside_scope_is_fine() {
+    // Other crates (and other bench files) may unwrap freely.
+    for rel in ["crates/stats/src/fixture.rs", "crates/bench/src/report.rs"] {
+        let f = lint_file(rel, &fixture("unchecked_unwrap.rs"));
+        assert!(f.is_empty(), "{rel}: {f:?}");
+    }
+}
+
+#[test]
 fn comments_strings_and_identifiers_never_false_positive() {
     // Treated as a core src file — the strictest rule set — and still clean.
     let f = lint_file(

@@ -28,6 +28,7 @@ fn main() {
             .stop_at(Time::from_millis(4))
             .build();
         sim.run_with(&RunConfig {
+            watchdog: Default::default(),
             kernel: KernelKind::Unison { threads: 1 },
             partition,
             sched: SchedConfig::default(),

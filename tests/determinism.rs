@@ -20,6 +20,7 @@ fn run_sched(kernel: KernelKind, sched: SchedConfig) -> SimResult {
         .stop_at(Time::from_millis(3))
         .build();
     sim.run_with(&RunConfig {
+        watchdog: Default::default(),
         kernel,
         partition: PartitionMode::Auto,
         sched,

@@ -26,6 +26,7 @@ fn profile(
         .build();
     let res = sim
         .run_with(&RunConfig {
+            watchdog: Default::default(),
             kernel: KernelKind::Unison { threads: 1 },
             partition: partition.clone(),
             sched: SchedConfig::default(),
@@ -180,6 +181,7 @@ fn claim_fine_granularity_improves_locality() {
             .build();
         let res = sim
             .run_with(&RunConfig {
+                watchdog: Default::default(),
                 kernel: KernelKind::Unison { threads: 1 },
                 partition: PartitionMode::Manual(manual::by_id_range(&topo, lps)),
                 sched: SchedConfig::default(),

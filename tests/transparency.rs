@@ -26,6 +26,7 @@ fn every_kernel_runs_the_same_model() {
         (
             "sequential",
             RunConfig {
+                watchdog: Default::default(),
                 kernel: KernelKind::Sequential { compat_keys: false },
                 partition: PartitionMode::SingleLp,
                 sched: SchedConfig::default(),
@@ -36,6 +37,7 @@ fn every_kernel_runs_the_same_model() {
         (
             "hybrid",
             RunConfig {
+                watchdog: Default::default(),
                 kernel: KernelKind::Hybrid {
                     hosts: 2,
                     threads_per_host: 2,
