@@ -132,6 +132,7 @@ fn bench_fig12_family(c: &mut Criterion) {
                     partition: PartitionMode::Manual(manual::by_id_range(&topo, 6)),
                     sched: SchedConfig::default(),
                     metrics: MetricsLevel::Summary,
+                    telemetry: Default::default(),
                 })
                 .unwrap();
             black_box(res.kernel.node_switches())

@@ -152,6 +152,69 @@ fn bench_kernels(c: &mut Criterion) {
     group.finish();
 }
 
+/// Telemetry perf guard (DESIGN.md §4.3): the profiler must be free when
+/// not in use. Two configurations of the same unison(2) ring workload:
+/// the default disabled sink (recorder compiled in, runtime-off — one
+/// predictable branch per record site) and full recording.
+///
+/// Documented threshold: the *recording* median must stay within 1.5x of
+/// the disabled-sink median over 15 interleaved runs. Recording is two
+/// monotonic clock reads and one bounded push per span — far below the
+/// event-processing work between spans — so a breach means a hot-path
+/// regression (clock reads or allocation on the disabled path, a lock in
+/// the recorder), and a fortiori bounds the disabled sink itself. The
+/// compile-time-off path cannot be compared in this binary (cargo feature
+/// unification re-enables `telemetry` through the netsim dependency);
+/// CI's `--no-default-features` build of unison-core covers it.
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let disabled = RunConfig::unison(2);
+    let recording = RunConfig::unison(2).with_telemetry();
+
+    let time_once = |cfg: &RunConfig| -> u64 {
+        let world = ring(16, 10_000);
+        let t0 = std::time::Instant::now();
+        let (_, report) = kernel::run(world, cfg).unwrap();
+        black_box(report.events);
+        t0.elapsed().as_nanos() as u64
+    };
+    // Warm-up, then interleave samples so drift hits both arms equally.
+    for cfg in [&disabled, &recording] {
+        time_once(cfg);
+    }
+    let mut d_ns = Vec::new();
+    let mut r_ns = Vec::new();
+    for _ in 0..15 {
+        d_ns.push(time_once(&disabled));
+        r_ns.push(time_once(&recording));
+    }
+    d_ns.sort_unstable();
+    r_ns.sort_unstable();
+    let (d, r) = (d_ns[d_ns.len() / 2], r_ns[r_ns.len() / 2]);
+    let ratio = r as f64 / d as f64;
+    assert!(
+        ratio < 1.5,
+        "telemetry overhead tripwire: recording median {r} ns is {ratio:.2}x \
+         the disabled-sink median {d} ns (threshold 1.5x) — a hot-path \
+         regression in the span recorder"
+    );
+    eprintln!("telemetry overhead: recording/disabled median ratio {ratio:.3}");
+
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(10);
+    for (name, cfg) in [
+        ("unison2_10k_disabled_sink", &disabled),
+        ("unison2_10k_recording", &recording),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let (_, report) = kernel::run(ring(16, 10_000), cfg).unwrap();
+                black_box(report.events)
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_fel,
@@ -159,6 +222,7 @@ criterion_group!(
     bench_mailbox,
     bench_sched,
     bench_routes,
-    bench_kernels
+    bench_kernels,
+    bench_telemetry_overhead
 );
 criterion_main!(benches);

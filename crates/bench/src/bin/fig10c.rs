@@ -6,7 +6,7 @@
 //! paper opts the baselines out for the same reason). Expected shape:
 //! Unison several-fold faster (paper: >10x incl. cache effects).
 
-use unison_bench::harness::{header, row, secs, Scale};
+use unison_bench::harness::{export_profile, header, profile_telemetry, row, secs, Scale};
 use unison_core::{KernelKind, MetricsLevel, RunConfig};
 use unison_core::{PartitionMode, PerfModel, SchedConfig, Time};
 use unison_netsim::NetworkBuilder;
@@ -44,8 +44,10 @@ fn main() {
                 partition: PartitionMode::Auto,
                 sched: unison_core::SchedConfig::default(),
                 metrics: MetricsLevel::PerRound,
+                telemetry: profile_telemetry(),
             })
             .expect("profiled run");
+        export_profile(&res.kernel);
         let profile = res.kernel.rounds_profile.as_deref().unwrap_or(&[]);
         let model = PerfModel::new(profile);
         let seq = model.sequential().total_ns;

@@ -30,14 +30,16 @@ use crate::lp::LpState;
 use crate::metrics::{LpTotals, MetricsLevel, Psm, RoundRecord, RunReport};
 use crate::queue::MpscQueue;
 use crate::sync::SpinBarrier;
+use crate::telemetry::{SpanKind, TelContext, WorkerTel};
 use crate::time::Time;
 use crate::world::{NodeDirectory, SimCtx, SimNode, World};
 
 use super::watchdog::Watchdog;
 use super::{build_lps, build_partition, reassemble_world, KernelError, RunConfig};
 
-/// Per-LP thread result: final state, P/S/M, samples, end time, rounds.
-type LpResult<N> = (LpState<N>, Psm, Vec<RoundSample>, Time, u64);
+/// Per-LP thread result: final state, P/S/M, samples, end time, rounds,
+/// telemetry sink (thread = LP here, so spans carry the LP id).
+type LpResult<N> = (LpState<N>, Psm, Vec<RoundSample>, Time, u64, WorkerTel);
 
 /// Per-thread, per-round sample kept for `MetricsLevel::PerRound`.
 struct RoundSample {
@@ -143,6 +145,12 @@ pub(super) fn run<N: SimNode>(
     let started = Instant::now();
     let mut results: Vec<Option<LpResult<N>>> = Vec::with_capacity(lp_count);
 
+    // Telemetry: one sink per LP thread (DESIGN.md §4.3). This kernel has
+    // no scheduler, so the decision log stays empty; inbox events do not
+    // carry their sender (ns-3 semantics zero it), so no traffic matrix.
+    let telctx = TelContext::new(&cfg.telemetry);
+    let sched_log = telctx.sched_log();
+
     // Crash safety (DESIGN.md §4.2): first contained panic wins the slot;
     // the watchdog aborts rounds exceeding the wall-clock deadline. Both
     // poison the barrier and raise the stop flag so survivors drain.
@@ -171,12 +179,14 @@ pub(super) fn run<N: SimNode>(
             let dir = &dir;
             let failure = &failure;
             let wd = &wd;
+            let telctx = &telctx;
             handles.push(scope.spawn(move || {
                 // Failure site, readable after a contained panic.
                 let round_c: Cell<u64> = Cell::new(0);
                 let vt_c: Cell<Time> = Cell::new(Time::ZERO);
                 let body = catch_unwind(AssertUnwindSafe(|| {
                     let mut psm = Psm::default();
+                    let mut tel = telctx.worker(idx as u32);
                     let mut samples: Vec<RoundSample> = Vec::new();
                     let mut insert_seq: u64 = lp.fel.len() as u64;
                     let mut end_time = Time::ZERO;
@@ -196,6 +206,7 @@ pub(super) fn run<N: SimNode>(
                         round_c.set(rounds);
 
                         // Process.
+                        let tel_start = tel.start();
                         let t0 = Instant::now();
                         let mut round_events: u32 = 0;
                         while let Some(ev) = lp.fel.pop_below(window_end) {
@@ -225,6 +236,15 @@ pub(super) fn run<N: SimNode>(
                         lp.total_events += round_events as u64;
                         let cost = t0.elapsed().as_nanos() as u64;
                         psm.p_ns += cost;
+                        tel.span_dur(
+                            SpanKind::Process,
+                            rounds,
+                            idx as u32,
+                            tel_start,
+                            cost,
+                            round_events as u64,
+                            0,
+                        );
 
                         // Watchdog: a round only counts as progress when it
                         // executed events or moved the window — an empty
@@ -236,11 +256,21 @@ pub(super) fn run<N: SimNode>(
                         last_window = window_end;
 
                         // Synchronize: everyone must finish sending first.
-                        let t0 = Instant::now();
-                        barrier.wait();
-                        psm.s_ns += t0.elapsed().as_nanos() as u64;
+                        let tel_start = tel.start();
+                        let s_before = psm.s_ns;
+                        barrier.wait_timed(&mut psm.s_ns);
+                        tel.span_dur(
+                            SpanKind::BarrierWait,
+                            rounds,
+                            idx as u32,
+                            tel_start,
+                            psm.s_ns - s_before,
+                            0,
+                            0,
+                        );
 
                         // Receive: drain the shared inbox in arrival order.
+                        let tel_start = tel.start();
                         let t0 = Instant::now();
                         let mut recv: u32 = 0;
                         inboxes[idx].drain(|mut ev| {
@@ -250,7 +280,17 @@ pub(super) fn run<N: SimNode>(
                             recv += 1;
                         });
                         next_ts[idx].store(lp.fel.next_ts().0, Ordering::Release);
-                        psm.m_ns += t0.elapsed().as_nanos() as u64;
+                        let m_cost = t0.elapsed().as_nanos() as u64;
+                        psm.m_ns += m_cost;
+                        tel.span_dur(
+                            SpanKind::MailboxFlush,
+                            rounds,
+                            idx as u32,
+                            tel_start,
+                            m_cost,
+                            recv as u64,
+                            0,
+                        );
 
                         if per_round {
                             samples.push(RoundSample {
@@ -263,11 +303,20 @@ pub(super) fn run<N: SimNode>(
                         }
 
                         // Second barrier: next timestamps are published.
-                        let t0 = Instant::now();
-                        barrier.wait();
-                        psm.s_ns += t0.elapsed().as_nanos() as u64;
+                        let tel_start = tel.start();
+                        let s_before = psm.s_ns;
+                        barrier.wait_timed(&mut psm.s_ns);
+                        tel.span_dur(
+                            SpanKind::BarrierWait,
+                            rounds,
+                            idx as u32,
+                            tel_start,
+                            psm.s_ns - s_before,
+                            1,
+                            0,
+                        );
                     }
-                    (lp, psm, samples, end_time, rounds)
+                    (lp, psm, samples, end_time, rounds, tel)
                 }));
                 match body {
                     Ok(res) => Some(res),
@@ -351,10 +400,15 @@ pub(super) fn run<N: SimNode>(
 
     let end_time = results
         .iter()
-        .map(|(_, _, _, t, _)| *t)
+        .map(|(_, _, _, t, _, _)| *t)
         .fold(Time::ZERO, Time::max);
     let psm: Vec<Psm> = results.iter().map(|(_, p, ..)| *p).collect();
-    let lps: Vec<LpState<N>> = results.into_iter().map(|(lp, ..)| lp).collect();
+    let mut tels: Vec<WorkerTel> = Vec::with_capacity(results.len());
+    let mut lps: Vec<LpState<N>> = Vec::with_capacity(results.len());
+    for (lp, _, _, _, _, tel) in results {
+        lps.push(lp);
+        tels.push(tel);
+    }
     let lp_totals = LpTotals {
         events: lps.iter().map(|lp| lp.total_events).collect(),
         cost_ns: vec![0; lps.len()],
@@ -372,8 +426,10 @@ pub(super) fn run<N: SimNode>(
         lookahead,
         end_time,
         psm,
+        psm_per_lp: true,
         lp_totals,
         rounds_profile,
+        telemetry: telctx.collect(tels, sched_log),
     };
     if let Some(diag) = failure.into_inner().unwrap_or_else(|e| e.into_inner()) {
         return Err(SimError::WorkerPanic {

@@ -18,6 +18,11 @@
 //! `hosts` contiguous, node-balanced ranges: LP ids follow node-creation
 //! order, so contiguous ranges preserve spatial locality like the paper's
 //! coarse pre-partition.
+//!
+//! Telemetry flows through [`run_grouped`] unchanged: per-worker span sinks
+//! and the scheduler-decision log are created there, so a hybrid run's
+//! decision log carries one entry per *host group* per re-sort (the
+//! [`crate::telemetry::SchedDecision::group`] field is the host id).
 
 use crate::error::SimError;
 use crate::metrics::RunReport;

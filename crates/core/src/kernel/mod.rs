@@ -35,6 +35,7 @@ use crate::partition::{
     fine_grained_partition, manual_partition, partition_below_bound, single_lp_partition, Partition,
 };
 use crate::sched::SchedConfig;
+use crate::telemetry::TelemetryConfig;
 // Shimmed so `RoundCtx` (shared with the Unison kernel) type-checks when the
 // whole crate is compiled under `--cfg loom` for model checking.
 use crate::sync_shim::{AtomicBool, Ordering};
@@ -140,6 +141,9 @@ pub struct RunConfig {
     pub metrics: MetricsLevel,
     /// Round-progress watchdog (disabled by default).
     pub watchdog: WatchdogConfig,
+    /// Span/decision telemetry recording (disabled by default; see
+    /// DESIGN.md §4.3).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for RunConfig {
@@ -157,6 +161,7 @@ impl RunConfig {
             sched: SchedConfig::default(),
             metrics: MetricsLevel::Summary,
             watchdog: WatchdogConfig::default(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -168,6 +173,7 @@ impl RunConfig {
             sched: SchedConfig::default(),
             metrics: MetricsLevel::Summary,
             watchdog: WatchdogConfig::default(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -179,6 +185,7 @@ impl RunConfig {
             sched: SchedConfig::default(),
             metrics: MetricsLevel::Summary,
             watchdog: WatchdogConfig::default(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -190,6 +197,7 @@ impl RunConfig {
             sched: SchedConfig::default(),
             metrics: MetricsLevel::Summary,
             watchdog: WatchdogConfig::default(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -209,6 +217,19 @@ impl RunConfig {
     /// wall-clock deadline.
     pub fn with_watchdog(mut self, round_deadline: std::time::Duration) -> Self {
         self.watchdog = WatchdogConfig::deadline(round_deadline);
+        self
+    }
+
+    /// Enables span/decision telemetry recording with default capacities
+    /// (provably non-perturbing; see DESIGN.md §4.3).
+    pub fn with_telemetry(mut self) -> Self {
+        self.telemetry = TelemetryConfig::enabled();
+        self
+    }
+
+    /// Overrides the full telemetry configuration.
+    pub fn with_telemetry_config(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = telemetry;
         self
     }
 }

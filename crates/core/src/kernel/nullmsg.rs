@@ -32,6 +32,7 @@ use crate::event::{Event, LpId};
 use crate::lp::LpState;
 use crate::metrics::{LpTotals, Psm, RunReport};
 use crate::queue::MpscQueue;
+use crate::telemetry::{SpanKind, TelContext, WorkerTel};
 use crate::time::Time;
 use crate::world::{SimNode, World};
 
@@ -64,8 +65,9 @@ impl Waker {
     }
 }
 
-/// Per-LP completion record: final state, P/S/M, local clock, events run.
-type LpDone<N> = (LpState<N>, Psm, Time, u64);
+/// Per-LP completion record: final state, P/S/M, local clock, iterations,
+/// telemetry sink (thread = LP here, so spans carry the LP id).
+type LpDone<N> = (LpState<N>, Psm, Time, u64, WorkerTel);
 
 pub(super) fn run<N: SimNode>(
     world: World<N>,
@@ -125,6 +127,13 @@ pub(super) fn run<N: SimNode>(
     let started = Instant::now();
     let mut results: Vec<Option<LpDone<N>>> = Vec::with_capacity(lp_count);
 
+    // Telemetry: one sink per LP thread (DESIGN.md §4.3). No scheduler →
+    // empty decision log; inbox events do not carry their sender (ns-3
+    // semantics zero it), so no traffic matrix. The CMB iteration maps to
+    // the span `round` field.
+    let telctx = TelContext::new(&cfg.telemetry);
+    let sched_log = telctx.sched_log();
+
     // Crash safety (DESIGN.md §4.2). Aborts (contained panic or watchdog)
     // raise the stop flag and bump every waker so sleeping LPs re-check it.
     let failure: Mutex<Option<FailureDiagnostics>> = Mutex::new(None);
@@ -167,12 +176,14 @@ pub(super) fn run<N: SimNode>(
             let dir = &dir;
             let failure = &failure;
             let wd = &wd;
+            let telctx = &telctx;
             handles.push(scope.spawn(move || {
                 // Failure site, readable after a contained panic.
                 let iter_c: Cell<u64> = Cell::new(0);
                 let vt_c: Cell<Time> = Cell::new(Time::ZERO);
                 let body = catch_unwind(AssertUnwindSafe(|| {
                     let mut psm = Psm::default();
+                    let mut tel = telctx.worker(idx as u32);
                     let mut insert_seq: u64 = lp.fel.len() as u64;
                     let mut end_time = Time::ZERO;
                     let mut iterations: u64 = 0;
@@ -180,13 +191,28 @@ pub(super) fn run<N: SimNode>(
                         iterations += 1;
                         iter_c.set(iterations);
                         // Receive every delivered event (messaging time).
+                        let tel_start = tel.start();
                         let t0 = Instant::now();
+                        let mut recv: u64 = 0;
                         inboxes[idx].drain(|mut ev| {
                             ev.key.seq = insert_seq;
                             insert_seq += 1;
                             lp.fel.push(ev);
+                            recv += 1;
                         });
-                        psm.m_ns += t0.elapsed().as_nanos() as u64;
+                        let m_cost = t0.elapsed().as_nanos() as u64;
+                        psm.m_ns += m_cost;
+                        if recv > 0 {
+                            tel.span_dur(
+                                SpanKind::MailboxFlush,
+                                iterations,
+                                idx as u32,
+                                tel_start,
+                                m_cost,
+                                recv,
+                                0,
+                            );
+                        }
 
                         // Abort drain: exit *before* processing anything further,
                         // so a watchdog/panic abort leaves every FEL (and hence
@@ -207,6 +233,7 @@ pub(super) fn run<N: SimNode>(
                         let limit = safe.min(bound);
 
                         // Process events strictly below the limit.
+                        let tel_start = tel.start();
                         let t0 = Instant::now();
                         let mut processed: u64 = 0;
                         while let Some(ev) = lp.fel.pop_below(limit) {
@@ -234,7 +261,19 @@ pub(super) fn run<N: SimNode>(
                             processed += 1;
                         }
                         lp.total_events += processed;
-                        psm.p_ns += t0.elapsed().as_nanos() as u64;
+                        let p_cost = t0.elapsed().as_nanos() as u64;
+                        psm.p_ns += p_cost;
+                        if processed > 0 {
+                            tel.span_dur(
+                                SpanKind::Process,
+                                iterations,
+                                idx as u32,
+                                tel_start,
+                                p_cost,
+                                processed,
+                                0,
+                            );
+                        }
 
                         // Null messages: refresh output promises. `lb` is a lower
                         // bound on the timestamp of anything this LP may still
@@ -287,6 +326,7 @@ pub(super) fn run<N: SimNode>(
                             // version lock is held while re-checking, and every
                             // writer bumps under the same lock, so wake-ups are
                             // never lost.
+                            let tel_start = tel.start();
                             let t0 = Instant::now();
                             let guard = wakers[idx]
                                 .version
@@ -305,10 +345,22 @@ pub(super) fn run<N: SimNode>(
                                     .wait(guard)
                                     .unwrap_or_else(|e| e.into_inner());
                             }
-                            psm.s_ns += t0.elapsed().as_nanos() as u64;
+                            let s_cost = t0.elapsed().as_nanos() as u64;
+                            psm.s_ns += s_cost;
+                            // The CMB analogue of a barrier wait: blocked on
+                            // neighbor promises.
+                            tel.span_dur(
+                                SpanKind::BarrierWait,
+                                iterations,
+                                idx as u32,
+                                tel_start,
+                                s_cost,
+                                0,
+                                0,
+                            );
                         }
                     }
-                    (lp, psm, end_time, iterations)
+                    (lp, psm, end_time, iterations, tel)
                 }));
                 match body {
                     Ok(res) => Some(res),
@@ -378,10 +430,15 @@ pub(super) fn run<N: SimNode>(
     let rounds = results.iter().map(|r| r.3).max().unwrap_or(0);
     let end_time = results
         .iter()
-        .map(|(_, _, t, _)| *t)
+        .map(|(_, _, t, _, _)| *t)
         .fold(Time::ZERO, Time::max);
     let psm: Vec<Psm> = results.iter().map(|(_, p, ..)| *p).collect();
-    let lps: Vec<LpState<N>> = results.into_iter().map(|(lp, ..)| lp).collect();
+    let mut tels: Vec<WorkerTel> = Vec::with_capacity(results.len());
+    let mut lps: Vec<LpState<N>> = Vec::with_capacity(results.len());
+    for (lp, _, _, _, tel) in results {
+        lps.push(lp);
+        tels.push(tel);
+    }
     let lp_totals = LpTotals {
         events: lps.iter().map(|lp| lp.total_events).collect(),
         cost_ns: vec![0; lps.len()],
@@ -399,8 +456,10 @@ pub(super) fn run<N: SimNode>(
         lookahead: partition.lookahead,
         end_time,
         psm,
+        psm_per_lp: true,
         lp_totals,
         rounds_profile: None,
+        telemetry: telctx.collect(tels, sched_log),
     };
     if let Some(diag) = failure.into_inner().unwrap_or_else(|e| e.into_inner()) {
         return Err(SimError::WorkerPanic {

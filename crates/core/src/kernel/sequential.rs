@@ -24,6 +24,7 @@ use crate::fel::Fel;
 use crate::global::{GlobalFn, WorldAccess};
 use crate::lp::{LpSlots, PendingGlobal};
 use crate::metrics::{LpTotals, Psm, RunReport};
+use crate::telemetry::{SpanKind, TelContext, NO_LP};
 use crate::time::Time;
 use crate::world::{NodeDirectory, SimCtx, SimNode, World};
 
@@ -166,6 +167,14 @@ pub(super) fn run<N: SimNode>(
     let mut now = Time::ZERO;
     let started = Instant::now();
 
+    // Telemetry is coarse here: one sink on the only thread, one Global
+    // span per global event, and a single whole-run Process span (the
+    // sequential kernel has no rounds or phases to subdivide).
+    let telctx = TelContext::new(&cfg.telemetry);
+    let mut tel = telctx.worker(0);
+    let sched_log = telctx.sched_log(); // no scheduler → stays empty
+    let run_start = tel.start();
+
     // Failure site, updated just before each handler/global runs so a
     // contained panic can report where it happened.
     let site: Cell<(RunPhase, Option<LpId>, Time)> =
@@ -192,6 +201,7 @@ pub(super) fn run<N: SimNode>(
             let g = public.pop().expect("public FEL non-empty");
             now = g.key.ts;
             site.set((RunPhase::Global, None, now));
+            let g_start = tel.start();
             let mut stop = false;
             let mut new_globals: Vec<(Time, GlobalFn<N>)> = Vec::new();
             {
@@ -216,6 +226,7 @@ pub(super) fn run<N: SimNode>(
                 (g.payload)(&mut wa);
             }
             global_events += 1;
+            tel.span(SpanKind::Global, 0, NO_LP, g_start, 1);
             for (ts, f) in new_globals {
                 public.push(Event {
                     key: EventKey::external(ts, ext_seq),
@@ -286,6 +297,7 @@ pub(super) fn run<N: SimNode>(
     }));
 
     let wall = started.elapsed();
+    tel.span(SpanKind::Process, 0, NO_LP, run_start, events);
     let (lps, _) = slots.into_inner();
     let mut lp_totals = LpTotals {
         events: lps.iter().map(|lp| lp.total_events).collect(),
@@ -310,8 +322,10 @@ pub(super) fn run<N: SimNode>(
             s_ns: 0,
             m_ns: 0,
         }],
+        psm_per_lp: false,
         lp_totals,
         rounds_profile: None,
+        telemetry: telctx.collect(vec![tel], sched_log),
     };
     match outcome {
         Ok(()) => {

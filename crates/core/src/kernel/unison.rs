@@ -42,6 +42,7 @@ use crate::metrics::{LpTotals, MetricsLevel, Psm, RoundRecord, RunReport};
 use crate::sched::{order_by_estimate, SchedMetric};
 use crate::sync::SpinBarrier;
 use crate::sync_shim::{AtomicBool, AtomicUsize, CachePadded, Ordering};
+use crate::telemetry::{SpanKind, TelContext, WorkerTel, NO_LP};
 use crate::time::Time;
 use crate::world::{SimNode, World};
 
@@ -86,6 +87,10 @@ struct RoundPlan {
     window_end: Time,
     /// Set when the simulation is complete.
     done: bool,
+    /// Per-LP cost estimates behind the current `order`, published only
+    /// when telemetry records (empty otherwise) so `lp-task` spans can
+    /// carry estimate-vs-actual data.
+    est: Vec<u64>,
 }
 
 /// Shared cell for the round plan.
@@ -188,6 +193,7 @@ pub(super) fn run_grouped<N: SimNode>(
         window_start: Time::ZERO,
         window_end: initial_window,
         done: initial_min == Time::MAX && public.next_ts() == Time::MAX,
+        est: Vec::new(),
     }));
 
     let barrier = SpinBarrier::new(threads);
@@ -212,6 +218,14 @@ pub(super) fn run_grouped<N: SimNode>(
     let mut worker_psm: Vec<Psm> = Vec::new();
     let mut main_psm = Psm::default();
     let main_group = grouping.worker_group[0] as usize;
+
+    // Telemetry sinks: one per worker (sole writer: that worker), plus the
+    // scheduler-decision log written only by the main thread in phase 4.
+    // All no-ops unless `cfg.telemetry.enabled` (see DESIGN.md §4.3).
+    let telctx = TelContext::new(&cfg.telemetry);
+    let mut main_tel = telctx.worker(0);
+    let mut sched_log = telctx.sched_log();
+    let mut worker_tels: Vec<WorkerTel> = Vec::new();
 
     // Crash-safety plumbing (DESIGN.md §4.2): the first contained panic
     // wins the diagnostics slot; the watchdog aborts rounds that exceed
@@ -244,11 +258,14 @@ pub(super) fn run_grouped<N: SimNode>(
             let stop_flag = &stop_flag;
             let mailboxes = &mailboxes;
             let failure = &failure;
+            let telctx = &telctx;
             handles.push(scope.spawn(move || {
                 let mut psm = Psm::default();
+                let mut tel = telctx.worker(w as u32);
                 let mut round: u64 = 0;
                 loop {
-                    wait_timed(barrier, &mut psm.s_ns); // B0: plan published
+                    // B0: plan published
+                    wait_timed(barrier, &mut psm.s_ns, &mut tel, round + 1, 0);
                     if barrier.is_poisoned() {
                         break;
                     }
@@ -259,6 +276,7 @@ pub(super) fn run_grouped<N: SimNode>(
                     }
                     round += 1;
                     let site: Site = Cell::new((None, p.window_start));
+                    let tel_start = tel.start();
                     let t0 = Instant::now();
                     let r = catch_unwind(AssertUnwindSafe(|| {
                         process_phase(
@@ -269,55 +287,85 @@ pub(super) fn run_grouped<N: SimNode>(
                             p,
                             stop_flag,
                             &site,
+                            &mut tel,
+                            round,
                         )
                     }));
-                    psm.p_ns += t0.elapsed().as_nanos() as u64;
-                    if let Err(payload) = r {
-                        contain(
-                            failure,
-                            barrier,
-                            kernel_name,
+                    let p_dur = t0.elapsed().as_nanos() as u64;
+                    psm.p_ns += p_dur;
+                    match r {
+                        Ok(events) => tel.span_dur(
+                            SpanKind::Process,
                             round,
-                            RunPhase::Process,
-                            &site,
-                            w,
-                            payload,
-                        );
-                        break;
+                            NO_LP,
+                            tel_start,
+                            p_dur,
+                            events,
+                            0,
+                        ),
+                        Err(payload) => {
+                            contain(
+                                failure,
+                                barrier,
+                                kernel_name,
+                                round,
+                                RunPhase::Process,
+                                &site,
+                                w,
+                                payload,
+                            );
+                            break;
+                        }
                     }
-                    wait_timed(barrier, &mut psm.s_ns); // B1
+                    wait_timed(barrier, &mut psm.s_ns, &mut tel, round, 1); // B1
                     if barrier.is_poisoned() {
                         break;
                     }
-                    wait_timed(barrier, &mut psm.s_ns); // B2 (main ran globals)
+                    // B2 (main ran globals)
+                    wait_timed(barrier, &mut psm.s_ns, &mut tel, round, 2);
                     if barrier.is_poisoned() {
                         break;
                     }
                     let site: Site = Cell::new((None, p.window_end));
+                    let tel_start = tel.start();
                     let t0 = Instant::now();
                     let r = catch_unwind(AssertUnwindSafe(|| {
-                        receive_phase(slots, mailboxes, &cursor_recv[g], &p.group_lps[g], &site)
-                    }));
-                    psm.m_ns += t0.elapsed().as_nanos() as u64;
-                    if let Err(payload) = r {
-                        contain(
-                            failure,
-                            barrier,
-                            kernel_name,
-                            round,
-                            RunPhase::Receive,
+                        receive_phase(
+                            slots,
+                            mailboxes,
+                            &cursor_recv[g],
+                            &p.group_lps[g],
                             &site,
-                            w,
-                            payload,
-                        );
-                        break;
+                            &mut tel,
+                            round,
+                        )
+                    }));
+                    let m_dur = t0.elapsed().as_nanos() as u64;
+                    psm.m_ns += m_dur;
+                    match r {
+                        Ok(recv) => {
+                            tel.span_dur(SpanKind::Receive, round, NO_LP, tel_start, m_dur, recv, 0)
+                        }
+                        Err(payload) => {
+                            contain(
+                                failure,
+                                barrier,
+                                kernel_name,
+                                round,
+                                RunPhase::Receive,
+                                &site,
+                                w,
+                                payload,
+                            );
+                            break;
+                        }
                     }
-                    wait_timed(barrier, &mut psm.s_ns); // B3
+                    wait_timed(barrier, &mut psm.s_ns, &mut tel, round, 3); // B3
                     if barrier.is_poisoned() {
                         break;
                     }
                 }
-                psm
+                (psm, tel)
             }));
         }
 
@@ -326,7 +374,8 @@ pub(super) fn run_grouped<N: SimNode>(
         // barrier that releases workers into the phase the bump covers.
         slots.begin_phase(); // covers phase 1 of round 1
         loop {
-            wait_timed(&barrier, &mut main_psm.s_ns); // B0
+            // B0
+            wait_timed(&barrier, &mut main_psm.s_ns, &mut main_tel, rounds + 1, 0);
             if barrier.is_poisoned() {
                 break;
             }
@@ -338,6 +387,7 @@ pub(super) fn run_grouped<N: SimNode>(
             let window_start = p.window_start;
             let window_end = p.window_end;
             let site: Site = Cell::new((None, window_start));
+            let tel_start = main_tel.start();
             let t0 = Instant::now();
             let r = catch_unwind(AssertUnwindSafe(|| {
                 process_phase(
@@ -348,29 +398,45 @@ pub(super) fn run_grouped<N: SimNode>(
                     p,
                     &stop_flag,
                     &site,
+                    &mut main_tel,
+                    rounds + 1,
                 )
             }));
-            main_psm.p_ns += t0.elapsed().as_nanos() as u64;
-            if let Err(payload) = r {
-                contain(
-                    &failure,
-                    &barrier,
-                    kernel_name,
+            let p_dur = t0.elapsed().as_nanos() as u64;
+            main_psm.p_ns += p_dur;
+            match r {
+                Ok(events) => main_tel.span_dur(
+                    SpanKind::Process,
                     rounds + 1,
-                    RunPhase::Process,
-                    &site,
+                    NO_LP,
+                    tel_start,
+                    p_dur,
+                    events,
                     0,
-                    payload,
-                );
-                break;
+                ),
+                Err(payload) => {
+                    contain(
+                        &failure,
+                        &barrier,
+                        kernel_name,
+                        rounds + 1,
+                        RunPhase::Process,
+                        &site,
+                        0,
+                        payload,
+                    );
+                    break;
+                }
             }
-            wait_timed(&barrier, &mut main_psm.s_ns); // B1
+            wait_timed(&barrier, &mut main_psm.s_ns, &mut main_tel, rounds + 1, 1); // B1
             if barrier.is_poisoned() {
                 break;
             }
 
             // ---- Phase 2: global events (main thread only) ----
             slots.begin_phase(); // covers phase 2 (workers idle until B2)
+            let tel_start = main_tel.start();
+            let globals_before = global_events;
             let t0 = Instant::now();
             let mut stopped = stop_flag.load(Ordering::Acquire);
             let site: Site = Cell::new((None, window_end));
@@ -467,7 +533,8 @@ pub(super) fn run_grouped<N: SimNode>(
                     partition.recompute_lookahead(&graph);
                 }
             }));
-            main_psm.p_ns += t0.elapsed().as_nanos() as u64;
+            let g_dur = t0.elapsed().as_nanos() as u64;
+            main_psm.p_ns += g_dur;
             if let Err(payload) = r {
                 contain(
                     &failure,
@@ -481,14 +548,24 @@ pub(super) fn run_grouped<N: SimNode>(
                 );
                 break;
             }
+            main_tel.span_dur(
+                SpanKind::Global,
+                rounds + 1,
+                NO_LP,
+                tel_start,
+                g_dur,
+                global_events - globals_before,
+                0,
+            );
             slots.begin_phase(); // covers phase 3 (released by B2)
-            wait_timed(&barrier, &mut main_psm.s_ns); // B2
+            wait_timed(&barrier, &mut main_psm.s_ns, &mut main_tel, rounds + 1, 2); // B2
             if barrier.is_poisoned() {
                 break;
             }
 
             // ---- Phase 3: receive (parallel) ----
             let site: Site = Cell::new((None, window_end));
+            let tel_start = main_tel.start();
             let t0 = Instant::now();
             let r = catch_unwind(AssertUnwindSafe(|| {
                 receive_phase(
@@ -497,29 +574,44 @@ pub(super) fn run_grouped<N: SimNode>(
                     &cursor_recv[main_group],
                     &p.group_lps[main_group],
                     &site,
+                    &mut main_tel,
+                    rounds + 1,
                 )
             }));
-            main_psm.m_ns += t0.elapsed().as_nanos() as u64;
-            if let Err(payload) = r {
-                contain(
-                    &failure,
-                    &barrier,
-                    kernel_name,
+            let m_dur = t0.elapsed().as_nanos() as u64;
+            main_psm.m_ns += m_dur;
+            match r {
+                Ok(recv) => main_tel.span_dur(
+                    SpanKind::Receive,
                     rounds + 1,
-                    RunPhase::Receive,
-                    &site,
+                    NO_LP,
+                    tel_start,
+                    m_dur,
+                    recv,
                     0,
-                    payload,
-                );
-                break;
+                ),
+                Err(payload) => {
+                    contain(
+                        &failure,
+                        &barrier,
+                        kernel_name,
+                        rounds + 1,
+                        RunPhase::Receive,
+                        &site,
+                        0,
+                        payload,
+                    );
+                    break;
+                }
             }
-            wait_timed(&barrier, &mut main_psm.s_ns); // B3
+            wait_timed(&barrier, &mut main_psm.s_ns, &mut main_tel, rounds + 1, 3); // B3
             if barrier.is_poisoned() {
                 break;
             }
 
             // ---- Phase 4: update window + schedule (main thread only) ----
             slots.begin_phase(); // covers phase 4 (workers idle until B0)
+            let tel_start = main_tel.start();
             let t0 = Instant::now();
             rounds += 1;
             let mut min_next = Time::MAX;
@@ -584,6 +676,23 @@ pub(super) fn run_grouped<N: SimNode>(
                         .map(|i| lps_of_g[i as usize])
                         .collect();
                 }
+                if sched_log.enabled() {
+                    // Log the LJF decision per group: the order applies
+                    // from the next round (`rounds + 1`) until the next
+                    // re-sort. Estimates ride along for regret analysis.
+                    for (g, order_g) in plan_mut.order.iter().enumerate() {
+                        sched_log.record(
+                            rounds + 1,
+                            g as u32,
+                            cfg.sched.metric.name(),
+                            order_g.clone(),
+                            order_g.iter().map(|&l| estimates[l as usize]).collect(),
+                        );
+                    }
+                    // Publish the estimates so phase-1 `lp-task` spans can
+                    // carry estimate-vs-actual arguments.
+                    plan_mut.est = estimates;
+                }
             }
 
             if !done {
@@ -601,7 +710,17 @@ pub(super) fn run_grouped<N: SimNode>(
                 c.store(0, Ordering::Relaxed);
             }
             slots.begin_phase(); // covers the next round's phase 1
-            main_psm.m_ns += t0.elapsed().as_nanos() as u64;
+            let w_dur = t0.elapsed().as_nanos() as u64;
+            main_psm.m_ns += w_dur;
+            main_tel.span_dur(
+                SpanKind::WindowUpdate,
+                rounds,
+                NO_LP,
+                tel_start,
+                w_dur,
+                window_end.0,
+                next_window.0,
+            );
             // One round completed: feed the watchdog.
             wd.tick();
         }
@@ -611,7 +730,10 @@ pub(super) fn run_grouped<N: SimNode>(
         wd.finish();
         for (i, h) in handles.into_iter().enumerate() {
             match h.join() {
-                Ok(psm) => worker_psm.push(psm),
+                Ok((psm, tel)) => {
+                    worker_psm.push(psm);
+                    worker_tels.push(tel);
+                }
                 // Workers contain their own panics, so a join error means
                 // the containment machinery itself died (e.g. a panic in
                 // barrier bookkeeping). Record it instead of propagating —
@@ -654,6 +776,8 @@ pub(super) fn run_grouped<N: SimNode>(
     let events: u64 = lp_totals.events.iter().sum();
     let mut psm = vec![main_psm];
     psm.extend(worker_psm);
+    let mut tels = vec![main_tel];
+    tels.extend(worker_tels);
     let report = RunReport {
         kernel: format!("{kernel_name}({threads})"),
         wall,
@@ -665,8 +789,10 @@ pub(super) fn run_grouped<N: SimNode>(
         lookahead: partition.lookahead,
         end_time,
         psm,
+        psm_per_lp: false,
         lp_totals,
         rounds_profile,
+        telemetry: telctx.collect(tels, sched_log),
     };
     if let Some(diag) = failure.into_inner().unwrap_or_else(|e| e.into_inner()) {
         return Err(SimError::WorkerPanic {
@@ -726,15 +852,27 @@ fn contain(
     barrier.poison();
 }
 
-/// Barrier wait with the blocked time charged to `s_ns`.
+/// Barrier wait with the blocked time charged to `s_ns` and recorded as a
+/// `barrier-wait` span (`arg` = barrier index 0–3 within `round`). The
+/// wall-clock measurement lives in [`SpinBarrier::wait_timed`].
 #[inline]
-fn wait_timed(barrier: &SpinBarrier, s_ns: &mut u64) {
-    let t0 = Instant::now();
-    barrier.wait();
-    *s_ns += t0.elapsed().as_nanos() as u64;
+fn wait_timed(barrier: &SpinBarrier, s_ns: &mut u64, tel: &mut WorkerTel, round: u64, which: u64) {
+    let tel_start = tel.start();
+    let before = *s_ns;
+    barrier.wait_timed(s_ns);
+    tel.span_dur(
+        SpanKind::BarrierWait,
+        round,
+        NO_LP,
+        tel_start,
+        *s_ns - before,
+        which,
+        0,
+    );
 }
 
 /// Phase 1: claim LPs in schedule order and execute their window events.
+/// Returns the number of events this worker executed.
 #[allow(clippy::too_many_arguments)]
 fn process_phase<N: SimNode>(
     slots: &LpSlots<N>,
@@ -744,8 +882,11 @@ fn process_phase<N: SimNode>(
     plan: &RoundPlan,
     stop_flag: &AtomicBool,
     site: &Site,
-) {
+    tel: &mut WorkerTel,
+    round: u64,
+) -> u64 {
     let dir = slots.directory();
+    let mut total_events: u64 = 0;
     loop {
         let i = cursor.fetch_add(1, Ordering::Relaxed);
         if i >= order.len() {
@@ -762,6 +903,7 @@ fn process_phase<N: SimNode>(
             lp.last_cost_ns = 0;
             continue;
         }
+        let tel_start = tel.start();
         let t0 = Instant::now();
         let mut round_events: u64 = 0;
         while let Some(ev) = lp.fel.pop_below(plan.window_end) {
@@ -792,17 +934,38 @@ fn process_phase<N: SimNode>(
         lp.round_events = round_events;
         lp.total_events += round_events;
         lp.last_cost_ns = t0.elapsed().as_nanos() as u64;
+        total_events += round_events;
+        if tel.enabled() {
+            // `plan.est` is only published when telemetry records; 0 means
+            // "no estimate" (before the first re-sort, or metric None).
+            let est = plan.est.get(lp_idx).copied().unwrap_or(0);
+            tel.span_dur(
+                SpanKind::LpTask,
+                round,
+                lp_idx as u32,
+                tel_start,
+                lp.last_cost_ns,
+                round_events,
+                est,
+            );
+        }
     }
+    total_events
 }
 
-/// Phase 3: claim LPs and drain their mailboxes into their FELs.
+/// Phase 3: claim LPs and drain their mailboxes into their FELs. Returns
+/// the number of events this worker received.
+#[allow(clippy::too_many_arguments)]
 fn receive_phase<N: SimNode>(
     slots: &LpSlots<N>,
     mailboxes: &Mailboxes<N::Payload>,
     cursor: &AtomicUsize,
     group_lps: &[u32],
     site: &Site,
-) {
+    tel: &mut WorkerTel,
+    round: u64,
+) -> u64 {
+    let mut total_recv: u64 = 0;
     loop {
         let i = cursor.fetch_add(1, Ordering::Relaxed);
         if i >= group_lps.len() {
@@ -812,12 +975,25 @@ fn receive_phase<N: SimNode>(
         site.set((Some(LpId(lp_idx as u32)), site.get().1));
         // SAFETY: unique claim via the cursor, as in `process_phase`.
         let lp = unsafe { slots.get_mut(lp_idx) };
+        let tel_start = tel.start();
         let mut recv: u64 = 0;
         mailboxes.drain(lp_idx as u32, |ev| {
+            tel.edge(ev.key.sender_lp.0, lp_idx as u32);
             lp.fel.push(ev);
             recv += 1;
         });
         lp.round_recv = recv;
         lp.refresh_next_ts();
+        total_recv += recv;
+        if recv > 0 {
+            tel.span(
+                SpanKind::MailboxFlush,
+                round,
+                lp_idx as u32,
+                tel_start,
+                recv,
+            );
+        }
     }
+    total_recv
 }

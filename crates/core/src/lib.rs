@@ -76,6 +76,7 @@ pub mod rng;
 pub mod sched;
 pub mod sync;
 pub mod sync_shim;
+pub mod telemetry;
 pub mod time;
 pub mod world;
 
@@ -93,6 +94,7 @@ pub use metrics::{LpTotals, MetricsLevel, Psm, RoundRecord, RunReport};
 pub use partition::{fine_grained_partition, manual_partition, partition_below_bound, Partition};
 pub use perfmodel::{CostParams, ModelResult, PerfModel};
 pub use rng::Rng;
-pub use sched::{SchedConfig, SchedMetric};
+pub use sched::{scheduling_regret, SchedConfig, SchedMetric};
+pub use telemetry::{RunTelemetry, SchedDecision, Span, SpanKind, TelemetryConfig, WorkerSpans};
 pub use time::{DataRate, Time};
 pub use world::{SimCtx, SimCtxExt, SimNode, World, WorldBuilder};

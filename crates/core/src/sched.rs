@@ -24,6 +24,18 @@ pub enum SchedMetric {
     None,
 }
 
+impl SchedMetric {
+    /// Short display name, used in reports and the telemetry
+    /// scheduler-decision log.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedMetric::ByLastRoundTime => "by-last-round-time",
+            SchedMetric::ByPendingEvents => "by-pending-events",
+            SchedMetric::None => "none",
+        }
+    }
+}
+
 /// Scheduling configuration for the Unison kernel.
 #[derive(Clone, Copy, Debug)]
 pub struct SchedConfig {
@@ -117,6 +129,23 @@ pub fn ideal_makespan(actual: &[f64], threads: usize) -> f64 {
     lpt_makespan(&order, actual, threads)
 }
 
+/// Estimate-vs-actual *scheduling regret* for one round: the makespan of
+/// the LPT schedule the kernel actually used (LPs *ordered* by the stale
+/// estimates in `order` but *costing* their measured times in `actual`)
+/// over the idealistic makespan with exact knowledge of the costs.
+///
+/// `1.0` means the stale estimates lost nothing. Values are usually ≥ 1,
+/// but can dip slightly below: LPT with exact knowledge is itself only a
+/// 4/3-approximation, so a "misordered" schedule can get lucky. Returns
+/// `1.0` for rounds with zero total cost.
+pub fn scheduling_regret(order: &[u32], actual: &[f64], threads: usize) -> f64 {
+    let ideal = ideal_makespan(actual, threads);
+    if ideal <= 0.0 {
+        return 1.0;
+    }
+    lpt_makespan(order, actual, threads) / ideal
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,5 +195,26 @@ mod tests {
         let actual = vec![2.0, 3.0, 4.0];
         let order = order_by_estimate(&[2, 3, 4]);
         assert_eq!(lpt_makespan(&order, &actual, 1), 9.0);
+    }
+
+    #[test]
+    fn regret_is_one_with_perfect_estimates_and_grows_when_stale() {
+        let actual = vec![10.0, 1.0, 1.0, 1.0];
+        let perfect = order_by_estimate(&[10, 1, 1, 1]);
+        assert_eq!(scheduling_regret(&perfect, &actual, 2), 1.0);
+        // Inverted estimates: the big job lands last, on top of an
+        // already-loaded thread → makespan 11 vs ideal 10.
+        let inverted = order_by_estimate(&[1, 2, 3, 4]);
+        let r = scheduling_regret(&inverted, &actual, 2);
+        assert!((r - 1.1).abs() < 1e-12, "regret {r}");
+        // Zero-cost rounds have no regret signal.
+        assert_eq!(scheduling_regret(&perfect, &[0.0; 4], 2), 1.0);
+    }
+
+    #[test]
+    fn metric_names_are_stable() {
+        assert_eq!(SchedMetric::ByLastRoundTime.name(), "by-last-round-time");
+        assert_eq!(SchedMetric::ByPendingEvents.name(), "by-pending-events");
+        assert_eq!(SchedMetric::None.name(), "none");
     }
 }

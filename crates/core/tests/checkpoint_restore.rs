@@ -109,6 +109,7 @@ fn cfg(threads: usize, metric: SchedMetric) -> RunConfig {
             period: Some(4),
         },
         metrics: MetricsLevel::Summary,
+        telemetry: Default::default(),
         watchdog: Default::default(),
     }
 }

@@ -317,6 +317,7 @@ fn world_cfg(kernel: KernelKind) -> RunConfig {
         partition: PartitionMode::Auto,
         sched: SchedConfig::default(),
         metrics: MetricsLevel::Summary,
+        telemetry: Default::default(),
         watchdog: Default::default(),
     }
 }

@@ -84,6 +84,7 @@ fn single_lp_barrier_kernel_degenerates_gracefully() {
         partition: PartitionMode::SingleLp,
         sched: SchedConfig::default(),
         metrics: MetricsLevel::Summary,
+        telemetry: Default::default(),
     };
     let (_, report) = kernel::run(world, &cfg).unwrap();
     assert_eq!(report.events, 25);
@@ -109,6 +110,7 @@ fn hybrid_clamps_host_count_to_lps() {
         partition: PartitionMode::Auto,
         sched: SchedConfig::default(),
         metrics: MetricsLevel::Summary,
+        telemetry: Default::default(),
     };
     // One node -> one LP -> hosts clamp to 1.
     let (_, report) = kernel::run(one_node_world(5), &cfg).unwrap();
@@ -123,6 +125,7 @@ fn manual_partition_wrong_length_is_rejected() {
         partition: PartitionMode::Manual(vec![0, 1]),
         sched: SchedConfig::default(),
         metrics: MetricsLevel::Summary,
+        telemetry: Default::default(),
     };
     let err = match kernel::run(one_node_world(1), &cfg) {
         Err(e) => e,

@@ -117,6 +117,7 @@ fn unison_matches_compat_sequential_bitwise() {
             partition: PartitionMode::Auto,
             sched: SchedConfig::default(),
             metrics: MetricsLevel::Summary,
+            telemetry: Default::default(),
         },
     )
     .unwrap();
@@ -165,6 +166,7 @@ fn all_kernels_agree_on_event_totals() {
             partition: PartitionMode::Auto,
             sched: SchedConfig::default(),
             metrics: MetricsLevel::Summary,
+            telemetry: Default::default(),
         },
     )
     .unwrap();
@@ -193,6 +195,7 @@ fn hybrid_matches_unison_bitwise() {
             partition: PartitionMode::Auto,
             sched: SchedConfig::default(),
             metrics: MetricsLevel::Summary,
+            telemetry: Default::default(),
         },
     )
     .unwrap();
@@ -394,6 +397,7 @@ fn manual_partition_controls_lp_count() {
         partition: PartitionMode::Manual((0..N as u32).map(|i| i % 4).collect()),
         sched: SchedConfig::default(),
         metrics: MetricsLevel::Summary,
+        telemetry: Default::default(),
     };
     let (_, report) = kernel::run(ring_world(N, DELAY, TOKENS, STOP), &cfg).unwrap();
     assert_eq!(report.lp_count, 4);
@@ -410,10 +414,64 @@ fn partition_bound_sweeps_granularity() {
             partition: PartitionMode::Bound(bound),
             sched: SchedConfig::default(),
             metrics: MetricsLevel::Summary,
+            telemetry: Default::default(),
         };
         let (_, report) = kernel::run(ring_world(N, DELAY, TOKENS, STOP), &cfg).unwrap();
         assert_eq!(report.lp_count, expect, "bound {bound:?}");
     }
+}
+
+#[test]
+fn psm_indexing_matches_kernel_family() {
+    // The paper's methodology: LP-pinned kernels (barrier, null message)
+    // report P/S/M per LP; the scheduled kernels (sequential, Unison,
+    // hybrid) report it per worker thread. `psm_is_per_lp` must say which,
+    // and the vector length must match the claimed indexing.
+    let manual: Vec<u32> = (0..N as u32).map(|i| i / 3).collect(); // 4 LPs
+
+    let (_, seq) =
+        kernel::run(ring_world(N, DELAY, TOKENS, STOP), &RunConfig::sequential()).unwrap();
+    assert!(!seq.psm_is_per_lp());
+    assert_eq!(seq.psm.len(), 1);
+
+    let (_, uni) = kernel::run(ring_world(N, DELAY, TOKENS, STOP), &RunConfig::unison(2)).unwrap();
+    assert!(!uni.psm_is_per_lp());
+    assert_eq!(uni.psm.len(), uni.threads as usize);
+
+    let (_, bar) = kernel::run(
+        ring_world(N, DELAY, TOKENS, STOP),
+        &RunConfig::barrier(manual.clone()),
+    )
+    .unwrap();
+    assert!(bar.psm_is_per_lp());
+    assert_eq!(bar.psm.len(), bar.lp_count as usize);
+    assert_eq!(bar.lp_count, 4);
+
+    let (_, nm) = kernel::run(
+        ring_world(N, DELAY, TOKENS, STOP),
+        &RunConfig::nullmsg(manual),
+    )
+    .unwrap();
+    assert!(nm.psm_is_per_lp());
+    assert_eq!(nm.psm.len(), nm.lp_count as usize);
+
+    let (_, hy) = kernel::run(
+        ring_world(N, DELAY, TOKENS, STOP),
+        &RunConfig {
+            watchdog: Default::default(),
+            kernel: KernelKind::Hybrid {
+                hosts: 2,
+                threads_per_host: 2,
+            },
+            partition: PartitionMode::Auto,
+            sched: SchedConfig::default(),
+            metrics: MetricsLevel::Summary,
+            telemetry: Default::default(),
+        },
+    )
+    .unwrap();
+    assert!(!hy.psm_is_per_lp());
+    assert_eq!(hy.psm.len(), hy.threads as usize);
 }
 
 #[test]

@@ -333,6 +333,7 @@ impl NetSim {
             partition: PartitionMode::Auto,
             sched: SchedConfig::default(),
             metrics: MetricsLevel::Summary,
+            telemetry: Default::default(),
         })
         .expect("valid default configuration")
     }

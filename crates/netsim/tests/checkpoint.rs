@@ -33,6 +33,7 @@ fn unison_cfg(threads: usize) -> RunConfig {
         partition: PartitionMode::Auto,
         sched: SchedConfig::default(),
         metrics: MetricsLevel::Summary,
+        telemetry: Default::default(),
         watchdog: Default::default(),
     }
 }

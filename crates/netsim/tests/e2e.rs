@@ -86,6 +86,7 @@ fn all_kernels_complete_the_same_flows() {
             partition: PartitionMode::Manual(manual_lp.clone()),
             sched: SchedConfig::default(),
             metrics: MetricsLevel::Summary,
+            telemetry: Default::default(),
         })
         .unwrap();
     let nm = build()
@@ -95,6 +96,7 @@ fn all_kernels_complete_the_same_flows() {
             partition: PartitionMode::Manual(manual_lp),
             sched: SchedConfig::default(),
             metrics: MetricsLevel::Summary,
+            telemetry: Default::default(),
         })
         .unwrap();
     assert_eq!(seq.flows.total_flows(), uni.flows.total_flows());
@@ -153,6 +155,7 @@ fn unison_matches_compat_sequential_on_network() {
             partition: PartitionMode::Auto,
             sched: SchedConfig::default(),
             metrics: MetricsLevel::Summary,
+            telemetry: Default::default(),
         })
         .unwrap();
     let uni = build().run(KernelKind::Unison { threads: 4 });

@@ -1,0 +1,165 @@
+//! The textual profile report (`profile-report` binary output).
+//!
+//! Uses the run-level helpers from `unison-core` ([`RunReport::imbalance`],
+//! [`unison_core::RoundRecord::barrier_slack_ns`]) for the load-imbalance
+//! section and the [`Timeline`] analysis for barrier-wait share, scheduling
+//! regret, and the traffic matrix.
+
+use std::io::{self, Write};
+
+use unison_core::RunReport;
+
+use crate::timeline::Timeline;
+
+fn ms(ns: f64) -> String {
+    format!("{:.3} ms", ns / 1e6)
+}
+
+/// Writes the full profile report for one run.
+pub fn write_report(report: &RunReport, out: &mut impl Write) -> io::Result<()> {
+    writeln!(out, "== profile report: {} ==", report.kernel)?;
+    writeln!(
+        out,
+        "threads {}   lps {}   rounds {}   events {}   wall {:.3} s",
+        report.threads,
+        report.lp_count,
+        report.rounds,
+        report.events,
+        report.wall.as_secs_f64()
+    )?;
+
+    // Load imbalance — from the per-round profile when present, the
+    // whole-run totals otherwise (RunReport::imbalance documents both).
+    writeln!(out)?;
+    writeln!(out, "-- load imbalance (max/mean LP cost, >= 1) --")?;
+    writeln!(out, "mean over rounds: {:.3}", report.imbalance())?;
+    if let Some(profile) = &report.rounds_profile {
+        let worked: Vec<_> = profile.iter().filter(|r| r.total_cost_ns() > 0.0).collect();
+        let max = worked.iter().map(|r| r.imbalance()).fold(1.0f64, f64::max);
+        let slack: f64 = worked.iter().map(|r| r.barrier_slack_ns()).sum();
+        writeln!(out, "max round:        {max:.3}")?;
+        writeln!(out, "rounds with work: {}/{}", worked.len(), profile.len())?;
+        writeln!(
+            out,
+            "barrier slack (idle time a one-thread-per-LP barrier would add): {}",
+            ms(slack)
+        )?;
+    } else {
+        writeln!(
+            out,
+            "(run without MetricsLevel::PerRound: whole-run event totals, no per-round detail)"
+        )?;
+    }
+
+    let Some(timeline) = Timeline::from_report(report) else {
+        writeln!(out)?;
+        writeln!(
+            out,
+            "(no telemetry recorded: enable RunConfig::telemetry for barrier-wait, regret, and traffic sections)"
+        )?;
+        return Ok(());
+    };
+    let tel = timeline.telemetry();
+    let truncated: u64 = tel.workers.iter().map(|w| w.truncated).sum();
+    writeln!(out)?;
+    writeln!(
+        out,
+        "spans: {} across {} workers ({} truncated)   sched decisions: {} ({} truncated)",
+        tel.span_count(),
+        tel.workers.len(),
+        truncated,
+        tel.sched.len(),
+        tel.sched_truncated
+    )?;
+
+    writeln!(out)?;
+    writeln!(out, "-- barrier-wait share per worker --")?;
+    for w in timeline.barrier_wait() {
+        writeln!(
+            out,
+            "worker {:>3}: {:>6.2}%   ({} of {})",
+            w.worker,
+            w.share() * 100.0,
+            ms(w.barrier_ns as f64),
+            ms(w.accounted_ns as f64)
+        )?;
+    }
+
+    writeln!(out)?;
+    writeln!(
+        out,
+        "-- scheduling regret (estimate-vs-actual LPT makespan ratio) --"
+    )?;
+    let regrets = timeline.regret_by_round(report.threads.max(1) as usize);
+    if regrets.is_empty() {
+        writeln!(
+            out,
+            "(no decision log: kernel has no scheduler, or no re-sort happened)"
+        )?;
+    } else {
+        let mean = regrets.iter().map(|r| r.regret).sum::<f64>() / regrets.len() as f64;
+        let (max_round, max) = regrets
+            .iter()
+            .map(|r| (r.round, r.regret))
+            .fold((0, 0.0f64), |acc, r| if r.1 > acc.1 { r } else { acc });
+        writeln!(
+            out,
+            "mean {:.4}   max {:.4} (round {})   rounds covered: {}",
+            mean,
+            max,
+            max_round,
+            regrets.len()
+        )?;
+    }
+
+    writeln!(out)?;
+    writeln!(
+        out,
+        "-- mailbox traffic (events src -> dst, heaviest 10) --"
+    )?;
+    let traffic = timeline.traffic_heaviest_first();
+    if traffic.is_empty() {
+        writeln!(
+            out,
+            "(no cross-LP traffic recorded: single LP, or kernel without sender attribution)"
+        )?;
+    } else {
+        let total: u64 = traffic.iter().map(|&(_, _, n)| n).sum();
+        for &(src, dst, n) in traffic.iter().take(10) {
+            writeln!(out, "lp {src:>4} -> lp {dst:>4}: {n}")?;
+        }
+        if traffic.len() > 10 {
+            writeln!(out, "... {} more edges", traffic.len() - 10)?;
+        }
+        writeln!(out, "total cross-LP events: {total}")?;
+    }
+    Ok(())
+}
+
+/// [`write_report`] into a string (panics only on formatter failure, which
+/// `Vec<u8>` writes cannot produce).
+pub fn report_string(report: &RunReport) -> String {
+    let mut buf = Vec::new();
+    // INVARIANT: writing to a Vec<u8> never fails.
+    write_report(report, &mut buf).expect("Vec write");
+    String::from_utf8(buf).expect("report is UTF-8")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_without_telemetry_still_render() {
+        let mut rep = RunReport {
+            kernel: "unison".into(),
+            ..Default::default()
+        };
+        rep.lp_totals.events = vec![9, 3, 0];
+        let text = report_string(&rep);
+        assert!(text.contains("load imbalance"));
+        assert!(text.contains("no telemetry recorded"));
+        // Totals fallback: 9,3,0 → 2.25.
+        assert!(text.contains("2.250"));
+    }
+}

@@ -1,0 +1,114 @@
+//! End-to-end export test (ISSUE 3, satellite 5): run a small scenario
+//! with telemetry enabled, export the Chrome trace, and check that the
+//! emitted JSON is non-empty, validates as a trace_event array, and
+//! round-trips through the crate's own parser bit-identically.
+
+use unison_core::{
+    DataRate, KernelKind, MetricsLevel, PartitionMode, RunConfig, SchedConfig, TelemetryConfig,
+    Time,
+};
+use unison_netsim::{NetworkBuilder, TransportKind};
+use unison_telemetry::{chrome_trace_json, json, validate_chrome_trace};
+use unison_topology::fat_tree;
+use unison_traffic::TrafficConfig;
+
+/// A deliberately small fat-tree incast: big enough to exercise every
+/// span kind and the scheduler log, small enough for a test.
+fn run_profiled(threads: usize) -> unison_core::RunReport {
+    let topo = fat_tree(4)
+        .with_rate(DataRate::gbps(10))
+        .with_delay(Time::from_micros(3));
+    let traffic = TrafficConfig::incast(0.3, 0.6)
+        .with_seed(7)
+        .with_window(Time::ZERO, Time::from_micros(400));
+    let sim = NetworkBuilder::new(&topo)
+        .transport(TransportKind::NewReno)
+        .traffic(&traffic)
+        .stop_at(Time::from_micros(600))
+        .build();
+    sim.run_with(&RunConfig {
+        watchdog: Default::default(),
+        kernel: KernelKind::Unison { threads },
+        partition: PartitionMode::Auto,
+        sched: SchedConfig::default(),
+        metrics: MetricsLevel::PerRound,
+        telemetry: TelemetryConfig::enabled(),
+    })
+    .expect("scenario run")
+    .kernel
+}
+
+#[test]
+fn exported_trace_is_valid_nonempty_and_round_trips() {
+    let report = run_profiled(2);
+    let tel = report.telemetry.as_ref().expect("telemetry attached");
+    assert!(tel.span_count() > 0, "scenario produced no spans");
+
+    let json_text = chrome_trace_json(tel);
+    let summary = validate_chrome_trace(&json_text).expect("exported trace must validate");
+    assert_eq!(
+        summary.durations as usize,
+        tel.span_count(),
+        "every recorded span becomes exactly one duration event"
+    );
+    assert_eq!(
+        summary.instants as usize,
+        tel.sched.len(),
+        "every scheduler decision becomes exactly one instant event"
+    );
+    // One thread_name metadata record per worker sink.
+    assert_eq!(summary.metadata as usize, tel.workers.len());
+    assert_eq!(
+        summary.events,
+        summary.durations + summary.instants + summary.metadata
+    );
+
+    // Round-trip: parse → re-serialize → bit-identical. The writer is the
+    // canonical form, so one pass through the parser must be a fixpoint.
+    let parsed = json::parse(&json_text).expect("own parser accepts own output");
+    assert_eq!(parsed.to_json(), json_text, "serializer not a fixpoint");
+}
+
+#[test]
+fn trace_timestamps_are_monotone_per_worker_within_kind() {
+    let report = run_profiled(2);
+    let tel = report.telemetry.as_ref().expect("telemetry attached");
+    // The recorder is one-writer-per-worker and pushes a span when it
+    // *closes*, so end timestamps never decrease within a sink (start
+    // timestamps may: an enclosing phase span starts before the nested
+    // LP-task spans it is recorded after).
+    for w in &tel.workers {
+        let mut last = 0u64;
+        for s in &w.spans {
+            let end = s.start_ns + s.dur_ns;
+            assert!(
+                end >= last,
+                "worker {} spans out of order: end {end} < {last}",
+                w.worker,
+            );
+            last = end;
+        }
+    }
+}
+
+#[test]
+fn validator_rejects_malformed_traces() {
+    for (bad, why) in [
+        ("{}", "not an array"),
+        ("[]", "empty array"),
+        (r#"[{"name":"x"}]"#, "missing ph"),
+        (
+            r#"[{"ph":"X","name":"x","ts":0,"pid":0,"tid":0}]"#,
+            "duration event without dur",
+        ),
+        (
+            r#"[{"ph":"X","name":"x","ts":-1,"dur":1,"pid":0,"tid":0}]"#,
+            "negative timestamp",
+        ),
+    ] {
+        assert!(
+            validate_chrome_trace(bad).is_err(),
+            "validator accepted a malformed trace ({why})"
+        );
+    }
+}

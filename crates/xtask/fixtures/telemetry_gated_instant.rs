@@ -1,0 +1,14 @@
+// Fixture: the `// TELEMETRY:` escape hatch of `no-wall-clock`. The
+// marked clock reads (same-line and comment-block-above forms) are
+// telemetry-gated measurements and must pass; the unmarked one must trip,
+// and a marker separated by a code line must not carry over.
+
+pub fn gated_measurement(s_ns: &mut u64) {
+    // TELEMETRY: wall-clock measurement of synchronization waits.
+    let t0 = std::time::Instant::now();
+    busy();
+    *s_ns += t0.elapsed().as_nanos() as u64; // TELEMETRY: span duration.
+    let _ = std::time::Instant::now();
+}
+
+fn busy() {}

@@ -134,6 +134,33 @@ fn instant_is_allowed_in_kernel_but_systemtime_is_not() {
 }
 
 #[test]
+fn telemetry_marker_exempts_gated_instant_reads() {
+    let f = lint_file(
+        "crates/core/src/fixture.rs",
+        &fixture("telemetry_gated_instant.rs"),
+    );
+    // Only the unmarked read trips; the `// TELEMETRY:`-covered one passes
+    // and a marker does not carry across intervening code lines.
+    assert_eq!(rules_of(&f), vec!["no-wall-clock"], "{f:?}");
+    assert_eq!(f[0].line, 11, "{f:?}");
+}
+
+#[test]
+fn telemetry_recorder_file_is_instant_allowlisted() {
+    let f = lint_file(
+        "crates/core/src/telemetry.rs",
+        &fixture("wall_clock_in_core.rs"),
+    );
+    // Instant is waived for the span recorder; SystemTime never is.
+    assert!(!f.is_empty(), "SystemTime must still be flagged");
+    assert!(
+        f.iter()
+            .all(|x| x.rule == "no-wall-clock" && x.msg.contains("SystemTime")),
+        "{f:?}"
+    );
+}
+
+#[test]
 fn missing_deny_attr_is_flagged() {
     let files = vec![(
         "crates/fake/src/lib.rs".to_string(),

@@ -33,6 +33,7 @@ fn main() {
             partition,
             sched: SchedConfig::default(),
             metrics: MetricsLevel::PerRound,
+            telemetry: Default::default(),
         })
         .expect("profiled run")
     };

@@ -25,6 +25,7 @@ fn run_sched(kernel: KernelKind, sched: SchedConfig) -> SimResult {
         partition: PartitionMode::Auto,
         sched,
         metrics: MetricsLevel::Summary,
+        telemetry: Default::default(),
     })
     .expect("run")
 }

@@ -31,6 +31,7 @@ fn profile(
             partition: partition.clone(),
             sched: SchedConfig::default(),
             metrics: MetricsLevel::PerRound,
+            telemetry: Default::default(),
         })
         .expect("profiled run");
     // LP adjacency for the null-message model.
@@ -186,6 +187,7 @@ fn claim_fine_granularity_improves_locality() {
                 partition: PartitionMode::Manual(manual::by_id_range(&topo, lps)),
                 sched: SchedConfig::default(),
                 metrics: MetricsLevel::Summary,
+                telemetry: Default::default(),
             })
             .expect("run");
         res.kernel.node_switches()

@@ -31,6 +31,7 @@ fn every_kernel_runs_the_same_model() {
                 partition: PartitionMode::SingleLp,
                 sched: SchedConfig::default(),
                 metrics: MetricsLevel::Summary,
+                telemetry: Default::default(),
             },
         ),
         ("unison", RunConfig::unison(2)),
@@ -45,6 +46,7 @@ fn every_kernel_runs_the_same_model() {
                 partition: PartitionMode::Auto,
                 sched: SchedConfig::default(),
                 metrics: MetricsLevel::Summary,
+                telemetry: Default::default(),
             },
         ),
         ("barrier", RunConfig::barrier(pods.clone())),
