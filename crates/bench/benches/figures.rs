@@ -133,6 +133,7 @@ fn bench_fig12_family(c: &mut Criterion) {
                     sched: SchedConfig::default(),
                     metrics: MetricsLevel::Summary,
                     telemetry: Default::default(),
+                    fel: Default::default(),
                 })
                 .unwrap();
             black_box(res.kernel.node_switches())

@@ -6,36 +6,77 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
 use unison_core::{
-    fine_grained_partition, kernel, Event, EventKey, Fel, LinkGraph, NodeId, Rng, RunConfig,
-    SimCtx, SimNode, Time, WorldBuilder,
+    fine_grained_partition, kernel, Event, EventKey, Fel, FelImpl, LinkGraph, NodeId, Rng,
+    RunConfig, SimCtx, SimNode, Time, WorldBuilder,
 };
 
-/// FEL push+pop of a shuffled batch.
+/// FEL push+pop of a shuffled batch, A/B over both backends (the ladder
+/// queue vs. the binary-heap reference, DESIGN.md §4.4).
 fn bench_fel(c: &mut Criterion) {
     let mut rng = Rng::new(1);
     let mut keys: Vec<u64> = (0..1_000).collect();
     rng.shuffle(&mut keys);
-    c.bench_function("fel_push_pop_1k", |b| {
-        b.iter_batched(
-            || keys.clone(),
-            |keys| {
-                let mut fel: Fel<u64> = Fel::with_capacity(keys.len());
-                for &k in &keys {
-                    fel.push(Event {
-                        key: EventKey::external(Time(k), k),
-                        node: NodeId(0),
-                        payload: k,
-                    });
-                }
+    let mut group = c.benchmark_group("fel_push_pop_1k");
+    for fel in [FelImpl::Ladder, FelImpl::BinaryHeap] {
+        group.bench_function(fel.name(), |b| {
+            b.iter_batched(
+                || keys.clone(),
+                |keys| {
+                    let mut q: Fel<u64> = Fel::with_impl(fel);
+                    for &k in &keys {
+                        q.push(Event {
+                            key: EventKey::external(Time(k), k),
+                            node: NodeId(0),
+                            payload: k,
+                        });
+                    }
+                    let mut sum = 0u64;
+                    while let Some(ev) = q.pop() {
+                        sum = sum.wrapping_add(ev.payload);
+                    }
+                    black_box(sum)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// FEL windowed drain: pushes interleaved with `pop_below`, the access
+/// pattern of the kernel's process phase (events cluster near the window).
+fn bench_fel_windowed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fel_windowed_8k");
+    for fel in [FelImpl::Ladder, FelImpl::BinaryHeap] {
+        group.bench_function(fel.name(), |b| {
+            b.iter(|| {
+                let mut q: Fel<u64> = Fel::with_impl(fel);
+                let mut rng = Rng::new(7);
+                let mut seq = 0u64;
                 let mut sum = 0u64;
-                while let Some(ev) = fel.pop() {
+                for window in 0..64u64 {
+                    let base = window * 1_000;
+                    for _ in 0..128 {
+                        seq += 1;
+                        let ts = base + rng.next_below(4_000);
+                        q.push(Event {
+                            key: EventKey::external(Time(ts), seq),
+                            node: NodeId(0),
+                            payload: ts,
+                        });
+                    }
+                    while let Some(ev) = q.pop_below(Time(base + 1_000)) {
+                        sum = sum.wrapping_add(ev.payload);
+                    }
+                }
+                while let Some(ev) = q.pop() {
                     sum = sum.wrapping_add(ev.payload);
                 }
                 black_box(sum)
-            },
-            BatchSize::SmallInput,
-        )
-    });
+            })
+        });
+    }
+    group.finish();
 }
 
 /// Algorithm 1 over the k=8 fat-tree graph.
@@ -73,6 +114,49 @@ fn bench_mailbox(c: &mut Criterion) {
             black_box(n)
         })
     });
+}
+
+/// Raw MPSC queue, pooled vs. plain, over repeated push/drain rounds — the
+/// steady-state mailbox traffic pattern. The pooled arm recycles drained
+/// nodes onto the freelist, so after round one it allocates nothing.
+///
+/// Read this A/B with care: it is single-threaded, which favors the
+/// plain arm (thread-local malloc fast path, frees on the allocating
+/// thread). The pool's value shows up in the parallel kernels, where
+/// plain nodes are allocated on producer threads and freed on the
+/// consumer — the cross-thread pattern allocators handle worst — and
+/// where steady state must not allocate at all (perf-smoke pins the
+/// hit rate above 90%).
+fn bench_mailbox_pool(c: &mut Criterion) {
+    use unison_core::queue::MpscQueue;
+    let mut group = c.benchmark_group("mpsc_100x8_rounds");
+    group.bench_function("plain_alloc", |b| {
+        b.iter(|| {
+            let q: MpscQueue<u64> = MpscQueue::new();
+            let mut sum = 0u64;
+            for _ in 0..8 {
+                for i in 0..100u64 {
+                    q.push(i);
+                }
+                q.drain(|v| sum = sum.wrapping_add(v));
+            }
+            black_box(sum)
+        })
+    });
+    group.bench_function("pooled", |b| {
+        b.iter(|| {
+            let q: MpscQueue<u64> = MpscQueue::new();
+            let mut sum = 0u64;
+            for _ in 0..8 {
+                for i in 0..100u64 {
+                    q.push_pooled(i);
+                }
+                q.drain_recycle(|v| sum = sum.wrapping_add(v));
+            }
+            black_box(sum)
+        })
+    });
+    group.finish();
 }
 
 /// LPT scheduling of 256 LPs on 16 cores.
@@ -141,6 +225,10 @@ fn bench_kernels(c: &mut Criterion) {
         ("sequential_10k", RunConfig::sequential()),
         ("unison1_10k", RunConfig::unison(1)),
         ("unison2_10k", RunConfig::unison(2)),
+        (
+            "unison2_10k_heap_fel",
+            RunConfig::unison(2).with_fel(FelImpl::BinaryHeap),
+        ),
     ] {
         group.bench_function(name, |b| {
             b.iter(|| {
@@ -218,8 +306,10 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_fel,
+    bench_fel_windowed,
     bench_partition,
     bench_mailbox,
+    bench_mailbox_pool,
     bench_sched,
     bench_routes,
     bench_kernels,

@@ -42,6 +42,7 @@ fn main() {
                 sched: SchedConfig::default(),
                 metrics: MetricsLevel::Summary,
                 telemetry: Default::default(),
+                fel: Default::default(),
             },
         ),
     ];

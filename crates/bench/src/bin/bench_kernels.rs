@@ -1,0 +1,145 @@
+//! Kernel perf baseline: wall-clock and events/sec per kernel, thread
+//! count, and FEL backend on the fat-tree incast workload, emitted as
+//! machine-readable JSON.
+//!
+//! ```sh
+//! cargo run --release -p unison-bench --bin bench_kernels -- \
+//!     --bench-json BENCH_kernels.json [--full]
+//! ```
+//!
+//! Without `--bench-json` the report prints to stdout. The committed
+//! `BENCH_kernels.json` at the repository root is one quick-scale snapshot;
+//! numbers are machine-dependent, so compare ratios (ladder vs. heap,
+//! thread scaling), not absolute rates, across machines. The CI
+//! `perf-smoke` job regenerates the file as a build artifact on every run.
+
+use unison_bench::harness::{bench_json_path, fat_tree_scenario, Scale, Scenario};
+use unison_core::{DataRate, FelImpl, KernelKind, PartitionMode, RunReport, Time};
+
+/// One measured configuration.
+struct Sample {
+    kernel: &'static str,
+    threads: u32,
+    fel: FelImpl,
+    report: RunReport,
+}
+
+/// Median-of-3 by wall-clock: reruns the configuration and keeps the
+/// middle run, so one scheduling hiccup cannot skew the committed baseline.
+fn measure(
+    scenario: &Scenario,
+    name: &'static str,
+    kernel: KernelKind,
+    threads: u32,
+    fel: FelImpl,
+) -> Sample {
+    let mut runs: Vec<RunReport> = (0..3)
+        .map(|_| {
+            scenario
+                .run_real_with_fel(kernel.clone(), PartitionMode::Auto, fel)
+                .kernel
+        })
+        .collect();
+    runs.sort_by_key(|r| r.wall);
+    let report = runs.swap_remove(1);
+    eprintln!(
+        "bench_kernels: {name} t={threads} fel={} — {:.0} events/sec",
+        fel.name(),
+        report.events_per_sec()
+    );
+    Sample {
+        kernel: name,
+        threads,
+        fel,
+        report,
+    }
+}
+
+/// Serializes one sample as a JSON object (hand-rolled: every field is a
+/// number or a controlled identifier, so no escaping is needed).
+fn sample_json(s: &Sample) -> String {
+    let r = &s.report;
+    format!(
+        "    {{\n      \"kernel\": \"{}\",\n      \"threads\": {},\n      \
+         \"fel\": \"{}\",\n      \"wall_ns\": {},\n      \"events\": {},\n      \
+         \"events_per_sec\": {:.0},\n      \"rounds\": {},\n      \
+         \"pool_hits\": {},\n      \"pool_misses\": {},\n      \
+         \"pool_hit_rate\": {:.4}\n    }}",
+        s.kernel,
+        s.threads,
+        s.fel.name(),
+        r.wall.as_nanos(),
+        r.events,
+        r.events_per_sec(),
+        r.rounds,
+        r.engine.pool_hits,
+        r.engine.pool_misses,
+        r.engine.pool_hit_rate(),
+    )
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let scenario = fat_tree_scenario(scale, 0.5, DataRate::gbps(100), Time::from_micros(3));
+
+    let mut samples = Vec::new();
+    for fel in [FelImpl::Ladder, FelImpl::BinaryHeap] {
+        samples.push(measure(
+            &scenario,
+            "sequential",
+            KernelKind::Sequential { compat_keys: true },
+            1,
+            fel,
+        ));
+    }
+    for threads in [1u32, 2, 4] {
+        for fel in [FelImpl::Ladder, FelImpl::BinaryHeap] {
+            samples.push(measure(
+                &scenario,
+                "unison",
+                KernelKind::Unison {
+                    threads: threads as usize,
+                },
+                threads,
+                fel,
+            ));
+        }
+    }
+
+    // Headline ratio backing the engine's perf claim (DESIGN.md §4.4):
+    // ladder+pool vs. heap on the 2-thread configuration.
+    let rate = |fel: FelImpl| {
+        samples
+            .iter()
+            .find(|s| s.kernel == "unison" && s.threads == 2 && s.fel == fel)
+            .map(|s| s.report.events_per_sec())
+            .unwrap_or(f64::NAN)
+    };
+    let speedup = rate(FelImpl::Ladder) / rate(FelImpl::BinaryHeap);
+    eprintln!("bench_kernels: ladder/heap speedup at 2 threads: {speedup:.3}x");
+
+    let runs: Vec<String> = samples.iter().map(sample_json).collect();
+    let json = format!(
+        "{{\n  \"schema\": \"unison-bench/kernels-v1\",\n  \
+         \"scale\": \"{}\",\n  \
+         \"workload\": \"fat-tree k={} incast 0.5, 100 Gbps links, 3 us delay\",\n  \
+         \"ladder_over_heap_2t\": {:.3},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        match scale {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        },
+        scale.pick(4, 8),
+        speedup,
+        runs.join(",\n"),
+    );
+
+    match bench_json_path() {
+        Some(path) => {
+            // INVARIANT: the baseline file is the binary's whole purpose; an
+            // unwritable path is an operator error worth aborting on.
+            std::fs::write(&path, &json).expect("write --bench-json file");
+            eprintln!("bench_kernels: wrote {}", path.display());
+        }
+        None => print!("{json}"),
+    }
+}

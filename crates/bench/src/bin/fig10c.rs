@@ -45,6 +45,7 @@ fn main() {
                 sched: unison_core::SchedConfig::default(),
                 metrics: MetricsLevel::PerRound,
                 telemetry: profile_telemetry(),
+                fel: Default::default(),
             })
             .expect("profiled run");
         export_profile(&res.kernel);

@@ -31,6 +31,7 @@ fn run_epoch(kernel: KernelKind, partition: PartitionMode) -> (u64, f64) {
             sched: SchedConfig::default(),
             metrics: MetricsLevel::Summary,
             telemetry: profile_telemetry(),
+            fel: Default::default(),
         })
         .expect("run");
     export_profile(&res.kernel);

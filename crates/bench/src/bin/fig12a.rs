@@ -45,6 +45,7 @@ fn main() {
                 sched: SchedConfig::default(),
                 metrics: MetricsLevel::Summary,
                 telemetry: profile_telemetry(),
+                fel: Default::default(),
             })
             .expect("run");
         export_profile(&res.kernel);

@@ -93,6 +93,7 @@ fn main() {
                 sched: SchedConfig::default(),
                 metrics: unison_core::MetricsLevel::PerRound,
                 telemetry: profile_telemetry(),
+                fel: Default::default(),
             })
             .expect("run");
         export_profile(&res.kernel);

@@ -82,6 +82,7 @@ fn main() {
                 sched: SchedConfig::default(),
                 metrics: MetricsLevel::Summary,
                 telemetry: profile_telemetry(),
+                fel: Default::default(),
             })
             .expect("sequential run");
         export_profile(&seq.kernel);

@@ -4,9 +4,9 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use unison_core::{
-    fine_grained_partition, manual_partition, partition_below_bound, KernelKind, LinkGraph,
-    MetricsLevel, NodeId, Partition, PartitionMode, RoundRecord, RunConfig, RunReport, SchedConfig,
-    TelemetryConfig, Time,
+    fine_grained_partition, manual_partition, partition_below_bound, FelImpl, KernelKind,
+    LinkGraph, MetricsLevel, NodeId, Partition, PartitionMode, RoundRecord, RunConfig, RunReport,
+    SchedConfig, TelemetryConfig, Time,
 };
 use unison_netsim::{FlowReport, NetworkBuilder, QueueConfig, TransportKind};
 use unison_topology::Topology;
@@ -38,6 +38,21 @@ impl Scale {
             Scale::Full => full,
         }
     }
+}
+
+/// Path given with `--bench-json <path>`, if any. When set, the
+/// `bench_kernels` baseline binary writes its machine-readable report
+/// (wall-clock, events/sec, FEL backend and pool statistics per kernel and
+/// thread count) to this file; the committed `BENCH_kernels.json` at the
+/// repository root is one such snapshot.
+pub fn bench_json_path() -> Option<PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--bench-json" {
+            return args.next().map(PathBuf::from);
+        }
+    }
+    None
 }
 
 /// Directory given with `--profile <dir>`, if any. When set, every kernel
@@ -142,6 +157,7 @@ impl Scenario {
                 sched: SchedConfig::default(),
                 metrics: MetricsLevel::PerRound,
                 telemetry: profile_telemetry(),
+                fel: Default::default(),
             })
             // INVARIANT: bench models are closed and terminating; a crash
             // or stall here invalidates the measurement, so aborting with
@@ -160,6 +176,17 @@ impl Scenario {
 
     /// Runs for real on the given kernel (wall-clock measurement).
     pub fn run_real(&self, kernel: KernelKind, partition: PartitionMode) -> RealRun {
+        self.run_real_with_fel(kernel, partition, FelImpl::default())
+    }
+
+    /// [`Scenario::run_real`] with an explicit FEL backend — the A/B switch
+    /// used by `bench_kernels` and the perf-smoke tripwires.
+    pub fn run_real_with_fel(
+        &self,
+        kernel: KernelKind,
+        partition: PartitionMode,
+        fel: FelImpl,
+    ) -> RealRun {
         let sim = self.builder().build();
         let res = sim
             .run_with(&RunConfig {
@@ -169,6 +196,7 @@ impl Scenario {
                 sched: SchedConfig::default(),
                 metrics: MetricsLevel::Summary,
                 telemetry: profile_telemetry(),
+                fel,
             })
             // INVARIANT: bench models are closed and terminating; a crash
             // or stall here invalidates the measurement, so aborting with

@@ -1,0 +1,155 @@
+//! Perf-smoke tripwires for the hot-path event engine (CI `perf-smoke`
+//! job; DESIGN.md §4.4).
+//!
+//! These are `#[ignore]`d by default — they measure wall-clock time, so
+//! running them under `cargo test` on a loaded laptop would be noise. CI
+//! runs them explicitly, serialized so the wall-clock arms never contend
+//! with each other:
+//!
+//! ```sh
+//! cargo test -p unison-bench --release --test perf_smoke -- --ignored \
+//!     --test-threads=1
+//! ```
+//!
+//! Three claims are guarded, with deliberately loose thresholds (these
+//! are tripwires against large regressions, not micro-benchmarks — the
+//! committed `BENCH_kernels.json` baseline holds the precise numbers):
+//!
+//! 1. on the 2-thread Unison kernel the ladder FEL is not materially
+//!    slower than the binary-heap reference on the fat-tree incast
+//!    workload (interleaved medians, ≥ 0.85x — measured parity, see
+//!    `BENCH_kernels.json`);
+//! 2. on the sequential kernel the ladder keeps a real lead over the heap
+//!    (≥ 1.05x; measured 1.2–1.45x);
+//! 3. the mailbox node pool reaches a > 90% hit rate at steady state —
+//!    i.e. after warm-up, receive-phase traffic reuses recycled nodes
+//!    instead of allocating.
+
+use unison_bench::harness::{fat_tree_scenario, Scale, Scenario};
+use unison_core::{DataRate, FelImpl, KernelKind, PartitionMode, Time};
+
+/// The paper's §3.2 profiling workload at quick scale: a k=4 fat-tree with
+/// a 50% incast share — mailbox- and FEL-heavy by construction.
+fn incast() -> Scenario {
+    fat_tree_scenario(Scale::Quick, 0.5, DataRate::gbps(100), Time::from_micros(3))
+}
+
+/// One wall-clock sample: events per second under the given FEL backend on
+/// the 2-thread Unison kernel.
+fn sample(scenario: &Scenario, fel: FelImpl) -> f64 {
+    scenario
+        .run_real_with_fel(KernelKind::Unison { threads: 2 }, PartitionMode::Auto, fel)
+        .kernel
+        .events_per_sec()
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_unstable_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// Tripwire 1: the ladder queue must not lose materially to the heap on
+/// the incast workload. Samples are interleaved so machine drift hits
+/// both arms equally; medians defeat one-off outliers.
+///
+/// Measured status (see `BENCH_kernels.json`): the ladder wins clearly on
+/// the sequential kernel (~1.3x) and sits at parity on the multi-threaded
+/// Unison kernel, whose per-LP FELs are small enough that the heap's
+/// shallow sifts are already cheap. The 0.85 threshold guards against a
+/// real regression without flaking on run-to-run noise around parity.
+#[test]
+#[ignore = "wall-clock tripwire; run explicitly in the CI perf-smoke job"]
+fn ladder_not_slower_than_heap_on_incast() {
+    let scenario = incast();
+    // Warm-up (page cache, allocator, frequency scaling).
+    sample(&scenario, FelImpl::Ladder);
+    sample(&scenario, FelImpl::BinaryHeap);
+    let mut ladder = Vec::new();
+    let mut heap = Vec::new();
+    for _ in 0..5 {
+        ladder.push(sample(&scenario, FelImpl::Ladder));
+        heap.push(sample(&scenario, FelImpl::BinaryHeap));
+    }
+    let (l, h) = (median(&mut ladder), median(&mut heap));
+    let ratio = l / h;
+    eprintln!(
+        "perf-smoke: incast events/sec — ladder {l:.0}, heap {h:.0} \
+         (ratio {ratio:.3})"
+    );
+    assert!(
+        ratio >= 0.85,
+        "ladder FEL regressed below the binary-heap reference on the \
+         fat-tree incast workload: {l:.0} vs {h:.0} events/sec \
+         (ratio {ratio:.3}, tripwire 0.85)"
+    );
+}
+
+/// Tripwire 1b: on the sequential kernel — one global FEL holding the
+/// whole simulation, the ladder's best case — the ladder must keep a real
+/// lead over the heap. Every recorded baseline run measures 1.2–1.45x;
+/// the 1.05 threshold trips on a genuine loss of the win, not on noise.
+#[test]
+#[ignore = "wall-clock tripwire; run explicitly in the CI perf-smoke job"]
+fn ladder_beats_heap_on_sequential() {
+    let scenario = incast();
+    let sample_seq = |fel: FelImpl| {
+        scenario
+            .run_real_with_fel(
+                KernelKind::Sequential { compat_keys: true },
+                PartitionMode::Auto,
+                fel,
+            )
+            .kernel
+            .events_per_sec()
+    };
+    sample_seq(FelImpl::Ladder);
+    sample_seq(FelImpl::BinaryHeap);
+    let mut ladder = Vec::new();
+    let mut heap = Vec::new();
+    for _ in 0..5 {
+        ladder.push(sample_seq(FelImpl::Ladder));
+        heap.push(sample_seq(FelImpl::BinaryHeap));
+    }
+    let (l, h) = (median(&mut ladder), median(&mut heap));
+    let ratio = l / h;
+    eprintln!(
+        "perf-smoke: sequential events/sec — ladder {l:.0}, heap {h:.0} \
+         (ratio {ratio:.3})"
+    );
+    assert!(
+        ratio >= 1.05,
+        "ladder FEL lost its sequential-kernel lead over the binary heap: \
+         {l:.0} vs {h:.0} events/sec (ratio {ratio:.3}, tripwire 1.05)"
+    );
+}
+
+/// Tripwire 2: at steady state the mailbox pool must serve > 90% of
+/// pooled pushes from recycled nodes. Misses are expected only while each
+/// inbox queue grows to its steady-state depth in the first rounds.
+#[test]
+#[ignore = "wall-clock tripwire; run explicitly in the CI perf-smoke job"]
+fn pool_hit_rate_above_90_percent_steady_state() {
+    let run = incast().run_real_with_fel(
+        KernelKind::Unison { threads: 2 },
+        PartitionMode::Auto,
+        FelImpl::Ladder,
+    );
+    let engine = run.kernel.engine;
+    let rate = engine.pool_hit_rate();
+    eprintln!(
+        "perf-smoke: pool hits {} misses {} (hit rate {:.1}%)",
+        engine.pool_hits,
+        engine.pool_misses,
+        rate * 100.0
+    );
+    assert!(
+        engine.pool_hits + engine.pool_misses > 0,
+        "incast run produced no mailbox traffic — workload is broken"
+    );
+    assert!(
+        rate > 0.9,
+        "mailbox pool hit rate fell to {:.1}% (tripwire 90%) — drained \
+         nodes are not being recycled onto the freelist",
+        rate * 100.0
+    );
+}

@@ -27,7 +27,7 @@ use crate::event::{Event, EventKey, LpId, NodeId};
 use crate::fel::Fel;
 use crate::global::GlobalFn;
 use crate::lp::LpState;
-use crate::metrics::{LpTotals, MetricsLevel, Psm, RoundRecord, RunReport};
+use crate::metrics::{EngineStats, LpTotals, MetricsLevel, Psm, RoundRecord, RunReport};
 use crate::queue::MpscQueue;
 use crate::sync::SpinBarrier;
 use crate::telemetry::{SpanKind, TelContext, WorkerTel};
@@ -127,7 +127,8 @@ pub(super) fn run<N: SimNode>(
         return Err(KernelError::GlobalEventsUnsupported("barrier").into());
     }
     let partition = build_partition(&world, &cfg.partition)?;
-    let (lps, dir, graph, _globals, stop_at, _restored_ext_seq) = build_lps(world, &partition);
+    let (lps, dir, graph, _globals, stop_at, _restored_ext_seq) =
+        build_lps(world, &partition, cfg.fel);
     let lp_count = lps.len();
     if lp_count == 0 {
         return Err(KernelError::InvalidPartition("world has no nodes".into()).into());
@@ -428,6 +429,13 @@ pub(super) fn run<N: SimNode>(
         psm,
         psm_per_lp: true,
         lp_totals,
+        engine: EngineStats {
+            fel_impl: cfg.fel,
+            // The shared inboxes have multiple concurrent producers, so
+            // this kernel keeps the plain allocating push (no pool).
+            pool_hits: 0,
+            pool_misses: 0,
+        },
         rounds_profile,
         telemetry: telctx.collect(tels, sched_log),
     };

@@ -26,7 +26,7 @@ pub(crate) mod watchdog;
 use crate::error::SimError;
 
 use crate::event::{Event, EventKey, LpId, NodeId};
-use crate::fel::Fel;
+use crate::fel::{Fel, FelImpl};
 use crate::global::GlobalFn;
 use crate::lp::{LpState, PendingGlobal};
 use crate::mailbox::Mailboxes;
@@ -144,6 +144,10 @@ pub struct RunConfig {
     /// Span/decision telemetry recording (disabled by default; see
     /// DESIGN.md §4.3).
     pub telemetry: TelemetryConfig,
+    /// FEL implementation (default: the ladder queue). Pop order — and
+    /// therefore every digest — is identical for all implementations; the
+    /// switch exists for A/B benchmarking (DESIGN.md §4.4).
+    pub fel: FelImpl,
 }
 
 impl Default for RunConfig {
@@ -162,6 +166,7 @@ impl RunConfig {
             metrics: MetricsLevel::Summary,
             watchdog: WatchdogConfig::default(),
             telemetry: TelemetryConfig::default(),
+            fel: FelImpl::default(),
         }
     }
 
@@ -174,6 +179,7 @@ impl RunConfig {
             metrics: MetricsLevel::Summary,
             watchdog: WatchdogConfig::default(),
             telemetry: TelemetryConfig::default(),
+            fel: FelImpl::default(),
         }
     }
 
@@ -186,6 +192,7 @@ impl RunConfig {
             metrics: MetricsLevel::Summary,
             watchdog: WatchdogConfig::default(),
             telemetry: TelemetryConfig::default(),
+            fel: FelImpl::default(),
         }
     }
 
@@ -198,6 +205,7 @@ impl RunConfig {
             metrics: MetricsLevel::Summary,
             watchdog: WatchdogConfig::default(),
             telemetry: TelemetryConfig::default(),
+            fel: FelImpl::default(),
         }
     }
 
@@ -230,6 +238,13 @@ impl RunConfig {
     /// Overrides the full telemetry configuration.
     pub fn with_telemetry_config(mut self, telemetry: TelemetryConfig) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Selects the FEL implementation (A/B switch; results are bit-identical
+    /// either way).
+    pub fn with_fel(mut self, fel: FelImpl) -> Self {
+        self.fel = fel;
         self
     }
 }
@@ -339,7 +354,11 @@ pub(crate) type BuiltLps<N> = (
 );
 
 /// Distributes a world's nodes and initial events into per-LP states.
-pub(crate) fn build_lps<N: SimNode>(world: World<N>, partition: &Partition) -> BuiltLps<N> {
+pub(crate) fn build_lps<N: SimNode>(
+    world: World<N>,
+    partition: &Partition,
+    fel_impl: FelImpl,
+) -> BuiltLps<N> {
     let World {
         nodes,
         graph,
@@ -351,7 +370,7 @@ pub(crate) fn build_lps<N: SimNode>(world: World<N>, partition: &Partition) -> B
     } = world;
     let directory = NodeDirectory::from_lp_nodes(nodes.len(), &partition.lp_nodes);
     let mut lps: Vec<LpState<N>> = (0..partition.lp_count)
-        .map(|i| LpState::new(LpId(i)))
+        .map(|i| LpState::with_fel(LpId(i), fel_impl))
         .collect();
     // Nodes move into their LPs in ascending node order (matching
     // `Partition::lp_nodes` and the directory's local indices).

@@ -30,7 +30,7 @@ use crate::error::{
 };
 use crate::event::{Event, LpId};
 use crate::lp::LpState;
-use crate::metrics::{LpTotals, Psm, RunReport};
+use crate::metrics::{EngineStats, LpTotals, Psm, RunReport};
 use crate::queue::MpscQueue;
 use crate::telemetry::{SpanKind, TelContext, WorkerTel};
 use crate::time::Time;
@@ -78,7 +78,8 @@ pub(super) fn run<N: SimNode>(
     }
     let partition = build_partition(&world, &cfg.partition)?;
     let channels = partition.lp_channels(&world.graph);
-    let (lps, dir, graph, _globals, stop_at, _restored_ext_seq) = build_lps(world, &partition);
+    let (lps, dir, graph, _globals, stop_at, _restored_ext_seq) =
+        build_lps(world, &partition, cfg.fel);
     let lp_count = lps.len();
     if lp_count == 0 {
         return Err(KernelError::InvalidPartition("world has no nodes".into()).into());
@@ -458,6 +459,12 @@ pub(super) fn run<N: SimNode>(
         psm,
         psm_per_lp: true,
         lp_totals,
+        engine: EngineStats {
+            fel_impl: cfg.fel,
+            // Shared inboxes (multiple concurrent producers): no pool.
+            pool_hits: 0,
+            pool_misses: 0,
+        },
         rounds_profile: None,
         telemetry: telctx.collect(tels, sched_log),
     };

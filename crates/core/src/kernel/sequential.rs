@@ -23,7 +23,7 @@ use crate::event::{Event, EventKey, LpId, NodeId};
 use crate::fel::Fel;
 use crate::global::{GlobalFn, WorldAccess};
 use crate::lp::{LpSlots, PendingGlobal};
-use crate::metrics::{LpTotals, Psm, RunReport};
+use crate::metrics::{EngineStats, LpTotals, Psm, RunReport};
 use crate::telemetry::{SpanKind, TelContext, NO_LP};
 use crate::time::Time;
 use crate::world::{NodeDirectory, SimCtx, SimNode, World};
@@ -113,12 +113,12 @@ pub(super) fn run<N: SimNode>(
     };
     let mut partition = build_partition(&world, &cfg.partition)?;
     let (lps, dir, mut graph, init_globals, stop_at, restored_ext_seq) =
-        build_lps(world, &partition);
+        build_lps(world, &partition, cfg.fel);
     let lp_count = lps.len();
 
     // Pull all initial events out of the per-LP FELs into the global FEL.
     let mut lps = lps;
-    let mut fel: Fel<N::Payload> = Fel::new();
+    let mut fel: Fel<N::Payload> = Fel::with_impl(cfg.fel);
     for lp in &mut lps {
         while let Some(ev) = lp.fel.pop() {
             fel.push(ev);
@@ -137,7 +137,7 @@ pub(super) fn run<N: SimNode>(
     slots.begin_phase();
 
     // Public LP: global events, including the kernel-inserted stop event.
-    let mut public: Fel<GlobalFn<N>> = Fel::new();
+    let mut public: Fel<GlobalFn<N>> = Fel::with_impl(cfg.fel);
     let mut ext_seq: u64 = restored_ext_seq;
     for (ts, f) in init_globals {
         public.push(Event {
@@ -324,6 +324,12 @@ pub(super) fn run<N: SimNode>(
         }],
         psm_per_lp: false,
         lp_totals,
+        engine: EngineStats {
+            fel_impl: cfg.fel,
+            // Single-threaded: no cross-LP mailboxes, hence no pool.
+            pool_hits: 0,
+            pool_misses: 0,
+        },
         rounds_profile: None,
         telemetry: telctx.collect(vec![tel], sched_log),
     };

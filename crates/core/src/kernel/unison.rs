@@ -38,8 +38,8 @@ use crate::fel::Fel;
 use crate::global::{CkptEnv, GlobalFn, WorldAccess};
 use crate::lp::LpSlots;
 use crate::mailbox::Mailboxes;
-use crate::metrics::{LpTotals, MetricsLevel, Psm, RoundRecord, RunReport};
-use crate::sched::{order_by_estimate, SchedMetric};
+use crate::metrics::{EngineStats, LpTotals, MetricsLevel, Psm, RoundRecord, RunReport};
+use crate::sched::{order_by_estimate_into, SchedMetric};
 use crate::sync::SpinBarrier;
 use crate::sync_shim::{AtomicBool, AtomicUsize, CachePadded, Ordering};
 use crate::telemetry::{SpanKind, TelContext, WorkerTel, NO_LP};
@@ -126,7 +126,7 @@ pub(super) fn run_grouped<N: SimNode>(
 ) -> Result<(World<N>, RunReport), SimError> {
     let mut partition = build_partition(&world, &cfg.partition)?;
     let (lps, dir, mut graph, init_globals, stop_at, restored_ext_seq) =
-        build_lps(world, &partition);
+        build_lps(world, &partition, cfg.fel);
     let lp_count = lps.len();
     if lp_count == 0 {
         return Err(KernelError::InvalidPartition("world has no nodes".into()).into());
@@ -149,7 +149,7 @@ pub(super) fn run_grouped<N: SimNode>(
 
     // Public LP. The external sequence counter continues from a restored
     // checkpoint's value (0 for a fresh world).
-    let mut public: Fel<GlobalFn<N>> = Fel::new();
+    let mut public: Fel<GlobalFn<N>> = Fel::with_impl(cfg.fel);
     let mut ext_seq: u64 = restored_ext_seq;
     for (ts, f) in init_globals {
         public.push(Event {
@@ -262,6 +262,8 @@ pub(super) fn run_grouped<N: SimNode>(
             handles.push(scope.spawn(move || {
                 let mut psm = Psm::default();
                 let mut tel = telctx.worker(w as u32);
+                // Reusable receive-phase batch buffer (DESIGN.md §4.4).
+                let mut recv_buf: Vec<Event<N::Payload>> = Vec::new();
                 let mut round: u64 = 0;
                 loop {
                     // B0: plan published
@@ -338,6 +340,7 @@ pub(super) fn run_grouped<N: SimNode>(
                             &site,
                             &mut tel,
                             round,
+                            &mut recv_buf,
                         )
                     }));
                     let m_dur = t0.elapsed().as_nanos() as u64;
@@ -372,6 +375,15 @@ pub(super) fn run_grouped<N: SimNode>(
         // Main thread control loop. Claim-audit generations are bumped by
         // the main thread inside its exclusive windows, always *before* the
         // barrier that releases workers into the phase the bump covers.
+        //
+        // Persistent scratch: the main thread's receive-phase batch buffer
+        // and the phase-4 LJF re-sort buffers, reused every round/period so
+        // the steady-state control loop stays off the allocator
+        // (DESIGN.md §4.4).
+        let mut main_recv_buf: Vec<Event<N::Payload>> = Vec::new();
+        let mut estimates: Vec<u64> = Vec::new();
+        let mut group_est: Vec<u64> = Vec::new();
+        let mut group_order: Vec<u32> = Vec::new();
         slots.begin_phase(); // covers phase 1 of round 1
         loop {
             // B0
@@ -576,6 +588,7 @@ pub(super) fn run_grouped<N: SimNode>(
                     &site,
                     &mut main_tel,
                     rounds + 1,
+                    &mut main_recv_buf,
                 )
             }));
             let m_dur = t0.elapsed().as_nanos() as u64;
@@ -648,7 +661,8 @@ pub(super) fn run_grouped<N: SimNode>(
                 && cfg.sched.metric != SchedMetric::None
                 && rounds.is_multiple_of(sched_period as u64)
             {
-                let mut estimates = vec![0u64; lp_count];
+                estimates.clear();
+                estimates.resize(lp_count, 0);
                 match cfg.sched.metric {
                     SchedMetric::ByLastRoundTime => {
                         for (i, e) in estimates.iter_mut().enumerate() {
@@ -667,14 +681,16 @@ pub(super) fn run_grouped<N: SimNode>(
                 }
                 // SAFETY: main-thread exclusivity between B3 and B0.
                 let plan_mut = unsafe { &mut *plan.0.get() };
+                // Allocation-free LJF: gather each group's estimates and
+                // sort into the group's published order slot, all through
+                // reused scratch buffers.
                 for (g, lps_of_g) in plan_mut.group_lps.iter().enumerate() {
-                    let group_est: Vec<u64> =
-                        lps_of_g.iter().map(|&l| estimates[l as usize]).collect();
-                    let local_order = order_by_estimate(&group_est);
-                    plan_mut.order[g] = local_order
-                        .into_iter()
-                        .map(|i| lps_of_g[i as usize])
-                        .collect();
+                    group_est.clear();
+                    group_est.extend(lps_of_g.iter().map(|&l| estimates[l as usize]));
+                    order_by_estimate_into(&group_est, &mut group_order);
+                    let out = &mut plan_mut.order[g];
+                    out.clear();
+                    out.extend(group_order.iter().map(|&i| lps_of_g[i as usize]));
                 }
                 if sched_log.enabled() {
                     // Log the LJF decision per group: the order applies
@@ -691,7 +707,8 @@ pub(super) fn run_grouped<N: SimNode>(
                     }
                     // Publish the estimates so phase-1 `lp-task` spans can
                     // carry estimate-vs-actual arguments.
-                    plan_mut.est = estimates;
+                    plan_mut.est.clear();
+                    plan_mut.est.extend_from_slice(&estimates);
                 }
             }
 
@@ -778,6 +795,7 @@ pub(super) fn run_grouped<N: SimNode>(
     psm.extend(worker_psm);
     let mut tels = vec![main_tel];
     tels.extend(worker_tels);
+    let (pool_hits, pool_misses) = mailboxes.pool_stats();
     let report = RunReport {
         kernel: format!("{kernel_name}({threads})"),
         wall,
@@ -791,6 +809,11 @@ pub(super) fn run_grouped<N: SimNode>(
         psm,
         psm_per_lp: false,
         lp_totals,
+        engine: EngineStats {
+            fel_impl: cfg.fel,
+            pool_hits: pool_hits as u64,
+            pool_misses: pool_misses as u64,
+        },
         rounds_profile,
         telemetry: telctx.collect(tels, sched_log),
     };
@@ -896,7 +919,13 @@ fn process_phase<N: SimNode>(
         // SAFETY: the atomic cursor hands each index to exactly one thread
         // per phase; phases are separated by barriers.
         let lp = unsafe { slots.get_mut(lp_idx) };
-        if lp.fel.next_ts() >= plan.window_end {
+        // The cache is exact here: it was refreshed at the end of the last
+        // receive phase (after outflow routing), and the window-planning
+        // phase between never touches LP FELs. Probing the cache instead of
+        // the FEL keeps the idle-LP skip O(1) under the ladder backend,
+        // whose `next_ts` may scan a rung bucket.
+        debug_assert_eq!(lp.next_ts, lp.fel.next_ts(), "stale next_ts cache");
+        if lp.next_ts >= plan.window_end {
             // Idle this round: skip the clock calls entirely so idle LPs
             // record zero cost (and cost nothing).
             lp.round_events = 0;
@@ -955,6 +984,13 @@ fn process_phase<N: SimNode>(
 
 /// Phase 3: claim LPs and drain their mailboxes into their FELs. Returns
 /// the number of events this worker received.
+///
+/// The hand-off is batched: `Mailboxes::drain_batch` appends each claimed
+/// LP's pending events (recycling the queue nodes onto their pools) into
+/// this worker's reusable `recv_buf`, and `Fel::extend` ingests the whole
+/// batch at once — no per-event closure dispatch, no per-event heap sift,
+/// and zero allocation once `recv_buf` has grown to the steady-state burst
+/// size.
 #[allow(clippy::too_many_arguments)]
 fn receive_phase<N: SimNode>(
     slots: &LpSlots<N>,
@@ -964,6 +1000,7 @@ fn receive_phase<N: SimNode>(
     site: &Site,
     tel: &mut WorkerTel,
     round: u64,
+    recv_buf: &mut Vec<Event<N::Payload>>,
 ) -> u64 {
     let mut total_recv: u64 = 0;
     loop {
@@ -976,12 +1013,14 @@ fn receive_phase<N: SimNode>(
         // SAFETY: unique claim via the cursor, as in `process_phase`.
         let lp = unsafe { slots.get_mut(lp_idx) };
         let tel_start = tel.start();
-        let mut recv: u64 = 0;
-        mailboxes.drain(lp_idx as u32, |ev| {
-            tel.edge(ev.key.sender_lp.0, lp_idx as u32);
-            lp.fel.push(ev);
-            recv += 1;
-        });
+        debug_assert!(recv_buf.is_empty());
+        let recv = mailboxes.drain_batch(lp_idx as u32, recv_buf) as u64;
+        if tel.enabled() {
+            for ev in recv_buf.iter() {
+                tel.edge(ev.key.sender_lp.0, lp_idx as u32);
+            }
+        }
+        lp.fel.extend(recv_buf.drain(..));
         lp.round_recv = recv;
         lp.refresh_next_ts();
         total_recv += recv;

@@ -86,11 +86,11 @@ pub use checkpoint::{
 };
 pub use error::{FailureDiagnostics, RunPhase, SimError, StallDiagnostics};
 pub use event::{Event, EventKey, LpId, NodeId};
-pub use fel::Fel;
+pub use fel::{Fel, FelImpl};
 pub use global::{GlobalFn, WorldAccess};
 pub use graph::{LinkGraph, LinkSpec};
 pub use kernel::{run, try_run, KernelError, KernelKind, PartitionMode, RunConfig, WatchdogConfig};
-pub use metrics::{LpTotals, MetricsLevel, Psm, RoundRecord, RunReport};
+pub use metrics::{EngineStats, LpTotals, MetricsLevel, Psm, RoundRecord, RunReport};
 pub use partition::{fine_grained_partition, manual_partition, partition_below_bound, Partition};
 pub use perfmodel::{CostParams, ModelResult, PerfModel};
 pub use rng::Rng;

@@ -9,6 +9,12 @@
 //! (the thread executing the source LP that round) and a single consumer
 //! (the thread executing the destination LP in the receive phase), with the
 //! phase barrier establishing the happens-before edge.
+//!
+//! That single-producer/single-consumer-per-phase discipline (enforced at
+//! runtime by the claim auditor, DESIGN.md §4.1) is also what makes node
+//! *pooling* free of coordination here: [`Mailboxes::try_push`] reuses nodes
+//! that the destination's previous receive phase retired onto the queue's
+//! freelist, so steady-state cross-LP sends allocate zero (DESIGN.md §4.4).
 
 use crate::event::Event;
 use crate::queue::MpscQueue;
@@ -36,15 +42,16 @@ impl<P> Mailboxes<P> {
         Mailboxes { inboxes }
     }
 
-    /// Attempts to deliver `ev` into the `(src, dst)` mailbox. Returns the
-    /// event back when no mailbox exists for the pair (the caller then uses
-    /// the main-thread overflow lane).
+    /// Attempts to deliver `ev` into the `(src, dst)` mailbox, reusing a
+    /// pooled node when the destination's earlier drains retired one.
+    /// Returns the event back when no mailbox exists for the pair (the
+    /// caller then uses the main-thread overflow lane).
     #[inline]
     pub fn try_push(&self, src: u32, dst: u32, ev: Event<P>) -> Result<(), Event<P>> {
         let inbox = &self.inboxes[dst as usize];
         match inbox.binary_search_by_key(&src, |(s, _)| *s) {
             Ok(i) => {
-                inbox[i].1.push(ev);
+                inbox[i].1.push_pooled(ev);
                 Ok(())
             }
             Err(_) => Err(ev),
@@ -52,14 +59,45 @@ impl<P> Mailboxes<P> {
     }
 
     /// Drains every mailbox of `dst` in ascending source order, invoking `f`
-    /// for each event in FIFO (per source) order.
+    /// for each event in FIFO (per source) order and recycling the nodes.
     ///
     /// Must only be called by the thread holding the exclusive claim on LP
     /// `dst` during the receive phase.
     pub fn drain(&self, dst: u32, mut f: impl FnMut(Event<P>)) {
         for (_, q) in &self.inboxes[dst as usize] {
-            q.drain(&mut f);
+            q.drain_recycle(&mut f);
         }
+    }
+
+    /// Batched drain: appends every pending event of `dst` to `out` —
+    /// ascending source order, FIFO within each source, i.e. exactly the
+    /// order [`Mailboxes::drain`] would visit — recycling the nodes, and
+    /// returns how many events were appended.
+    ///
+    /// The receive phase pairs this with `Fel::extend`, turning per-event
+    /// closure dispatch + heap sifts into one contiguous append that the FEL
+    /// ingests in bulk. Same claim requirement as [`Mailboxes::drain`].
+    pub fn drain_batch(&self, dst: u32, out: &mut Vec<Event<P>>) -> usize {
+        let start = out.len();
+        for (_, q) in &self.inboxes[dst as usize] {
+            q.drain_into(out);
+        }
+        out.len() - start
+    }
+
+    /// Aggregate `(pool_hits, pool_misses)` over every mailbox — the
+    /// steady-state allocation profile of cross-LP traffic, reported as
+    /// `RunReport::engine`.
+    pub fn pool_stats(&self) -> (usize, usize) {
+        let (mut hits, mut misses) = (0, 0);
+        for inbox in &self.inboxes {
+            for (_, q) in inbox {
+                let (h, m) = q.pool_stats();
+                hits += h;
+                misses += m;
+            }
+        }
+        (hits, misses)
     }
 
     /// Number of LPs covered.
@@ -106,6 +144,34 @@ mod tests {
         assert!(m.try_push(0, 1, ev(1, 0)).is_ok());
         // Channels are bidirectional.
         assert!(m.try_push(1, 0, ev(1, 1)).is_ok());
+    }
+
+    #[test]
+    fn drain_batch_matches_drain_order() {
+        let m: Mailboxes<u32> = Mailboxes::new(3, &[(0, 2), (1, 2)]);
+        m.try_push(1, 2, ev(5, 10)).unwrap();
+        m.try_push(0, 2, ev(9, 20)).unwrap();
+        m.try_push(0, 2, ev(1, 21)).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(m.drain_batch(2, &mut out), 3);
+        let got: Vec<u32> = out.iter().map(|e| e.payload).collect();
+        assert_eq!(got, vec![20, 21, 10]);
+        assert_eq!(m.drain_batch(2, &mut out), 0);
+    }
+
+    #[test]
+    fn steady_state_rounds_reuse_nodes() {
+        let m: Mailboxes<u32> = Mailboxes::new(2, &[(0, 1)]);
+        for round in 0..5 {
+            for s in 0..8 {
+                m.try_push(0, 1, ev(round * 10, s)).unwrap();
+            }
+            let mut out = Vec::new();
+            assert_eq!(m.drain_batch(1, &mut out), 8);
+        }
+        let (hits, misses) = m.pool_stats();
+        assert_eq!(misses, 8, "only the first round allocates");
+        assert_eq!(hits, 32);
     }
 
     #[test]

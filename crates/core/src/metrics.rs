@@ -10,6 +10,7 @@
 
 use std::time::Duration;
 
+use crate::fel::FelImpl;
 use crate::telemetry::RunTelemetry;
 use crate::time::Time;
 
@@ -112,6 +113,33 @@ pub struct LpTotals {
     pub node_switches: Vec<u64>,
 }
 
+/// Event-engine configuration and memory behaviour of a run (DESIGN.md
+/// §4.4): which FEL implementation executed it and how well the mailbox
+/// node pool absorbed cross-LP traffic.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineStats {
+    /// FEL implementation the run was configured with.
+    pub fel_impl: FelImpl,
+    /// Cross-LP sends that reused a pooled mailbox node.
+    pub pool_hits: u64,
+    /// Cross-LP sends that had to allocate a fresh node.
+    pub pool_misses: u64,
+}
+
+impl EngineStats {
+    /// Fraction of cross-LP sends served from the node pool (0 when there
+    /// was no cross-LP traffic). Steady-state parallel runs should sit well
+    /// above 0.9 — the perf-smoke tripwire asserts it.
+    pub fn pool_hit_rate(&self) -> f64 {
+        let total = self.pool_hits + self.pool_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.pool_hits as f64 / total as f64
+        }
+    }
+}
+
 /// The result of one kernel run.
 #[derive(Debug, Default)]
 pub struct RunReport {
@@ -143,6 +171,8 @@ pub struct RunReport {
     pub psm_per_lp: bool,
     /// Per-LP totals.
     pub lp_totals: LpTotals,
+    /// Event-engine configuration and node-pool behaviour.
+    pub engine: EngineStats,
     /// Per-round profile, when requested.
     pub rounds_profile: Option<Vec<RoundRecord>>,
     /// Phase/LP span timelines and the scheduler-decision log, when the run

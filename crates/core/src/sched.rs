@@ -78,13 +78,23 @@ pub fn auto_period(lp_count: usize) -> u32 {
 /// sorted by estimate, descending, with ties broken by LP id so the order
 /// is deterministic.
 pub fn order_by_estimate(estimates: &[u64]) -> Vec<u32> {
-    let mut order: Vec<u32> = (0..estimates.len() as u32).collect();
+    let mut order = Vec::new();
+    order_by_estimate_into(estimates, &mut order);
+    order
+}
+
+/// Allocation-free form of [`order_by_estimate`]: clears and refills `order`
+/// in place, reusing its capacity. The kernels call this every scheduling
+/// period from persistent scratch buffers, so the periodic LJF re-sort does
+/// not touch the allocator in steady state.
+pub fn order_by_estimate_into(estimates: &[u64], order: &mut Vec<u32>) {
+    order.clear();
+    order.extend(0..estimates.len() as u32);
     order.sort_unstable_by(|&a, &b| {
         estimates[b as usize]
             .cmp(&estimates[a as usize])
             .then(a.cmp(&b))
     });
-    order
 }
 
 /// Evaluates an LPT (longest-estimated-job-first, greedy to least-loaded
@@ -165,6 +175,16 @@ mod tests {
     fn order_is_descending_and_deterministic() {
         let est = vec![5, 9, 9, 1];
         assert_eq!(order_by_estimate(&est), vec![1, 2, 0, 3]);
+    }
+
+    #[test]
+    fn order_into_reuses_buffer_and_matches() {
+        let mut buf = vec![7u32; 16]; // stale contents must not survive
+        order_by_estimate_into(&[5, 9, 9, 1], &mut buf);
+        assert_eq!(buf, vec![1, 2, 0, 3]);
+        order_by_estimate_into(&[3], &mut buf);
+        assert_eq!(buf, vec![0]);
+        assert!(buf.capacity() >= 16, "capacity is retained for reuse");
     }
 
     #[test]

@@ -318,6 +318,7 @@ fn world_cfg(kernel: KernelKind) -> RunConfig {
         sched: SchedConfig::default(),
         metrics: MetricsLevel::Summary,
         telemetry: Default::default(),
+        fel: Default::default(),
         watchdog: Default::default(),
     }
 }

@@ -85,6 +85,7 @@ fn single_lp_barrier_kernel_degenerates_gracefully() {
         sched: SchedConfig::default(),
         metrics: MetricsLevel::Summary,
         telemetry: Default::default(),
+        fel: Default::default(),
     };
     let (_, report) = kernel::run(world, &cfg).unwrap();
     assert_eq!(report.events, 25);
@@ -111,6 +112,7 @@ fn hybrid_clamps_host_count_to_lps() {
         sched: SchedConfig::default(),
         metrics: MetricsLevel::Summary,
         telemetry: Default::default(),
+        fel: Default::default(),
     };
     // One node -> one LP -> hosts clamp to 1.
     let (_, report) = kernel::run(one_node_world(5), &cfg).unwrap();
@@ -126,6 +128,7 @@ fn manual_partition_wrong_length_is_rejected() {
         sched: SchedConfig::default(),
         metrics: MetricsLevel::Summary,
         telemetry: Default::default(),
+        fel: Default::default(),
     };
     let err = match kernel::run(one_node_world(1), &cfg) {
         Err(e) => e,

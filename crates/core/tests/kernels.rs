@@ -118,6 +118,7 @@ fn unison_matches_compat_sequential_bitwise() {
             sched: SchedConfig::default(),
             metrics: MetricsLevel::Summary,
             telemetry: Default::default(),
+            fel: Default::default(),
         },
     )
     .unwrap();
@@ -167,6 +168,7 @@ fn all_kernels_agree_on_event_totals() {
             sched: SchedConfig::default(),
             metrics: MetricsLevel::Summary,
             telemetry: Default::default(),
+            fel: Default::default(),
         },
     )
     .unwrap();
@@ -196,6 +198,7 @@ fn hybrid_matches_unison_bitwise() {
             sched: SchedConfig::default(),
             metrics: MetricsLevel::Summary,
             telemetry: Default::default(),
+            fel: Default::default(),
         },
     )
     .unwrap();
@@ -398,6 +401,7 @@ fn manual_partition_controls_lp_count() {
         sched: SchedConfig::default(),
         metrics: MetricsLevel::Summary,
         telemetry: Default::default(),
+        fel: Default::default(),
     };
     let (_, report) = kernel::run(ring_world(N, DELAY, TOKENS, STOP), &cfg).unwrap();
     assert_eq!(report.lp_count, 4);
@@ -415,6 +419,7 @@ fn partition_bound_sweeps_granularity() {
             sched: SchedConfig::default(),
             metrics: MetricsLevel::Summary,
             telemetry: Default::default(),
+            fel: Default::default(),
         };
         let (_, report) = kernel::run(ring_world(N, DELAY, TOKENS, STOP), &cfg).unwrap();
         assert_eq!(report.lp_count, expect, "bound {bound:?}");
@@ -467,6 +472,7 @@ fn psm_indexing_matches_kernel_family() {
             sched: SchedConfig::default(),
             metrics: MetricsLevel::Summary,
             telemetry: Default::default(),
+            fel: Default::default(),
         },
     )
     .unwrap();

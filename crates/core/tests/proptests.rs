@@ -5,7 +5,7 @@ use proptest::prelude::*;
 
 use unison_core::sched::{ideal_makespan, lpt_makespan, order_by_estimate};
 use unison_core::{
-    fine_grained_partition, Event, EventKey, Fel, LinkGraph, LpId, NodeId, Rng, Time,
+    fine_grained_partition, Event, EventKey, Fel, FelImpl, LinkGraph, LpId, NodeId, Rng, Time,
 };
 
 fn arb_key() -> impl Strategy<Value = EventKey> {
@@ -15,6 +15,55 @@ fn arb_key() -> impl Strategy<Value = EventKey> {
         sender_lp: LpId(lp),
         seq,
     })
+}
+
+/// One step of the differential FEL workload.
+#[derive(Debug, Clone)]
+enum FelOp {
+    Push(EventKey),
+    PushExternal(u64, u64),
+    Extend(Vec<EventKey>),
+    PopBelow(u64),
+    PopN(usize),
+}
+
+/// Duplicates an event (the payload type here is `Copy`; `Event` itself is
+/// move-only because payloads generally are not).
+fn dup(ev: &Event<u64>) -> Event<u64> {
+    Event {
+        key: ev.key,
+        node: ev.node,
+        payload: ev.payload,
+    }
+}
+
+/// Comparable identity of a popped event.
+fn ident(ev: &Event<u64>) -> (EventKey, u64) {
+    (ev.key, ev.payload)
+}
+
+/// One random step of the differential workload: a selector picks the op,
+/// the remaining tuple slots feed whichever operands it needs.
+fn arb_op() -> impl Strategy<Value = FelOp> {
+    (
+        0u8..5,
+        arb_key(),
+        proptest::collection::vec(arb_key(), 0..40),
+        0u64..1_200,
+        1usize..20,
+    )
+        .prop_map(|(sel, key, batch, bound, n)| match sel {
+            // Push one internal-keyed event.
+            0 => FelOp::Push(key),
+            // Push one external-keyed event (sentinel sender LP).
+            1 => FelOp::PushExternal(key.ts.0, key.seq),
+            // Bulk insert a batch (the receive-phase path).
+            2 => FelOp::Extend(batch),
+            // Drain everything strictly below a bound.
+            3 => FelOp::PopBelow(bound),
+            // Pop a few unconditionally.
+            _ => FelOp::PopN(n),
+        })
 }
 
 proptest! {
@@ -50,6 +99,76 @@ proptest! {
             n += 1;
         }
         prop_assert_eq!(n, expected);
+    }
+
+    /// Differential suite for the two FEL implementations (DESIGN.md §4.4):
+    /// under an arbitrary interleaving of single pushes, bulk `extend`
+    /// batches (external and internal tie-break keys alike), and bounded /
+    /// unbounded pops, the ladder queue must produce the exact pop sequence
+    /// of the binary-heap reference — keys *and* payloads.
+    #[test]
+    fn ladder_matches_heap_reference(
+        ops in proptest::collection::vec(arb_op(), 0..60)
+    ) {
+        let mut ladder: Fel<u64> = Fel::with_impl(FelImpl::Ladder);
+        let mut heap: Fel<u64> = Fel::with_impl(FelImpl::BinaryHeap);
+        let mut payload = 0u64;
+        let mut mk = |mut key: EventKey| {
+            payload += 1;
+            // Keys in the real system are unique (per-sender seq counters,
+            // DESIGN.md §4.1); disambiguate generated duplicates the same
+            // way, since pop order among *equal* keys is unspecified in
+            // both implementations.
+            key.seq = key.seq * 100_000 + payload;
+            Event { key, node: NodeId(0), payload }
+        };
+        for op in ops {
+            match op {
+                FelOp::Push(k) => {
+                    let ev = mk(k);
+                    ladder.push(dup(&ev));
+                    heap.push(ev);
+                }
+                FelOp::PushExternal(ts, seq) => {
+                    let ev = mk(EventKey::external(Time(ts), seq));
+                    ladder.push(dup(&ev));
+                    heap.push(ev);
+                }
+                FelOp::Extend(keys) => {
+                    let batch: Vec<Event<u64>> = keys.into_iter().map(&mut mk).collect();
+                    ladder.extend(batch.iter().map(dup));
+                    heap.extend(batch);
+                }
+                FelOp::PopBelow(bound) => loop {
+                    let (l, h) = (ladder.pop_below(Time(bound)), heap.pop_below(Time(bound)));
+                    prop_assert_eq!(l.as_ref().map(ident), h.as_ref().map(ident));
+                    if h.is_none() {
+                        break;
+                    }
+                },
+                FelOp::PopN(n) => {
+                    for _ in 0..n {
+                        let (l, h) = (ladder.pop(), heap.pop());
+                        prop_assert_eq!(l.as_ref().map(ident), h.as_ref().map(ident));
+                    }
+                }
+            }
+            prop_assert_eq!(ladder.len(), heap.len());
+            prop_assert_eq!(ladder.next_ts(), heap.next_ts());
+            prop_assert_eq!(ladder.peek_key(), heap.peek_key());
+            prop_assert_eq!(
+                ladder.count_below(Time(500)),
+                heap.count_below(Time(500))
+            );
+        }
+        // Final full drain must agree too.
+        loop {
+            let (l, h) = (ladder.pop(), heap.pop());
+            prop_assert_eq!(l.as_ref().map(ident), h.as_ref().map(ident));
+            if h.is_none() {
+                break;
+            }
+        }
     }
 
     /// Partition invariants on arbitrary graphs: LP ids are dense, every

@@ -107,6 +107,7 @@ fn unison_cfg(threads: usize, metric: SchedMetric, telemetry: TelemetryConfig) -
         },
         metrics: MetricsLevel::Summary,
         telemetry,
+        fel: Default::default(),
     }
 }
 
@@ -138,6 +139,7 @@ fn telemetry_does_not_perturb_other_kernels() {
         sched: SchedConfig::default(),
         metrics: MetricsLevel::Summary,
         telemetry,
+        fel: Default::default(),
     };
     let kernels = [
         (

@@ -334,6 +334,7 @@ impl NetSim {
             sched: SchedConfig::default(),
             metrics: MetricsLevel::Summary,
             telemetry: Default::default(),
+            fel: Default::default(),
         })
         .expect("valid default configuration")
     }

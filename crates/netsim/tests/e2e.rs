@@ -87,6 +87,7 @@ fn all_kernels_complete_the_same_flows() {
             sched: SchedConfig::default(),
             metrics: MetricsLevel::Summary,
             telemetry: Default::default(),
+            fel: Default::default(),
         })
         .unwrap();
     let nm = build()
@@ -97,6 +98,7 @@ fn all_kernels_complete_the_same_flows() {
             sched: SchedConfig::default(),
             metrics: MetricsLevel::Summary,
             telemetry: Default::default(),
+            fel: Default::default(),
         })
         .unwrap();
     assert_eq!(seq.flows.total_flows(), uni.flows.total_flows());
@@ -156,6 +158,7 @@ fn unison_matches_compat_sequential_on_network() {
             sched: SchedConfig::default(),
             metrics: MetricsLevel::Summary,
             telemetry: Default::default(),
+            fel: Default::default(),
         })
         .unwrap();
     let uni = build().run(KernelKind::Unison { threads: 4 });

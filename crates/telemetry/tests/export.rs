@@ -33,6 +33,7 @@ fn run_profiled(threads: usize) -> unison_core::RunReport {
         sched: SchedConfig::default(),
         metrics: MetricsLevel::PerRound,
         telemetry: TelemetryConfig::enabled(),
+        fel: Default::default(),
     })
     .expect("scenario run")
     .kernel

@@ -75,6 +75,12 @@ impl fmt::Display for Finding {
 fn unsafe_allowed(rel: &str) -> bool {
     const EXACT: &[&str] = &[
         "crates/core/src/lp.rs",
+        // SAFETY: `queue.rs` covers both the intrusive MPSC list and its
+        // node pool — `MaybeUninit` payload slots whose init state is
+        // tracked structurally (initialized iff reachable from `head`,
+        // uninit iff on the freelist). The take-all/splice-back freelist
+        // protocol is model-checked by `mailbox_pool_no_aba` in
+        // `crates/core/tests/loom_models.rs`.
         "crates/core/src/queue.rs",
         "crates/core/src/global.rs",
         "crates/loom/src/cell.rs",

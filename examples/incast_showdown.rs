@@ -34,6 +34,7 @@ fn main() {
             sched: SchedConfig::default(),
             metrics: MetricsLevel::PerRound,
             telemetry: Default::default(),
+            fel: Default::default(),
         })
         .expect("profiled run")
     };

@@ -26,6 +26,7 @@ fn run_sched(kernel: KernelKind, sched: SchedConfig) -> SimResult {
         sched,
         metrics: MetricsLevel::Summary,
         telemetry: Default::default(),
+        fel: Default::default(),
     })
     .expect("run")
 }

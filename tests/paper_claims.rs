@@ -32,6 +32,7 @@ fn profile(
             sched: SchedConfig::default(),
             metrics: MetricsLevel::PerRound,
             telemetry: Default::default(),
+            fel: Default::default(),
         })
         .expect("profiled run");
     // LP adjacency for the null-message model.
@@ -188,6 +189,7 @@ fn claim_fine_granularity_improves_locality() {
                 sched: SchedConfig::default(),
                 metrics: MetricsLevel::Summary,
                 telemetry: Default::default(),
+                fel: Default::default(),
             })
             .expect("run");
         res.kernel.node_switches()

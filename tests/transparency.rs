@@ -32,6 +32,7 @@ fn every_kernel_runs_the_same_model() {
                 sched: SchedConfig::default(),
                 metrics: MetricsLevel::Summary,
                 telemetry: Default::default(),
+                fel: Default::default(),
             },
         ),
         ("unison", RunConfig::unison(2)),
@@ -47,6 +48,7 @@ fn every_kernel_runs_the_same_model() {
                 sched: SchedConfig::default(),
                 metrics: MetricsLevel::Summary,
                 telemetry: Default::default(),
+                fel: Default::default(),
             },
         ),
         ("barrier", RunConfig::barrier(pods.clone())),
