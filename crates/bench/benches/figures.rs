@@ -150,6 +150,7 @@ fn bench_fig12_family(c: &mut Criterion) {
                     SchedConfig {
                         metric: SchedMetric::ByLastRoundTime,
                         period: None,
+                        ..Default::default()
                     },
                 )
                 .slowdown,

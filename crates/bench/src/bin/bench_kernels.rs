@@ -1,6 +1,6 @@
 //! Kernel perf baseline: wall-clock and events/sec per kernel, thread
-//! count, and FEL backend on the fat-tree incast workload, emitted as
-//! machine-readable JSON.
+//! count, FEL backend, partitioner, and scheduling policy on the fat-tree
+//! incast workload, emitted as machine-readable JSON.
 //!
 //! ```sh
 //! cargo run --release -p unison-bench --bin bench_kernels -- \
@@ -10,47 +10,77 @@
 //! Without `--bench-json` the report prints to stdout. The committed
 //! `BENCH_kernels.json` at the repository root is one quick-scale snapshot;
 //! numbers are machine-dependent, so compare ratios (ladder vs. heap,
-//! thread scaling), not absolute rates, across machines. The CI
-//! `perf-smoke` job regenerates the file as a build artifact on every run.
+//! steal-deque vs. shared cursor, thread scaling), not absolute rates,
+//! across machines. The CI `perf-smoke` job regenerates the file as a
+//! build artifact on every run.
 
 use unison_bench::harness::{bench_json_path, fat_tree_scenario, Scale, Scenario};
-use unison_core::{DataRate, FelImpl, KernelKind, PartitionMode, RunReport, Time};
+use unison_core::{
+    DataRate, FelImpl, KernelKind, PartitionMode, PartitionPipeline, RunReport, SchedConfig,
+    SchedPolicyKind, Time,
+};
 
 /// One measured configuration.
 struct Sample {
     kernel: &'static str,
     threads: u32,
     fel: FelImpl,
+    /// Partitioner label (`auto` or a pipeline's stage chain).
+    partitioner: &'static str,
+    policy: SchedPolicyKind,
     report: RunReport,
+}
+
+/// The two partitioners on the grid: the free-function reference and the
+/// staged pipeline with refinement + placement.
+fn partition_modes() -> [(&'static str, PartitionMode); 2] {
+    [
+        ("auto", PartitionMode::Auto),
+        (
+            "pipeline-refined",
+            PartitionMode::Pipeline(PartitionPipeline::refined()),
+        ),
+    ]
 }
 
 /// Median-of-3 by wall-clock: reruns the configuration and keeps the
 /// middle run, so one scheduling hiccup cannot skew the committed baseline.
+#[allow(clippy::too_many_arguments)]
 fn measure(
     scenario: &Scenario,
     name: &'static str,
     kernel: KernelKind,
     threads: u32,
     fel: FelImpl,
+    partitioner: &'static str,
+    partition: PartitionMode,
+    policy: SchedPolicyKind,
 ) -> Sample {
+    let sched = SchedConfig {
+        policy,
+        ..Default::default()
+    };
     let mut runs: Vec<RunReport> = (0..3)
         .map(|_| {
             scenario
-                .run_real_with_fel(kernel.clone(), PartitionMode::Auto, fel)
+                .run_real_opts(kernel.clone(), partition.clone(), fel, sched)
                 .kernel
         })
         .collect();
     runs.sort_by_key(|r| r.wall);
     let report = runs.swap_remove(1);
     eprintln!(
-        "bench_kernels: {name} t={threads} fel={} — {:.0} events/sec",
+        "bench_kernels: {name} t={threads} fel={} part={partitioner} sched={} — {:.0} events/sec",
         fel.name(),
+        policy.name(),
         report.events_per_sec()
     );
     Sample {
         kernel: name,
         threads,
         fel,
+        partitioner,
+        policy,
         report,
     }
 }
@@ -61,13 +91,17 @@ fn sample_json(s: &Sample) -> String {
     let r = &s.report;
     format!(
         "    {{\n      \"kernel\": \"{}\",\n      \"threads\": {},\n      \
-         \"fel\": \"{}\",\n      \"wall_ns\": {},\n      \"events\": {},\n      \
+         \"fel\": \"{}\",\n      \"partitioner\": \"{}\",\n      \
+         \"sched\": \"{}\",\n      \"wall_ns\": {},\n      \"events\": {},\n      \
          \"events_per_sec\": {:.0},\n      \"rounds\": {},\n      \
          \"pool_hits\": {},\n      \"pool_misses\": {},\n      \
-         \"pool_hit_rate\": {:.4}\n    }}",
+         \"pool_hit_rate\": {:.4},\n      \"steals\": {},\n      \
+         \"affinity_hit_rate\": {:.4}\n    }}",
         s.kernel,
         s.threads,
         s.fel.name(),
+        s.partitioner,
+        s.policy.name(),
         r.wall.as_nanos(),
         r.events,
         r.events_per_sec(),
@@ -75,6 +109,8 @@ fn sample_json(s: &Sample) -> String {
         r.engine.pool_hits,
         r.engine.pool_misses,
         r.engine.pool_hit_rate(),
+        r.sched.steals,
+        r.sched.affinity_hit_rate(),
     )
 }
 
@@ -90,8 +126,12 @@ fn main() {
             KernelKind::Sequential { compat_keys: true },
             1,
             fel,
+            "auto",
+            PartitionMode::Auto,
+            SchedPolicyKind::LjfCursor,
         ));
     }
+    // FEL A/B on the default partitioner/policy.
     for threads in [1u32, 2, 4] {
         for fel in [FelImpl::Ladder, FelImpl::BinaryHeap] {
             samples.push(measure(
@@ -102,34 +142,75 @@ fn main() {
                 },
                 threads,
                 fel,
+                "auto",
+                PartitionMode::Auto,
+                SchedPolicyKind::LjfCursor,
             ));
         }
     }
+    // (partitioner, sched-policy) grid at the parallel thread counts, on
+    // the default (ladder) FEL. The (auto, ljf-cursor) cell already exists
+    // above; skip the duplicate.
+    for threads in [2u32, 4] {
+        for (pname, pmode) in partition_modes() {
+            for policy in [SchedPolicyKind::LjfCursor, SchedPolicyKind::StealDeque] {
+                if pname == "auto" && policy == SchedPolicyKind::LjfCursor {
+                    continue;
+                }
+                samples.push(measure(
+                    &scenario,
+                    "unison",
+                    KernelKind::Unison {
+                        threads: threads as usize,
+                    },
+                    threads,
+                    FelImpl::Ladder,
+                    pname,
+                    pmode.clone(),
+                    policy,
+                ));
+            }
+        }
+    }
 
-    // Headline ratio backing the engine's perf claim (DESIGN.md §4.4):
-    // ladder+pool vs. heap on the 2-thread configuration.
-    let rate = |fel: FelImpl| {
+    // Headline ratios. Ladder+pool vs. heap backs the engine's perf claim
+    // (DESIGN.md §4.4); steal-deque vs. shared cursor backs the scheduler
+    // extension's "no regression" claim (DESIGN.md §4.5) — both on the
+    // 2-thread configuration.
+    let rate = |fel: FelImpl, partitioner: &str, policy: SchedPolicyKind| {
         samples
             .iter()
-            .find(|s| s.kernel == "unison" && s.threads == 2 && s.fel == fel)
+            .find(|s| {
+                s.kernel == "unison"
+                    && s.threads == 2
+                    && s.fel == fel
+                    && s.partitioner == partitioner
+                    && s.policy == policy
+            })
             .map(|s| s.report.events_per_sec())
             .unwrap_or(f64::NAN)
     };
-    let speedup = rate(FelImpl::Ladder) / rate(FelImpl::BinaryHeap);
+    let ljf = SchedPolicyKind::LjfCursor;
+    let speedup = rate(FelImpl::Ladder, "auto", ljf) / rate(FelImpl::BinaryHeap, "auto", ljf);
+    let steal_over_ljf = rate(FelImpl::Ladder, "auto", SchedPolicyKind::StealDeque)
+        / rate(FelImpl::Ladder, "auto", ljf);
     eprintln!("bench_kernels: ladder/heap speedup at 2 threads: {speedup:.3}x");
+    eprintln!("bench_kernels: steal-deque/ljf-cursor at 2 threads: {steal_over_ljf:.3}x");
 
     let runs: Vec<String> = samples.iter().map(sample_json).collect();
     let json = format!(
-        "{{\n  \"schema\": \"unison-bench/kernels-v1\",\n  \
+        "{{\n  \"schema\": \"unison-bench/kernels-v2\",\n  \
          \"scale\": \"{}\",\n  \
          \"workload\": \"fat-tree k={} incast 0.5, 100 Gbps links, 3 us delay\",\n  \
-         \"ladder_over_heap_2t\": {:.3},\n  \"runs\": [\n{}\n  ]\n}}\n",
+         \"ladder_over_heap_2t\": {:.3},\n  \"steal_over_ljf_2t\": {:.3},\n  \
+         \"runs\": [\n{}\n  ]\n}}\n",
         match scale {
             Scale::Quick => "quick",
             Scale::Full => "full",
         },
         scale.pick(4, 8),
         speedup,
+        steal_over_ljf,
         runs.join(",\n"),
     );
 

@@ -26,6 +26,7 @@ fn main() {
                     SchedConfig {
                         metric,
                         period: None,
+                        ..Default::default()
                     },
                 )
                 .slowdown

@@ -24,6 +24,7 @@ fn main() {
             SchedConfig {
                 metric: SchedMetric::ByLastRoundTime,
                 period: Some(period),
+                ..Default::default()
             },
         );
         row(

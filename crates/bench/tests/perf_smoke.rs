@@ -11,7 +11,7 @@
 //!     --test-threads=1
 //! ```
 //!
-//! Three claims are guarded, with deliberately loose thresholds (these
+//! Four claims are guarded, with deliberately loose thresholds (these
 //! are tripwires against large regressions, not micro-benchmarks — the
 //! committed `BENCH_kernels.json` baseline holds the precise numbers):
 //!
@@ -23,10 +23,17 @@
 //!    (≥ 1.05x; measured 1.2–1.45x);
 //! 3. the mailbox node pool reaches a > 90% hit rate at steady state —
 //!    i.e. after warm-up, receive-phase traffic reuses recycled nodes
-//!    instead of allocating.
+//!    instead of allocating;
+//! 4. the work-stealing scheduler (`SchedPolicyKind::StealDeque`) is not
+//!    materially slower than the shared LJF cursor on the same workload
+//!    (≥ 0.9x — its whole point is overlap, so losing 10%+ to deque
+//!    overhead would mean the extension broke its contract, DESIGN.md
+//!    §4.5).
 
 use unison_bench::harness::{fat_tree_scenario, Scale, Scenario};
-use unison_core::{DataRate, FelImpl, KernelKind, PartitionMode, Time};
+use unison_core::{
+    DataRate, FelImpl, KernelKind, PartitionMode, SchedConfig, SchedPolicyKind, Time,
+};
 
 /// The paper's §3.2 profiling workload at quick scale: a k=4 fat-tree with
 /// a 50% incast share — mailbox- and FEL-heavy by construction.
@@ -151,5 +158,53 @@ fn pool_hit_rate_above_90_percent_steady_state() {
         "mailbox pool hit rate fell to {:.1}% (tripwire 90%) — drained \
          nodes are not being recycled onto the freelist",
         rate * 100.0
+    );
+}
+
+/// Tripwire 3: the work-stealing scheduler must not lose materially to
+/// the shared LJF cursor on the incast workload. StealDeque pays for its
+/// per-claim deque traversal with overlap when LP costs are skewed; on a
+/// balanced workload the two should sit at parity (measured 1.0x in
+/// `BENCH_kernels.json`'s `steal_over_ljf_2t`). A ratio below 0.9 means
+/// claim-path overhead grew past what overlap can buy back (DESIGN.md
+/// §4.5).
+#[test]
+#[ignore = "wall-clock tripwire; run explicitly in the CI perf-smoke job"]
+fn steal_deque_not_slower_than_ljf_cursor_on_incast() {
+    let scenario = incast();
+    let sample_sched = |policy: SchedPolicyKind| {
+        scenario
+            .run_real_opts(
+                KernelKind::Unison { threads: 2 },
+                PartitionMode::Auto,
+                FelImpl::Ladder,
+                SchedConfig {
+                    policy,
+                    ..Default::default()
+                },
+            )
+            .kernel
+            .events_per_sec()
+    };
+    // Warm-up (page cache, allocator, frequency scaling).
+    sample_sched(SchedPolicyKind::StealDeque);
+    sample_sched(SchedPolicyKind::LjfCursor);
+    let mut steal = Vec::new();
+    let mut ljf = Vec::new();
+    for _ in 0..5 {
+        steal.push(sample_sched(SchedPolicyKind::StealDeque));
+        ljf.push(sample_sched(SchedPolicyKind::LjfCursor));
+    }
+    let (s, l) = (median(&mut steal), median(&mut ljf));
+    let ratio = s / l;
+    eprintln!(
+        "perf-smoke: incast events/sec — steal-deque {s:.0}, ljf-cursor \
+         {l:.0} (ratio {ratio:.3})"
+    );
+    assert!(
+        ratio >= 0.9,
+        "work-stealing scheduler regressed below the shared LJF cursor on \
+         the fat-tree incast workload: {s:.0} vs {l:.0} events/sec \
+         (ratio {ratio:.3}, tripwire 0.9)"
     );
 }

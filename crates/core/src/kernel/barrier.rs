@@ -27,7 +27,9 @@ use crate::event::{Event, EventKey, LpId, NodeId};
 use crate::fel::Fel;
 use crate::global::GlobalFn;
 use crate::lp::LpState;
-use crate::metrics::{EngineStats, LpTotals, MetricsLevel, Psm, RoundRecord, RunReport};
+use crate::metrics::{
+    EngineStats, LpTotals, MetricsLevel, Psm, RoundRecord, RunReport, SchedStats,
+};
 use crate::queue::MpscQueue;
 use crate::sync::SpinBarrier;
 use crate::telemetry::{SpanKind, TelContext, WorkerTel};
@@ -436,6 +438,7 @@ pub(super) fn run<N: SimNode>(
             pool_hits: 0,
             pool_misses: 0,
         },
+        sched: SchedStats::default(),
         rounds_profile,
         telemetry: telctx.collect(tels, sched_log),
     };

@@ -32,7 +32,8 @@ use crate::lp::{LpState, PendingGlobal};
 use crate::mailbox::Mailboxes;
 use crate::metrics::{MetricsLevel, RunReport};
 use crate::partition::{
-    fine_grained_partition, manual_partition, partition_below_bound, single_lp_partition, Partition,
+    fine_grained_partition, manual_partition, partition_below_bound, single_lp_partition,
+    Partition, PartitionPipeline, Partitioner,
 };
 use crate::sched::SchedConfig;
 use crate::telemetry::TelemetryConfig;
@@ -100,6 +101,11 @@ pub enum PartitionMode {
     Manual(Vec<u32>),
     /// Everything in one LP.
     SingleLp,
+    /// A staged [`PartitionPipeline`] (cut → refine → place; DESIGN.md
+    /// §4.5). `PartitionPipeline::median_cut()` reproduces [`PartitionMode::Auto`]
+    /// exactly; `PartitionPipeline::refined()` adds balance refinement and
+    /// worker-affinity placement.
+    Pipeline(PartitionPipeline),
 }
 
 /// Round-progress watchdog configuration.
@@ -221,6 +227,13 @@ impl RunConfig {
         self
     }
 
+    /// Partitions the topology through a staged [`PartitionPipeline`]
+    /// instead of the built-in modes (DESIGN.md §4.5).
+    pub fn with_partitioner(mut self, pipeline: PartitionPipeline) -> Self {
+        self.partition = PartitionMode::Pipeline(pipeline);
+        self
+    }
+
     /// Enables the round-progress watchdog with the given per-round
     /// wall-clock deadline.
     pub fn with_watchdog(mut self, round_deadline: std::time::Duration) -> Self {
@@ -327,6 +340,7 @@ pub(crate) fn build_partition<N: SimNode>(
         PartitionMode::Auto => fine_grained_partition(graph),
         PartitionMode::Bound(bound) => partition_below_bound(graph, *bound),
         PartitionMode::SingleLp => single_lp_partition(graph),
+        PartitionMode::Pipeline(pipeline) => pipeline.partition(graph),
         PartitionMode::Manual(assign) => {
             if assign.len() != graph.node_count() {
                 return Err(KernelError::InvalidPartition(format!(

@@ -30,7 +30,7 @@ use crate::error::{
 };
 use crate::event::{Event, LpId};
 use crate::lp::LpState;
-use crate::metrics::{EngineStats, LpTotals, Psm, RunReport};
+use crate::metrics::{EngineStats, LpTotals, Psm, RunReport, SchedStats};
 use crate::queue::MpscQueue;
 use crate::telemetry::{SpanKind, TelContext, WorkerTel};
 use crate::time::Time;
@@ -465,6 +465,7 @@ pub(super) fn run<N: SimNode>(
             pool_hits: 0,
             pool_misses: 0,
         },
+        sched: SchedStats::default(),
         rounds_profile: None,
         telemetry: telctx.collect(tels, sched_log),
     };

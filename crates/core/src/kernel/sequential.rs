@@ -23,7 +23,7 @@ use crate::event::{Event, EventKey, LpId, NodeId};
 use crate::fel::Fel;
 use crate::global::{GlobalFn, WorldAccess};
 use crate::lp::{LpSlots, PendingGlobal};
-use crate::metrics::{EngineStats, LpTotals, Psm, RunReport};
+use crate::metrics::{EngineStats, LpTotals, Psm, RunReport, SchedStats};
 use crate::telemetry::{SpanKind, TelContext, NO_LP};
 use crate::time::Time;
 use crate::world::{NodeDirectory, SimCtx, SimNode, World};
@@ -330,6 +330,7 @@ pub(super) fn run<N: SimNode>(
             pool_hits: 0,
             pool_misses: 0,
         },
+        sched: SchedStats::default(),
         rounds_profile: None,
         telemetry: telctx.collect(vec![tel], sched_log),
     };

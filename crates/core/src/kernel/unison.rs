@@ -3,9 +3,11 @@
 //! Fine-grained LPs are scheduled onto a pool of worker threads each round.
 //! A round has four phases separated by atomic barriers (Fig. 7):
 //!
-//! 1. **Process events** — workers claim LPs in longest-estimated-job-first
-//!    order through an atomic cursor and execute each claimed LP's events
-//!    inside the window. Cross-LP events go to lock-free mailboxes.
+//! 1. **Process events** — workers claim LPs through the configured
+//!    [`SchedPolicy`] (shared LJF cursor by default, work-stealing deques
+//!    under [`SchedPolicyKind::StealDeque`](crate::sched::SchedPolicyKind))
+//!    and execute each claimed LP's events inside the window. Cross-LP
+//!    events go to lock-free mailboxes.
 //! 2. **Handle global events** — the main thread routes overflow events,
 //!    merges node-scheduled globals into the public LP, executes due global
 //!    events (which may mutate the topology → lookahead recompute).
@@ -38,8 +40,10 @@ use crate::fel::Fel;
 use crate::global::{CkptEnv, GlobalFn, WorldAccess};
 use crate::lp::LpSlots;
 use crate::mailbox::Mailboxes;
-use crate::metrics::{EngineStats, LpTotals, MetricsLevel, Psm, RoundRecord, RunReport};
-use crate::sched::{order_by_estimate_into, SchedMetric};
+use crate::metrics::{
+    EngineStats, LpTotals, MetricsLevel, Psm, RoundRecord, RunReport, SchedStats,
+};
+use crate::sched::{order_by_estimate_into, SchedMetric, SchedPolicy};
 use crate::sync::SpinBarrier;
 use crate::sync_shim::{AtomicBool, AtomicUsize, CachePadded, Ordering};
 use crate::telemetry::{SpanKind, TelContext, WorkerTel, NO_LP};
@@ -175,6 +179,27 @@ pub(super) fn run_grouped<N: SimNode>(
     }
     let initial_order = group_lps.clone();
 
+    // Per-group worker counts and each worker's slot (index among its
+    // group's workers, ascending by worker id; worker 0 is the main
+    // thread). Slots identify a worker to its group's scheduling policy.
+    let mut group_workers: Vec<usize> = vec![0; groups];
+    let mut slot_of: Vec<usize> = vec![0; threads];
+    for (w, &g) in grouping.worker_group.iter().enumerate() {
+        slot_of[w] = group_workers[g as usize];
+        group_workers[g as usize] += 1;
+    }
+    // Snapshot the placement hints: topology edits in phase 2 may mutate
+    // `partition` (lookahead recompute), so the policies must not borrow it.
+    let affinity: Vec<u32> = partition.affinity.clone();
+    // One scheduling policy per group; seeded with the initial (identity)
+    // orders before any worker threads exist.
+    let policies: Vec<Box<dyn SchedPolicy>> = (0..groups)
+        .map(|g| cfg.sched.policy.build(group_workers[g].max(1)))
+        .collect();
+    for (g, order_g) in initial_order.iter().enumerate() {
+        policies[g].publish(order_g, &affinity);
+    }
+
     // Initial window.
     let initial_min = {
         let mut m = Time::MAX;
@@ -197,9 +222,6 @@ pub(super) fn run_grouped<N: SimNode>(
     }));
 
     let barrier = SpinBarrier::new(threads);
-    let cursor_proc: Vec<CachePadded<AtomicUsize>> = (0..groups)
-        .map(|_| CachePadded::new(AtomicUsize::new(0)))
-        .collect();
     let cursor_recv: Vec<CachePadded<AtomicUsize>> = (0..groups)
         .map(|_| CachePadded::new(AtomicUsize::new(0)))
         .collect();
@@ -218,6 +240,7 @@ pub(super) fn run_grouped<N: SimNode>(
     let mut worker_psm: Vec<Psm> = Vec::new();
     let mut main_psm = Psm::default();
     let main_group = grouping.worker_group[0] as usize;
+    let main_slot = slot_of[0];
 
     // Telemetry sinks: one per worker (sole writer: that worker), plus the
     // scheduler-decision log written only by the main thread in phase 4.
@@ -248,12 +271,12 @@ pub(super) fn run_grouped<N: SimNode>(
         // Spawn `threads - 1` workers; the main thread is worker 0 and also
         // runs the serial phases.
         let mut handles = Vec::new();
-        for w in 1..threads {
+        for (w, &slot) in slot_of.iter().enumerate().skip(1) {
             let g = grouping.worker_group[w] as usize;
             let slots = &slots;
             let plan = &plan;
             let barrier = &barrier;
-            let cursor_proc = &cursor_proc;
+            let policies = &policies;
             let cursor_recv = &cursor_recv;
             let stop_flag = &stop_flag;
             let mailboxes = &mailboxes;
@@ -284,7 +307,8 @@ pub(super) fn run_grouped<N: SimNode>(
                         process_phase(
                             slots,
                             mailboxes,
-                            &cursor_proc[g],
+                            &*policies[g],
+                            slot,
                             &p.order[g],
                             p,
                             stop_flag,
@@ -405,7 +429,8 @@ pub(super) fn run_grouped<N: SimNode>(
                 process_phase(
                     &slots,
                     &mailboxes,
-                    &cursor_proc[main_group],
+                    &*policies[main_group],
+                    main_slot,
                     &p.order[main_group],
                     p,
                     &stop_flag,
@@ -692,17 +717,28 @@ pub(super) fn run_grouped<N: SimNode>(
                     out.clear();
                     out.extend(group_order.iter().map(|&i| lps_of_g[i as usize]));
                 }
+                // Re-seed each group's policy with its new order (the
+                // unconditional `begin_round` below is then a no-op for
+                // this round).
+                for (g, order_g) in plan_mut.order.iter().enumerate() {
+                    policies[g].publish(order_g, &affinity);
+                }
                 if sched_log.enabled() {
                     // Log the LJF decision per group: the order applies
                     // from the next round (`rounds + 1`) until the next
-                    // re-sort. Estimates ride along for regret analysis.
+                    // re-sort. Estimates ride along for regret analysis,
+                    // steal/affinity counters (cumulative at decision
+                    // time) for work-stealing analysis.
                     for (g, order_g) in plan_mut.order.iter().enumerate() {
+                        let st = policies[g].stats();
                         sched_log.record(
                             rounds + 1,
                             g as u32,
                             cfg.sched.metric.name(),
                             order_g.clone(),
                             order_g.iter().map(|&l| estimates[l as usize]).collect(),
+                            st.steals,
+                            st.affinity_hits,
                         );
                     }
                     // Publish the estimates so phase-1 `lp-task` spans can
@@ -723,8 +759,8 @@ pub(super) fn run_grouped<N: SimNode>(
                 plan_mut.window_end = next_window;
                 plan_mut.done = done;
             }
-            for c in cursor_proc.iter() {
-                c.store(0, Ordering::Relaxed);
+            for pol in policies.iter() {
+                pol.begin_round();
             }
             slots.begin_phase(); // covers the next round's phase 1
             let w_dur = t0.elapsed().as_nanos() as u64;
@@ -796,6 +832,16 @@ pub(super) fn run_grouped<N: SimNode>(
     let mut tels = vec![main_tel];
     tels.extend(worker_tels);
     let (pool_hits, pool_misses) = mailboxes.pool_stats();
+    let mut sched_stats = SchedStats {
+        policy: cfg.sched.policy.name(),
+        ..Default::default()
+    };
+    for pol in policies.iter() {
+        let s = pol.stats();
+        sched_stats.claims += s.claims;
+        sched_stats.steals += s.steals;
+        sched_stats.affinity_hits += s.affinity_hits;
+    }
     let report = RunReport {
         kernel: format!("{kernel_name}({threads})"),
         wall,
@@ -814,6 +860,7 @@ pub(super) fn run_grouped<N: SimNode>(
             pool_hits: pool_hits as u64,
             pool_misses: pool_misses as u64,
         },
+        sched: sched_stats,
         rounds_profile,
         telemetry: telctx.collect(tels, sched_log),
     };
@@ -894,13 +941,14 @@ fn wait_timed(barrier: &SpinBarrier, s_ns: &mut u64, tel: &mut WorkerTel, round:
     );
 }
 
-/// Phase 1: claim LPs in schedule order and execute their window events.
-/// Returns the number of events this worker executed.
+/// Phase 1: claim LPs through the scheduling policy and execute their
+/// window events. Returns the number of events this worker executed.
 #[allow(clippy::too_many_arguments)]
 fn process_phase<N: SimNode>(
     slots: &LpSlots<N>,
     mailboxes: &Mailboxes<N::Payload>,
-    cursor: &AtomicUsize,
+    policy: &dyn SchedPolicy,
+    slot: usize,
     order: &[u32],
     plan: &RoundPlan,
     stop_flag: &AtomicBool,
@@ -910,14 +958,11 @@ fn process_phase<N: SimNode>(
 ) -> u64 {
     let dir = slots.directory();
     let mut total_events: u64 = 0;
-    loop {
-        let i = cursor.fetch_add(1, Ordering::Relaxed);
-        if i >= order.len() {
-            break;
-        }
+    while let Some(i) = policy.claim(slot) {
         let lp_idx = order[i] as usize;
-        // SAFETY: the atomic cursor hands each index to exactly one thread
-        // per phase; phases are separated by barriers.
+        // SAFETY: `SchedPolicy::claim` hands each position to exactly one
+        // worker per round (the exactly-once contract on the trait); phases
+        // are separated by barriers.
         let lp = unsafe { slots.get_mut(lp_idx) };
         // The cache is exact here: it was refreshed at the end of the last
         // receive phase (after outflow routing), and the window-planning

@@ -74,6 +74,7 @@ pub mod perfmodel;
 pub mod queue;
 pub mod rng;
 pub mod sched;
+pub mod stealdeque;
 pub mod sync;
 pub mod sync_shim;
 pub mod telemetry;
@@ -90,11 +91,18 @@ pub use fel::{Fel, FelImpl};
 pub use global::{GlobalFn, WorldAccess};
 pub use graph::{LinkGraph, LinkSpec};
 pub use kernel::{run, try_run, KernelError, KernelKind, PartitionMode, RunConfig, WatchdogConfig};
-pub use metrics::{EngineStats, LpTotals, MetricsLevel, Psm, RoundRecord, RunReport};
-pub use partition::{fine_grained_partition, manual_partition, partition_below_bound, Partition};
+pub use metrics::{EngineStats, LpTotals, MetricsLevel, Psm, RoundRecord, RunReport, SchedStats};
+pub use partition::{
+    fine_grained_partition, manual_partition, partition_below_bound, BalancedRefine, CutStage,
+    MedianCut, Partition, PartitionPipeline, Partitioner, PlaceStage, RefineStage, TopoPlace,
+};
 pub use perfmodel::{CostParams, ModelResult, PerfModel};
 pub use rng::Rng;
-pub use sched::{scheduling_regret, SchedConfig, SchedMetric};
+pub use sched::{
+    scheduling_regret, LjfCursor, SchedConfig, SchedMetric, SchedPolicy, SchedPolicyKind,
+    SchedPolicyStats,
+};
+pub use stealdeque::StealDeque;
 pub use telemetry::{RunTelemetry, SchedDecision, Span, SpanKind, TelemetryConfig, WorkerSpans};
 pub use time::{DataRate, Time};
 pub use world::{SimCtx, SimCtxExt, SimNode, World, WorldBuilder};

@@ -1,0 +1,343 @@
+//! Deterministic work-stealing claim policy for the Unison process phase
+//! (DESIGN.md §4.5).
+//!
+//! [`StealDeque`] implements [`SchedPolicy`] with per-worker deques:
+//!
+//! - **Seeding.** `publish` distributes the positions of the LJF order over
+//!   the group's workers. With affinity hints (a [`crate::partition::TopoPlace`]
+//!   run), locality ranks are split into contiguous blocks, one per worker,
+//!   so topologically adjacent LPs land on the same deque. Without hints,
+//!   positions are striped round-robin over workers, which deals every
+//!   worker a balanced slice of the longest-job-first order.
+//! - **LIFO-local.** A worker first claims from the *back* of its own list —
+//!   the classic owner end. Each successful own-list claim counts as an
+//!   *affinity hit*.
+//! - **FIFO-steal.** A worker whose list is exhausted walks the other
+//!   workers (nearest slot first) and steals from the *front* of a victim's
+//!   list — the victim's longest-estimate entry, so stealing rebalances in
+//!   LPT fashion.
+//!
+//! **Exactly-once.** Each position carries an [`AtomicBool`] claim flag;
+//! the winner of the `swap(true, AcqRel)` executes the LP. Every position
+//! is handed to at least one worker (its owner's local counter enumerates
+//! the whole list, and every thief's walk enumerates every victim list), a
+//! worker only returns `None` after exhausting its own list and all victim
+//! lists, and the flag admits exactly one winner — so per round every
+//! position is claimed exactly once, the invariant the kernel's claim-audit
+//! checks and the loom model `steal_deque_claims_each_position_exactly_once`
+//! verifies exhaustively.
+//!
+//! **Determinism.** Stealing changes which worker executes an LP and in
+//! what wall-clock order — never the round's task set, the per-LP event
+//! order, or the commit path of cross-LP sends (mailboxes + §5.2 tie-break
+//! keys). Digest equality across {LjfCursor, StealDeque} × thread counts is
+//! proven by `crates/core/tests/sched_matrix.rs`.
+
+use std::cell::UnsafeCell;
+
+use crate::sched::{SchedPolicy, SchedPolicyKind, SchedPolicyStats};
+use crate::sync_shim::{AtomicBool, AtomicU64, AtomicUsize, CachePadded, Ordering};
+
+/// Per-worker claim counters (each written only by its owning slot, with
+/// `Relaxed` ordering; summed by the control thread after the run).
+struct SlotCounters {
+    claims: AtomicU64,
+    steals: AtomicU64,
+    affinity_hits: AtomicU64,
+}
+
+impl Default for SlotCounters {
+    // Manual: the loom twin of `AtomicU64` has no `Default`.
+    fn default() -> Self {
+        SlotCounters {
+            claims: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            affinity_hits: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Affinity-seeded work-stealing claim state for one scheduling group.
+pub struct StealDeque {
+    workers: usize,
+    /// Per-worker position lists (ascending positions of the published
+    /// order). Rebuilt in `publish`; read-only while workers claim.
+    lists: UnsafeCell<Vec<Vec<u32>>>,
+    /// One claim flag per published position. Replaced in `publish`,
+    /// cleared in `begin_round`; swapped by workers during claims.
+    claimed: UnsafeCell<Vec<AtomicBool>>,
+    /// Per-worker LIFO counter over its own list.
+    local_taken: Vec<CachePadded<AtomicUsize>>,
+    /// Per-victim FIFO steal cursor (shared by all thieves of that victim).
+    steal_next: Vec<CachePadded<AtomicUsize>>,
+    counters: Vec<CachePadded<SlotCounters>>,
+}
+
+// SAFETY: the `UnsafeCell` fields follow the kernel's plan-cell discipline
+// (DESIGN.md §4.1/§4.5): `publish` and `begin_round` — the only mutators —
+// run exclusively in the control thread's inter-round window while every
+// worker is parked at a barrier, and the barrier's acquire/release
+// handshake orders those writes before the workers' reads. During the
+// parallel claim phase all threads perform only shared reads of the `Vec`
+// structure plus operations on the interior atomics. The loom model
+// `steal_deque_claims_each_position_exactly_once` checks the claim
+// protocol itself.
+unsafe impl Sync for StealDeque {}
+
+impl StealDeque {
+    /// Claim state for a group of `workers` threads (≥ 1).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        StealDeque {
+            workers,
+            lists: UnsafeCell::new(vec![Vec::new(); workers]),
+            claimed: UnsafeCell::new(Vec::new()),
+            local_taken: (0..workers)
+                .map(|_| CachePadded::new(AtomicUsize::new(0)))
+                .collect(),
+            steal_next: (0..workers)
+                .map(|_| CachePadded::new(AtomicUsize::new(0)))
+                .collect(),
+            counters: (0..workers)
+                .map(|_| CachePadded::new(SlotCounters::default()))
+                .collect(),
+        }
+    }
+
+    /// Seeds worker `slot`'s counters after a successful claim.
+    #[inline]
+    fn count(&self, slot: usize, stolen: bool) {
+        let c = &self.counters[slot];
+        c.claims.fetch_add(1, Ordering::Relaxed);
+        if stolen {
+            c.steals.fetch_add(1, Ordering::Relaxed);
+        } else {
+            c.affinity_hits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl SchedPolicy for StealDeque {
+    fn name(&self) -> &'static str {
+        SchedPolicyKind::StealDeque.name()
+    }
+
+    fn publish(&self, order: &[u32], affinity: &[u32]) {
+        // SAFETY: exclusive control-thread window (see the `Sync` note):
+        // no worker touches the cells until the next barrier release.
+        let lists = unsafe { &mut *self.lists.get() };
+        // SAFETY: same exclusive window as the `lists` borrow above.
+        let claimed = unsafe { &mut *self.claimed.get() };
+        for l in lists.iter_mut() {
+            l.clear();
+        }
+        claimed.clear();
+        claimed.resize_with(order.len(), || AtomicBool::new(false));
+        if affinity.is_empty() {
+            // No placement hints: stripe the LJF order round-robin so each
+            // worker's deque gets a balanced slice of long and short jobs.
+            for posn in 0..order.len() {
+                lists[posn % self.workers].push(posn as u32);
+            }
+        } else {
+            // Affinity blocks: normalize the group's locality ranks onto
+            // the workers so adjacent ranks share a deque.
+            let span = order
+                .iter()
+                .map(|&lp| affinity[lp as usize] as usize)
+                .max()
+                .unwrap_or(0)
+                + 1;
+            for (posn, &lp) in order.iter().enumerate() {
+                let rank = affinity[lp as usize] as usize;
+                let w = (rank * self.workers / span).min(self.workers - 1);
+                lists[w].push(posn as u32);
+            }
+        }
+        for c in &self.local_taken {
+            c.store(0, Ordering::Relaxed);
+        }
+        for c in &self.steal_next {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+
+    fn begin_round(&self) {
+        // SAFETY: exclusive control-thread window (see the `Sync` note).
+        let claimed = unsafe { &*self.claimed.get() };
+        for f in claimed.iter() {
+            f.store(false, Ordering::Relaxed);
+        }
+        for c in &self.local_taken {
+            c.store(0, Ordering::Relaxed);
+        }
+        for c in &self.steal_next {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+
+    fn claim(&self, slot: usize) -> Option<usize> {
+        debug_assert!(slot < self.workers, "slot out of range");
+        // SAFETY: parallel-phase shared reads; the cells are only mutated
+        // in the control thread's exclusive windows (see the `Sync` note).
+        let lists = unsafe { &*self.lists.get() };
+        // SAFETY: same parallel-phase shared read as the `lists` borrow.
+        let claimed = unsafe { &*self.claimed.get() };
+        // LIFO-local: pop the back of the own list.
+        let own = &lists[slot];
+        loop {
+            let k = self.local_taken[slot].fetch_add(1, Ordering::Relaxed);
+            if k >= own.len() {
+                break;
+            }
+            let pos = own[own.len() - 1 - k] as usize;
+            if !claimed[pos].swap(true, Ordering::AcqRel) {
+                self.count(slot, false);
+                return Some(pos);
+            }
+        }
+        // FIFO-steal: walk the other workers, nearest slot first, taking
+        // the front (longest-estimate) entry of each victim list.
+        for d in 1..self.workers {
+            let victim = (slot + d) % self.workers;
+            let vl = &lists[victim];
+            loop {
+                let k = self.steal_next[victim].fetch_add(1, Ordering::Relaxed);
+                if k >= vl.len() {
+                    break;
+                }
+                let pos = vl[k] as usize;
+                if !claimed[pos].swap(true, Ordering::AcqRel) {
+                    self.count(slot, true);
+                    return Some(pos);
+                }
+            }
+        }
+        None
+    }
+
+    fn stats(&self) -> SchedPolicyStats {
+        let mut out = SchedPolicyStats::default();
+        for c in &self.counters {
+            out.claims += c.claims.load(Ordering::Relaxed);
+            out.steals += c.steals.load(Ordering::Relaxed);
+            out.affinity_hits += c.affinity_hits.load(Ordering::Relaxed);
+        }
+        out
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    fn drain(dq: &StealDeque, slot: usize) -> Vec<usize> {
+        let mut got = Vec::new();
+        while let Some(p) = dq.claim(slot) {
+            got.push(p);
+        }
+        got
+    }
+
+    #[test]
+    fn single_worker_claims_own_list_back_to_front() {
+        let dq = StealDeque::new(1);
+        dq.publish(&[10, 11, 12, 13], &[]);
+        // One worker owns every position; LIFO-local pops the back first.
+        assert_eq!(drain(&dq, 0), vec![3, 2, 1, 0]);
+        assert_eq!(dq.claim(0), None);
+        let s = dq.stats();
+        assert_eq!((s.claims, s.steals, s.affinity_hits), (4, 0, 4));
+    }
+
+    #[test]
+    fn striped_seeding_without_affinity() {
+        let dq = StealDeque::new(2);
+        dq.publish(&[5, 6, 7, 8, 9], &[]);
+        // Positions stripe 0,2,4 -> worker 0 and 1,3 -> worker 1. The
+        // owner drains its own list LIFO (back first), then steals the
+        // victim's list FIFO (front first).
+        assert_eq!(drain(&dq, 0), vec![4, 2, 0, 1, 3]);
+        let s = dq.stats();
+        assert_eq!(s.claims, 5);
+        assert_eq!(s.affinity_hits, 3, "own list served 3 of 5");
+        assert_eq!(s.steals, 2, "victim list served the rest");
+    }
+
+    #[test]
+    fn affinity_blocks_land_on_matching_workers() {
+        let dq = StealDeque::new(2);
+        // 4 LPs, order = identity, ranks [0,1,2,3]: ranks 0-1 block on
+        // worker 0, ranks 2-3 on worker 1. Worker 1 drains its own block
+        // LIFO, then steals worker 0's block FIFO.
+        dq.publish(&[0, 1, 2, 3], &[0, 1, 2, 3]);
+        assert_eq!(drain(&dq, 1), vec![3, 2, 0, 1]);
+        let s = dq.stats();
+        assert_eq!(s.affinity_hits, 2);
+        assert_eq!(s.steals, 2);
+    }
+
+    #[test]
+    fn steal_takes_victim_front_first() {
+        let dq = StealDeque::new(2);
+        dq.publish(&[0, 1, 2, 3], &[0, 1, 2, 3]);
+        // Worker 0 claims its own back entry (position 1), then worker 1
+        // drains everything: own list back-to-front, then steals worker
+        // 0's *front* (position 0 — the longest-estimate entry).
+        assert_eq!(dq.claim(0), Some(1));
+        assert_eq!(drain(&dq, 1), vec![3, 2, 0]);
+        assert_eq!(dq.claim(0), None);
+    }
+
+    #[test]
+    fn begin_round_resets_claims_but_keeps_order() {
+        let dq = StealDeque::new(2);
+        dq.publish(&[4, 5, 6], &[]);
+        let mut round1 = drain(&dq, 0);
+        round1.extend(drain(&dq, 1));
+        round1.sort_unstable();
+        assert_eq!(round1, vec![0, 1, 2]);
+        dq.begin_round();
+        let mut round2 = drain(&dq, 1);
+        round2.sort_unstable();
+        assert_eq!(round2, vec![0, 1, 2], "same order, fresh claim flags");
+        assert_eq!(dq.stats().claims, 6);
+    }
+
+    #[test]
+    fn concurrent_claims_cover_every_position_exactly_once() {
+        // Many-thread smoke run (the exhaustive check is the loom model).
+        let dq = std::sync::Arc::new(StealDeque::new(4));
+        let order: Vec<u32> = (0..64).collect();
+        for round in 0..50 {
+            if round == 0 {
+                dq.publish(&order, &[]);
+            } else {
+                dq.begin_round();
+            }
+            let mut claimed: Vec<usize> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..4)
+                    .map(|slot| {
+                        let dq = dq.clone();
+                        s.spawn(move || {
+                            let mut got = Vec::new();
+                            while let Some(p) = dq.claim(slot) {
+                                got.push(p);
+                            }
+                            got
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("claimer panicked"))
+                    .collect()
+            });
+            claimed.sort_unstable();
+            assert_eq!(claimed, (0..64).collect::<Vec<_>>());
+        }
+        let s = dq.stats();
+        assert_eq!(s.claims, 64 * 50);
+        assert_eq!(s.steals + s.affinity_hits, s.claims);
+    }
+}

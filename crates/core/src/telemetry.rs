@@ -162,6 +162,13 @@ pub struct SchedDecision {
     /// Estimates aligned with `order` (`estimates[i]` is the estimate of LP
     /// `order[i]`, in the metric's unit: ns or pending events).
     pub estimates: Vec<u64>,
+    /// Cumulative work-steal claims of this group's claim policy at
+    /// decision time (monotone across decisions; 0 under the shared-cursor
+    /// policy).
+    pub steals: u64,
+    /// Cumulative own-deque claims of this group's claim policy at decision
+    /// time (monotone; 0 under the shared-cursor policy).
+    pub affinity_hits: u64,
 }
 
 /// Everything a run recorded, attached to [`crate::RunReport::telemetry`].
@@ -385,7 +392,10 @@ mod imp {
             self.enabled
         }
 
-        /// Appends one group's decision (capacity-bounded).
+        /// Appends one group's decision (capacity-bounded). `steals` and
+        /// `affinity_hits` are the claim policy's cumulative counters for
+        /// the group at decision time.
+        #[allow(clippy::too_many_arguments)]
         pub fn record(
             &mut self,
             round: u64,
@@ -393,6 +403,8 @@ mod imp {
             metric: &'static str,
             order: Vec<u32>,
             estimates: Vec<u64>,
+            steals: u64,
+            affinity_hits: u64,
         ) {
             if !self.enabled {
                 return;
@@ -404,6 +416,8 @@ mod imp {
                     metric,
                     order,
                     estimates,
+                    steals,
+                    affinity_hits,
                 });
             } else {
                 self.truncated += 1;
@@ -503,6 +517,7 @@ mod imp {
         }
 
         /// No-op.
+        #[allow(clippy::too_many_arguments)]
         pub fn record(
             &mut self,
             _round: u64,
@@ -510,6 +525,8 @@ mod imp {
             _metric: &'static str,
             _order: Vec<u32>,
             _estimates: Vec<u64>,
+            _steals: u64,
+            _affinity_hits: u64,
         ) {
         }
     }
@@ -532,7 +549,7 @@ mod tests {
         tel.span_dur(SpanKind::LpTask, 1, 3, 0, 10, 5, 2);
         tel.edge(0, 1);
         let mut log = ctx.sched_log();
-        log.record(1, 0, "by-last-round-time", vec![0], vec![1]);
+        log.record(1, 0, "by-last-round-time", vec![0], vec![1], 0, 0);
         assert!(ctx.collect(vec![tel], log).is_none());
     }
 
@@ -547,7 +564,7 @@ mod tests {
         tel.edge(1, 9);
         tel.edge(0, 9);
         let mut log = ctx.sched_log();
-        log.record(5, 0, "by-pending-events", vec![1, 0], vec![9, 3]);
+        log.record(5, 0, "by-pending-events", vec![1, 0], vec![9, 3], 4, 6);
         let t = ctx.collect(vec![tel], log).expect("enabled run collects");
         assert_eq!(t.workers.len(), 1);
         assert_eq!(t.workers[0].worker, 2);
@@ -558,6 +575,8 @@ mod tests {
         assert_eq!(t.traffic(), vec![(0, 9, 1), (1, 9, 2)]);
         assert_eq!(t.sched.len(), 1);
         assert_eq!(t.sched[0].order, vec![1, 0]);
+        assert_eq!(t.sched[0].steals, 4);
+        assert_eq!(t.sched[0].affinity_hits, 6);
         assert_eq!(t.sched_truncated, 0);
     }
 
@@ -574,8 +593,8 @@ mod tests {
             tel.span_dur(SpanKind::Process, r, NO_LP, 0, 1, 0, 0);
         }
         let mut log = ctx.sched_log();
-        log.record(1, 0, "none", vec![], vec![]);
-        log.record(2, 0, "none", vec![], vec![]);
+        log.record(1, 0, "none", vec![], vec![], 0, 0);
+        log.record(2, 0, "none", vec![], vec![], 0, 0);
         let t = ctx.collect(vec![tel], log).expect("enabled");
         assert_eq!(t.workers[0].spans.len(), 2);
         assert_eq!(t.workers[0].truncated, 3);

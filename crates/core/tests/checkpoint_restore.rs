@@ -107,6 +107,7 @@ fn cfg(threads: usize, metric: SchedMetric) -> RunConfig {
         sched: SchedConfig {
             metric,
             period: Some(4),
+            ..Default::default()
         },
         metrics: MetricsLevel::Summary,
         telemetry: Default::default(),

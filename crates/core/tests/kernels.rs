@@ -230,6 +230,7 @@ fn scheduling_metrics_do_not_change_results() {
         let cfg = RunConfig::unison(2).with_sched(SchedConfig {
             metric,
             period: Some(4),
+            ..Default::default()
         });
         let (w, _) = kernel::run(ring_world(N, DELAY, TOKENS, STOP), &cfg).unwrap();
         assert_eq!(checksums(&w), base, "metric {metric:?} changed results");

@@ -30,7 +30,11 @@
 //! 6. the mailbox node pool's take-all/splice-back freelist protocol hands
 //!    each recycled node to at most one claimant — no ABA interleaving of
 //!    racing pooled pushes and a concurrent recycle can double-claim a node
-//!    or lose a message (DESIGN.md §4.4).
+//!    or lose a message (DESIGN.md §4.4);
+//! 7. the work-stealing deque's per-position `AtomicBool` swap admits
+//!    exactly one winner per position, so an owner and a thief racing over
+//!    the same deque cover the round's task set exactly once
+//!    (DESIGN.md §4.5).
 //!
 //! A final, deliberately broken model double-checks the checker: weakening
 //! a publish to `Relaxed` must be reported as a data race.
@@ -44,6 +48,7 @@ use loom::thread;
 use unison_core::queue::MpscQueue;
 use unison_core::sync::SpinBarrier;
 use unison_core::sync_shim::{AtomicBool, AtomicUsize, Ordering};
+use unison_core::{SchedPolicy, StealDeque};
 
 /// Claim 1: generation reuse. Two threads cross the same barrier twice with
 /// plain (non-atomic) data handed back and forth: generation 1 must order
@@ -303,6 +308,54 @@ fn mailbox_pool_no_aba() {
         assert_eq!(hits + misses, 4, "every push is exactly one hit or miss");
         assert!(hits >= 1, "the swap-holding producer must score a pool hit");
         assert!(misses >= 2, "the warm-up pushes always allocate");
+    });
+}
+
+/// Claim 7: the steal-deque claim protocol. The control thread publishes a
+/// 3-position round to a 2-worker deque (single-threaded prologue, as in
+/// the kernel's exclusive inter-round window), then the owner of slot 0
+/// races a thief on slot 1, both draining until `claim` returns `None`.
+/// The per-position `swap(true, AcqRel)` must admit exactly one winner per
+/// position in every interleaving: a double-claim shows up as a duplicate,
+/// a lost position as a short union. This is the model backing the `unsafe
+/// impl Sync for StealDeque` and the kernel's exactly-once scheduling
+/// contract under work stealing (`crates/core/src/stealdeque.rs`).
+#[test]
+fn steal_deque_claims_each_position_exactly_once() {
+    loom::model(|| {
+        let deque = Arc::new(StealDeque::new(2));
+        // Exclusive prologue: seed the round before any claimant exists.
+        deque.publish(&[0, 1, 2], &[]);
+
+        let thief = {
+            let deque = Arc::clone(&deque);
+            thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(pos) = deque.claim(1) {
+                    got.push(pos);
+                }
+                got
+            })
+        };
+        let mut got = Vec::new();
+        while let Some(pos) = deque.claim(0) {
+            got.push(pos);
+        }
+        got.extend(thief.join().unwrap());
+
+        got.sort_unstable();
+        assert_eq!(
+            got,
+            [0, 1, 2],
+            "each published position must be claimed exactly once"
+        );
+        let stats = deque.stats();
+        assert_eq!(stats.claims, 3, "claim accounting must match the round");
+        assert_eq!(
+            stats.steals + stats.affinity_hits,
+            stats.claims,
+            "every claim is attributed as a steal or an affinity hit"
+        );
     });
 }
 

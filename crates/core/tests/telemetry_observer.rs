@@ -104,6 +104,7 @@ fn unison_cfg(threads: usize, metric: SchedMetric, telemetry: TelemetryConfig) -
         sched: SchedConfig {
             metric,
             period: Some(4),
+            ..Default::default()
         },
         metrics: MetricsLevel::Summary,
         telemetry,

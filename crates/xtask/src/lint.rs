@@ -83,6 +83,14 @@ fn unsafe_allowed(rel: &str) -> bool {
         // `crates/core/tests/loom_models.rs`.
         "crates/core/src/queue.rs",
         "crates/core/src/global.rs",
+        // SAFETY: `stealdeque.rs` holds the work-stealing claim state in
+        // `UnsafeCell`s under the kernel's plan-cell discipline: mutated
+        // only in the control thread's exclusive inter-round windows,
+        // shared-read during parallel phases, with per-position `AtomicBool`
+        // swaps arbitrating claims. The protocol is model-checked by
+        // `steal_deque_claims_each_position_exactly_once` in
+        // `crates/core/tests/loom_models.rs`.
+        "crates/core/src/stealdeque.rs",
         "crates/loom/src/cell.rs",
     ];
     EXACT.contains(&rel)

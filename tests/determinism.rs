@@ -83,6 +83,7 @@ fn scheduling_metrics_identical_across_thread_counts() {
             let sched = SchedConfig {
                 metric,
                 period: Some(4),
+                ..Default::default()
             };
             assert_eq!(
                 fingerprint(&run_sched(KernelKind::Unison { threads }, sched)),

@@ -231,6 +231,7 @@ fn claim_load_adaptive_scheduling_beats_none() {
             SchedConfig {
                 metric: SchedMetric::ByLastRoundTime,
                 period: None,
+                ..Default::default()
             },
         )
         .slowdown;
@@ -240,6 +241,7 @@ fn claim_load_adaptive_scheduling_beats_none() {
             SchedConfig {
                 metric: SchedMetric::None,
                 period: None,
+                ..Default::default()
             },
         )
         .slowdown;
