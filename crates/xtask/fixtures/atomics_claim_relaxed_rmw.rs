@@ -1,0 +1,17 @@
+// Fixture: a Relaxed read-modify-write on a claim-discipline field. The
+// swap wins the claim but carries no happens-before edge for the claimed
+// payload. Paired with `atomics_manifest_claim.toml` (role = "claim",
+// swap = ["Relaxed"]); the analyzer must report `atomics-claim-relaxed-rmw`
+// both for the manifest permitting it and for the call site.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub struct Claims {
+    taken: Vec<AtomicBool>,
+}
+
+impl Claims {
+    pub fn try_claim(&self, i: usize) -> bool {
+        !self.taken[i].swap(true, Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,87 @@
+// Fixture: false-positive bait. Every construct here is legal and covered
+// by `atomics_manifest_bait.toml`; the analyzer must report ZERO findings.
+//
+// Bait inventory:
+//   - `Ordering::SeqCst` spelled out in comments and string literals
+//   - `Vec::swap` and a non-atomic `.load()` method that share names with
+//     atomic operations but take no `Ordering`
+//   - indexed receivers (`self.snaps[i]`), zip'd loop bindings, and a
+//     `let`-alias to a field reference
+//   - an `impl Trait for Type` header (the `for` must not be parsed as a
+//     loop binding)
+//   - a `#[cfg(test)]` module at the bottom using orderings the manifest
+//     would reject (test code is outside the contract)
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+pub struct Snap {
+    snaps: Vec<AtomicU64>,
+    floors: Vec<AtomicU64>,
+    hits: AtomicUsize,
+    label: String,
+}
+
+// NOTE: never use Ordering::SeqCst here — the clock lattice only needs
+// release/acquire publication.
+
+impl Snap {
+    pub fn publish(&self, i: usize, v: u64) {
+        self.snaps[i].store(v, Ordering::Release);
+        self.floors[i].store(v.saturating_sub(1), Ordering::Release);
+    }
+
+    pub fn min_snap(&self) -> u64 {
+        let mut m = u64::MAX;
+        for (snap, floor) in self.snaps.iter().zip(self.floors.iter()) {
+            let hi = snap.load(Ordering::Acquire);
+            let lo = floor.load(Ordering::Acquire);
+            m = m.min(hi.max(lo));
+        }
+        let h = &self.hits;
+        h.fetch_add(1, Ordering::Relaxed);
+        m
+    }
+
+    pub fn shuffle_scratch(&self) -> String {
+        let mut xs = vec![1u64, 2u64];
+        xs.swap(0, 1); // Vec::swap — not an atomic op, no Ordering
+        let msg = "a load(Ordering::Acquire) lives in this string";
+        format!("{}: {} {:?}", self.label, msg, xs)
+    }
+}
+
+pub struct Cart {
+    pub weights: Vec<u64>,
+}
+
+impl Cart {
+    pub fn load(&self) -> u64 {
+        // Non-atomic method named `load`; takes no Ordering argument.
+        self.weights.iter().sum()
+    }
+}
+
+impl Default for Snap {
+    // `for` in a trait impl header is not a loop binding.
+    fn default() -> Self {
+        Snap {
+            snaps: Vec::new(),
+            floors: Vec::new(),
+            hits: AtomicUsize::new(0),
+            label: String::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static SCRATCH: AtomicU64 = AtomicU64::new(0);
+
+    #[test]
+    fn seqcst_in_tests_is_outside_the_contract() {
+        SCRATCH.store(7, Ordering::SeqCst);
+        assert_eq!(SCRATCH.load(Ordering::SeqCst), 7);
+    }
+}

@@ -1,0 +1,29 @@
+// Fixture: call sites disagreeing with the manifest. Paired with
+// `atomics_manifest_gate.toml` (which permits load = Acquire and
+// store = Release only). Three findings, all `atomics-ordering-mismatch`:
+// the SeqCst load, the undeclared swap operation, and the non-literal
+// ordering argument the analyzer cannot check.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub struct Gate {
+    open: AtomicBool,
+}
+
+impl Gate {
+    pub fn is_open(&self) -> bool {
+        self.open.load(Ordering::SeqCst) // mismatch: manifest says Acquire
+    }
+
+    pub fn shut(&self) -> bool {
+        self.open.swap(false, Ordering::AcqRel) // op not declared at all
+    }
+
+    pub fn set_with(&self, order: Ordering) {
+        self.open.store(true, order) // non-literal ordering
+    }
+
+    pub fn publish(&self) {
+        self.open.store(true, Ordering::Release) // conforming site
+    }
+}

@@ -1,0 +1,15 @@
+// Fixture: an atomic field with no entry in the protocol manifest.
+// Paired with `atomics_manifest_empty.toml`; the analyzer must report
+// `atomics-undeclared-field` for the declaration.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub struct Rogue {
+    counter: AtomicUsize,
+}
+
+impl Rogue {
+    pub fn bump(&self) -> usize {
+        self.counter.fetch_add(1, Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,21 @@
+// Fixture: a one-sided protocol. `ready` is published with Release but no
+// call site anywhere Acquire-observes it — the declared pairing has no
+// matching acquire side. Paired with `atomics_manifest_one_sided.toml`;
+// the analyzer must report `atomics-unmatched-pairing`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub struct OneSided {
+    ready: AtomicBool,
+}
+
+impl OneSided {
+    pub fn publish(&self) {
+        self.ready.store(true, Ordering::Release);
+    }
+
+    pub fn peek(&self) -> bool {
+        // Relaxed: deliberately NOT an acquire side.
+        self.ready.load(Ordering::Relaxed)
+    }
+}

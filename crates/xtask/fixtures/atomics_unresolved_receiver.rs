@@ -1,0 +1,30 @@
+// Fixture: an Ordering-bearing call site whose receiver the expression
+// parser cannot trace to a declared field (the reference is laundered
+// through a helper function). Paired with `atomics_manifest_holder.toml`;
+// the analyzer must report `atomics-unresolved-receiver` rather than
+// silently skipping the site.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Holder {
+    word: AtomicU64,
+}
+
+fn pick(h: &Holder) -> &AtomicU64 {
+    &h.word
+}
+
+pub fn poke(h: &Holder) {
+    let w = pick(h);
+    w.store(1, Ordering::Release);
+}
+
+pub fn publish(h: &Holder) {
+    // Direct field path: resolves fine and supplies the release side.
+    h.word.store(2, Ordering::Release);
+}
+
+pub fn read(h: &Holder) -> u64 {
+    // Direct field path: resolves fine and satisfies the acquire side.
+    h.word.load(Ordering::Acquire)
+}

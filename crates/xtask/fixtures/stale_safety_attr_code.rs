@@ -1,0 +1,16 @@
+// Fixture: regression for the attr-only false negative. The `#[inline]`
+// line carries trailing code, so the SAFETY comment above it documents
+// `null_word`, NOT the `unsafe impl` below — the lint must flag the impl.
+// The second impl shows the still-legal form: a genuinely attribute-only
+// line between the comment and the keyword keeps the association.
+
+pub struct Wrapper(*const u8);
+
+// SAFETY: this comment belongs to `null_word`, which is not unsafe at all.
+#[inline] pub fn null_word() -> *const u8 { std::ptr::null() }
+unsafe impl Send for Wrapper {}
+
+// SAFETY: `Wrapper` is an immutable token; the pointer is never
+// dereferenced off-thread.
+#[allow(dead_code)]
+unsafe impl Sync for Wrapper {}

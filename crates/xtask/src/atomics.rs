@@ -1,0 +1,1287 @@
+//! `cargo xtask atomics` — the memory-ordering protocol analyzer.
+//!
+//! The kernel's determinism and crash-safety claims rest on ~100 hand-placed
+//! `Ordering::*` annotations in the lock-free core. This pass makes that
+//! contract explicit and machine-checked:
+//!
+//! 1. **Inventory** — an expression-level parser (layered on the shared
+//!    tokenizer in [`crate::lexer`]) finds every atomic field *declared* in
+//!    workspace `src/` trees (struct fields, statics, typed lets,
+//!    `let x = AtomicT::new(..)`, fn params) and every
+//!    `load`/`store`/`swap`/`compare_exchange*`/`fetch_*` call site together
+//!    with its literal `Ordering` arguments. Receivers are resolved through
+//!    index expressions (`clock[c].store(..)`), `self.field` paths, `for`
+//!    loop bindings (including `.zip(..)` tuple patterns and
+//!    `.enumerate()`), and `let alias = &*self.field.get()` aliases.
+//! 2. **Manifest check** — each declaration and call site is checked against
+//!    the protocol manifest `crates/core/ATOMICS.toml`: per-field role,
+//!    permitted orderings per operation, release/acquire pairing partners, a
+//!    happens-before justification for every `Relaxed`/`SeqCst`, and the
+//!    loom model covering the protocol.
+//!
+//! Rules (stable ids, mirrored by fixtures under `crates/xtask/fixtures/`):
+//!
+//! - **`atomics-undeclared-field`** — an atomic field declared in enforced
+//!   source (`[scope] enforce` paths) with no manifest entry.
+//! - **`atomics-stale-entry`** — a manifest entry whose field no longer
+//!   exists in the source (or whose declared type disagrees).
+//! - **`atomics-ordering-mismatch`** — a call site whose ordering is not
+//!   permitted by the manifest for that operation, an operation the
+//!   manifest does not declare, or a non-literal ordering argument the
+//!   analyzer cannot check.
+//! - **`atomics-unresolved-receiver`** — an `Ordering`-bearing call site in
+//!   enforced source whose receiver cannot be traced to a declared field.
+//! - **`atomics-claim-relaxed-rmw`** — a `Relaxed` read-modify-write on a
+//!   `role = "claim"` field: claim arbitration relies on the RMW also
+//!   ordering the claimed payload, so `Relaxed` is never correct there.
+//! - **`atomics-missing-justification`** — `Relaxed` (or `SeqCst`)
+//!   permitted without a `relaxed_why` (`seqcst_why`) happens-before
+//!   justification.
+//! - **`atomics-unmatched-pairing`** — a field with release- or
+//!   acquire-side call sites whose pairing group (the field plus its
+//!   `pairs_with` partners) lacks the complementary side, or a
+//!   `pairs_with` reference that names no manifest entry.
+//! - **`atomics-stale-loom-model`** — a named loom model that no longer
+//!   exists in the models file, or an acquire/release protocol with no
+//!   `loom` key at all (stale-coverage detection, mirroring the
+//!   stale-SAFETY rule of `xtask lint`).
+//! - **`atomics-role`** — an unknown `role`, or an `audit`-role field
+//!   (diagnostic-only, must never carry a happens-before edge) permitting
+//!   anything stronger than `Relaxed`.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+use crate::lexer::{self, Tok, TokKind};
+use crate::lint::Finding;
+use crate::toml_lite;
+
+/// Atomic type names recognized by the inventory.
+pub const ATOMIC_TYPES: &[&str] = &[
+    "AtomicBool",
+    "AtomicU8",
+    "AtomicU16",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicUsize",
+    "AtomicI8",
+    "AtomicI16",
+    "AtomicI32",
+    "AtomicI64",
+    "AtomicIsize",
+    "AtomicPtr",
+];
+
+/// Atomic operations whose call sites are inventoried. `compare_exchange*`
+/// and `fetch_update` take two orderings (success/failure), the rest one.
+pub const ATOMIC_METHODS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_nand",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+];
+
+const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Legal `role` values in the manifest.
+pub const ROLES: &[&str] = &[
+    "flag", "counter", "cursor", "claim", "clock", "head", "seqlock", "audit",
+];
+
+/// One declared atomic field (or static / local / param) in a source file.
+#[derive(Debug, Clone)]
+pub struct FieldDecl {
+    pub name: String,
+    pub ty: String,
+    /// 1-based line of the first declaration of this name in the file.
+    pub line: usize,
+}
+
+/// One atomic-operation call site with literal `Ordering` arguments.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// 1-based line.
+    pub line: usize,
+    /// The receiver identifier as written (before alias resolution).
+    pub receiver: String,
+    /// The declared field this receiver resolved to, if any.
+    pub resolved: Option<String>,
+    pub method: String,
+    /// Ordering idents in argument order (`["Release", "Relaxed"]` for a
+    /// `compare_exchange`). Empty if the site passes a non-literal ordering.
+    pub orderings: Vec<String>,
+}
+
+/// Inventory of one source file.
+#[derive(Debug, Clone)]
+pub struct FileAtomics {
+    pub rel: String,
+    pub decls: Vec<FieldDecl>,
+    pub sites: Vec<CallSite>,
+}
+
+// ---------------------------------------------------------------------------
+// Expression-level parsing
+// ---------------------------------------------------------------------------
+
+/// Index of the token matching the opener at `open` (forward scan).
+fn match_forward(toks: &[Tok], open: usize) -> Option<usize> {
+    let (o, c) = match toks[open].text.as_str() {
+        "(" => ("(", ")"),
+        "[" => ("[", "]"),
+        "{" => ("{", "}"),
+        _ => return None,
+    };
+    let mut depth = 0usize;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.text == o {
+            depth += 1;
+        } else if t.text == c {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Index of the token matching the closer at `close` (backward scan).
+fn match_backward(toks: &[Tok], close: usize) -> Option<usize> {
+    let (o, c) = match toks[close].text.as_str() {
+        ")" => ("(", ")"),
+        "]" => ("[", "]"),
+        "}" => ("{", "}"),
+        _ => return None,
+    };
+    let mut depth = 0usize;
+    for j in (0..=close).rev() {
+        if toks[j].text == c {
+            depth += 1;
+        } else if toks[j].text == o {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// The base collection identifier of an iterated expression: the last path
+/// segment before the first method call. `&self.counters` → `counters`,
+/// `stall_clocks.iter().zip(..)` → `stall_clocks`, `(0..n)` → `None`.
+fn expr_base(toks: &[Tok]) -> Option<String> {
+    let mut k = 0;
+    while k < toks.len() && matches!(toks[k].text.as_str(), "&" | "&&" | "mut" | "*") {
+        k += 1;
+    }
+    let mut best: Option<String> = None;
+    while k < toks.len() {
+        let t = &toks[k];
+        if t.kind != TokKind::Ident {
+            break;
+        }
+        // Stop before a call: `xs.iter()` — `iter` is a method, not a base.
+        if toks.get(k + 1).is_some_and(|n| n.text == "(") {
+            break;
+        }
+        if t.text != "self" {
+            best = Some(t.text.clone());
+        }
+        k += 1;
+        if toks.get(k).is_some_and(|n| n.text == ".") {
+            k += 1;
+        } else {
+            break;
+        }
+    }
+    best
+}
+
+/// A name → field binding valid over a token-index range (a `for` loop body
+/// or, for `let` aliases, the rest of the file).
+struct Binding {
+    name: String,
+    base: String,
+    start: usize,
+    end: usize,
+}
+
+/// Extracts `for` loop bindings: `for c in &self.xs { .. }` binds `c` → `xs`
+/// over the body; `for (a, b) in xs.iter().zip(ys.iter())` binds
+/// positionally; `.enumerate()` shifts the tuple pattern by one.
+fn for_bindings(toks: &[Tok], out: &mut Vec<Binding>) {
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Ident || toks[i].text != "for" {
+            continue;
+        }
+        let mut j = i + 1;
+        let mut names: Vec<Option<String>> = Vec::new();
+        if toks.get(j).is_some_and(|t| t.text == "(") {
+            let Some(close) = match_forward(toks, j) else {
+                continue;
+            };
+            for t in &toks[j + 1..close] {
+                if t.kind == TokKind::Ident && !matches!(t.text.as_str(), "mut" | "ref") {
+                    names.push(if t.text == "_" {
+                        None
+                    } else {
+                        Some(t.text.clone())
+                    });
+                }
+            }
+            j = close + 1;
+        } else {
+            while toks
+                .get(j)
+                .is_some_and(|t| matches!(t.text.as_str(), "&" | "mut"))
+            {
+                j += 1;
+            }
+            match toks.get(j) {
+                Some(t) if t.kind == TokKind::Ident && t.text != "_" => {
+                    names.push(Some(t.text.clone()));
+                    j += 1;
+                }
+                Some(t) if t.text == "_" => {
+                    names.push(None);
+                    j += 1;
+                }
+                _ => continue,
+            }
+        }
+        // Trait impls (`impl X for Y {`) have no `in`; skip them here.
+        if toks.get(j).is_none_or(|t| t.text != "in") {
+            continue;
+        }
+        j += 1;
+        let expr_start = j;
+        let mut depth = 0usize;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth = depth.saturating_sub(1),
+                "{" if depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        if j >= toks.len() {
+            continue;
+        }
+        let expr = &toks[expr_start..j];
+        let body_end = match_forward(toks, j).unwrap_or(toks.len() - 1);
+
+        let mut bases: Vec<String> = Vec::new();
+        if let Some(b) = expr_base(expr) {
+            bases.push(b);
+        }
+        for k in 0..expr.len() {
+            if expr[k].kind == TokKind::Ident
+                && expr[k].text == "zip"
+                && expr.get(k + 1).is_some_and(|t| t.text == "(")
+            {
+                if let Some(close) = match_forward(expr, k + 1) {
+                    if let Some(b) = expr_base(&expr[k + 2..close]) {
+                        bases.push(b);
+                    }
+                }
+            }
+        }
+        // `.enumerate()` prepends an index to the tuple: drop pattern slot 0.
+        let enumerated = (0..expr.len()).any(|k| {
+            expr[k].kind == TokKind::Ident
+                && expr[k].text == "enumerate"
+                && expr.get(k + 1).is_some_and(|t| t.text == "(")
+        });
+        let name_slots: Vec<Option<String>> = if enumerated && names.len() > 1 {
+            names[1..].to_vec()
+        } else {
+            names
+        };
+        for (slot, name) in name_slots.iter().enumerate() {
+            let (Some(name), Some(base)) = (name, bases.get(slot)) else {
+                continue;
+            };
+            out.push(Binding {
+                name: name.clone(),
+                base: base.clone(),
+                start: j,
+                end: body_end,
+            });
+        }
+    }
+}
+
+/// Extracts `let alias = … self.field …;` aliases of the forms
+/// `&self.f`, `&*self.f.get()`, `unsafe { &mut *self.f.get() }` — the
+/// patterns the core uses to name a plan-cell's contents once per call.
+fn let_aliases(toks: &[Tok], out: &mut Vec<Binding>) {
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Ident || toks[i].text != "let" {
+            continue;
+        }
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|t| t.text == "mut") {
+            j += 1;
+        }
+        let Some(name_tok) = toks.get(j) else {
+            continue;
+        };
+        if name_tok.kind != TokKind::Ident {
+            continue;
+        }
+        if toks.get(j + 1).is_none_or(|t| t.text != "=") {
+            continue;
+        }
+        // Collect rhs tokens until `;`, ignoring wrappers.
+        let mut rhs: Vec<&Tok> = Vec::new();
+        let mut k = j + 2;
+        while k < toks.len() && toks[k].text != ";" {
+            if !matches!(
+                toks[k].text.as_str(),
+                "unsafe" | "{" | "}" | "&" | "mut" | "*"
+            ) {
+                rhs.push(&toks[k]);
+            }
+            k += 1;
+        }
+        // `self . FIELD` or `self . FIELD . get ( )`
+        let texts: Vec<&str> = rhs.iter().map(|t| t.text.as_str()).collect();
+        let field = match texts.as_slice() {
+            ["self", ".", f] => Some(*f),
+            ["self", ".", f, ".", "get", "(", ")"] => Some(*f),
+            _ => None,
+        };
+        if let Some(field) = field {
+            out.push(Binding {
+                name: name_tok.text.clone(),
+                base: field.to_string(),
+                start: k,
+                end: toks.len(),
+            });
+        }
+    }
+}
+
+/// Finds atomic field declarations in the token stream.
+fn find_decls(toks: &[Tok], lines_len: usize) -> Vec<FieldDecl> {
+    let _ = lines_len;
+    let mut decls: Vec<FieldDecl> = Vec::new();
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    // Spans of `use …;` statements (the type names there are imports, not
+    // declarations).
+    let mut in_use = false;
+    let mut use_spans: Vec<bool> = vec![false; toks.len()];
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == TokKind::Ident && t.text == "use" {
+            in_use = true;
+        }
+        use_spans[i] = in_use;
+        if t.text == ";" {
+            in_use = false;
+        }
+    }
+
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || !ATOMIC_TYPES.contains(&t.text.as_str()) || use_spans[i] {
+            continue;
+        }
+        // Pattern A: `name: <type path containing AtomicT>` — walk backward
+        // over type-ish tokens to the introducing `:`.
+        let mut j = i;
+        let name = loop {
+            if j == 0 {
+                break None;
+            }
+            j -= 1;
+            let p = &toks[j];
+            let skip = matches!(p.kind, TokKind::Ident | TokKind::Lifetime)
+                || matches!(p.text.as_str(), "::" | "<" | ">" | "&" | "&&" | ",");
+            // `mut`/`dyn` are Idents and already skipped above.
+            if skip && p.text != ":" {
+                continue;
+            }
+            if p.text == ":" && j > 0 && toks[j - 1].kind == TokKind::Ident {
+                break Some(toks[j - 1].text.clone());
+            }
+            break None;
+        };
+        // Pattern B: `let name = AtomicT::new(..)`.
+        let name = name.or_else(|| {
+            if i >= 2 && toks[i - 1].text == "=" && toks[i - 2].kind == TokKind::Ident {
+                let k = i - 2;
+                let prev = if k >= 1 && toks[k - 1].text == "mut" {
+                    k.checked_sub(2)
+                } else {
+                    k.checked_sub(1)
+                };
+                if prev.is_some_and(|p| toks[p].text == "let") {
+                    return Some(toks[k].text.clone());
+                }
+            }
+            None
+        });
+        let Some(name) = name else { continue };
+        if seen.insert(name.clone()) {
+            decls.push(FieldDecl {
+                name,
+                ty: t.text.clone(),
+                line: t.line + 1,
+            });
+        }
+    }
+    decls
+}
+
+/// Resolves the receiver of the method call whose `.` precedes token
+/// `method_idx`: returns the receiver's final identifier and its index.
+fn receiver_of(toks: &[Tok], method_idx: usize) -> Option<(String, usize)> {
+    // toks[method_idx - 1] must be `.`.
+    let mut j = method_idx.checked_sub(2)?;
+    loop {
+        let t = &toks[j];
+        match t.text.as_str() {
+            "]" | ")" => {
+                let open = match_backward(toks, j)?;
+                if t.text == ")" {
+                    // Parenthesized receiver: `(*cell).field` style — take
+                    // the base of the inside.
+                    let inner = &toks[open + 1..j];
+                    return expr_base(inner).map(|b| (b, open));
+                }
+                j = open.checked_sub(1)?;
+            }
+            _ if t.kind == TokKind::Ident => return Some((t.text.clone(), j)),
+            _ => return None,
+        }
+    }
+}
+
+/// Analyzes one source file: declarations plus `Ordering`-bearing call
+/// sites, with receivers resolved through loop bindings and aliases.
+/// Everything at or below the bottom-of-file `#[cfg(test)]` module is
+/// skipped (test code exercises atomics freely).
+pub fn analyze_file(rel: &str, src: &str) -> FileAtomics {
+    let lines = lexer::scan(src);
+    let mut toks = lexer::tokenize(&lines);
+    // Bottom-of-file test module boundary (same convention as the lint).
+    if let Some(test_line) = lines
+        .iter()
+        .position(|l| l.code.contains("#[cfg(") && lexer::has_token(&l.code, "test"))
+    {
+        toks.retain(|t| t.line < test_line);
+    }
+
+    let decls = find_decls(&toks, lines.len());
+    let declared: BTreeSet<&str> = decls.iter().map(|d| d.name.as_str()).collect();
+
+    let mut bindings: Vec<Binding> = Vec::new();
+    for_bindings(&toks, &mut bindings);
+    let mut aliases: Vec<Binding> = Vec::new();
+    let_aliases(&toks, &mut aliases);
+
+    let resolve = |name: &str, idx: usize| -> Option<String> {
+        // Innermost enclosing loop binding first, then `let` aliases, then
+        // the name itself.
+        let mut cur = name.to_string();
+        if let Some(b) = bindings
+            .iter()
+            .filter(|b| b.name == cur && b.start <= idx && idx <= b.end)
+            .min_by_key(|b| b.end - b.start)
+        {
+            cur = b.base.clone();
+        }
+        if !declared.contains(cur.as_str()) {
+            if let Some(a) = aliases.iter().rfind(|a| a.name == cur && a.start <= idx) {
+                cur = a.base.clone();
+            }
+        }
+        declared.contains(cur.as_str()).then_some(cur)
+    };
+
+    let mut sites = Vec::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || !ATOMIC_METHODS.contains(&t.text.as_str()) {
+            continue;
+        }
+        if toks.get(i + 1).is_none_or(|n| n.text != "(") {
+            continue;
+        }
+        if i == 0 || toks[i - 1].text != "." {
+            continue; // associated calls (`mem::swap`) are not atomic ops
+        }
+        let Some(close) = match_forward(&toks, i + 1) else {
+            continue;
+        };
+        // Literal orderings at depth 1 of this call's own parentheses.
+        let mut orderings = Vec::new();
+        let mut depth = 1usize;
+        let mut k = i + 2;
+        while k < close {
+            match toks[k].text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "Ordering"
+                    if depth == 1
+                        && toks.get(k + 1).is_some_and(|t| t.text == "::")
+                        && toks
+                            .get(k + 2)
+                            .is_some_and(|t| ORDERINGS.contains(&t.text.as_str())) =>
+                {
+                    orderings.push(toks[k + 2].text.clone());
+                    k += 2;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let Some((receiver, ridx)) = receiver_of(&toks, i) else {
+            if !orderings.is_empty() {
+                sites.push(CallSite {
+                    line: t.line + 1,
+                    receiver: "<expr>".into(),
+                    resolved: None,
+                    method: t.text.clone(),
+                    orderings,
+                });
+            }
+            continue;
+        };
+        let resolved = resolve(&receiver, ridx);
+        if orderings.is_empty() && resolved.is_none() {
+            // Not an atomic call (`vec.swap(a, b)`, serde-style `load(path)`).
+            continue;
+        }
+        sites.push(CallSite {
+            line: t.line + 1,
+            receiver,
+            resolved,
+            method: t.text.clone(),
+            orderings,
+        });
+    }
+
+    FileAtomics {
+        rel: rel.to_string(),
+        decls,
+        sites,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Manifest
+// ---------------------------------------------------------------------------
+
+/// One `[[field]]` entry of `ATOMICS.toml`.
+#[derive(Debug, Clone)]
+pub struct FieldSpec {
+    pub file: String,
+    pub name: String,
+    pub ty: String,
+    pub role: String,
+    /// `(operation, permitted orderings)`; two-ordering ops encode
+    /// success/failure as `"Release/Relaxed"`.
+    pub ops: Vec<(String, Vec<String>)>,
+    pub pairs_with: Vec<String>,
+    pub relaxed_why: Option<String>,
+    pub seqcst_why: Option<String>,
+    pub loom: Option<String>,
+    pub line: usize,
+}
+
+/// The parsed protocol manifest.
+#[derive(Debug, Clone)]
+pub struct Manifest {
+    /// Path prefixes (workspace-relative) where every atomic must be
+    /// declared and every call site checked.
+    pub enforce: Vec<String>,
+    /// Workspace-relative path of the loom models file.
+    pub models_path: String,
+    pub fields: Vec<FieldSpec>,
+}
+
+fn valid_ordering_list(vals: &[String]) -> bool {
+    vals.iter().all(|v| {
+        let mut parts = v.split('/');
+        parts.clone().count() <= 2 && parts.all(|p| ORDERINGS.contains(&p))
+    })
+}
+
+/// Parses and structurally validates the manifest text.
+pub fn parse_manifest(src: &str) -> Result<Manifest, String> {
+    let tables = toml_lite::parse(src)?;
+    let mut manifest = Manifest {
+        enforce: vec!["crates/core/src/".to_string()],
+        models_path: "crates/core/tests/loom_models.rs".to_string(),
+        fields: Vec::new(),
+    };
+    for table in &tables {
+        match table.name.as_str() {
+            "" => {
+                if let Some((k, _, line)) = table.entries.first() {
+                    return Err(format!("line {line}: key `{k}` outside any table"));
+                }
+            }
+            "scope" => {
+                for (k, _, line) in &table.entries {
+                    match k.as_str() {
+                        "enforce" => {
+                            manifest.enforce = table.get_array("enforce").unwrap_or_default()
+                        }
+                        "models" => {
+                            manifest.models_path =
+                                table.get_str("models").unwrap_or_default().to_string()
+                        }
+                        other => return Err(format!("line {line}: unknown [scope] key `{other}`")),
+                    }
+                }
+            }
+            "field" if table.is_array => {
+                let mut spec = FieldSpec {
+                    file: String::new(),
+                    name: String::new(),
+                    ty: String::new(),
+                    role: String::new(),
+                    ops: Vec::new(),
+                    pairs_with: Vec::new(),
+                    relaxed_why: None,
+                    seqcst_why: None,
+                    loom: None,
+                    line: table.line,
+                };
+                for (k, v, line) in &table.entries {
+                    let as_str = || match v {
+                        toml_lite::Value::Str(s) => Ok(s.clone()),
+                        _ => Err(format!("line {line}: `{k}` must be a string")),
+                    };
+                    match k.as_str() {
+                        "file" => spec.file = as_str()?,
+                        "name" => spec.name = as_str()?,
+                        "type" => spec.ty = as_str()?,
+                        "role" => spec.role = as_str()?,
+                        "relaxed_why" => spec.relaxed_why = Some(as_str()?),
+                        "seqcst_why" => spec.seqcst_why = Some(as_str()?),
+                        "loom" => spec.loom = Some(as_str()?),
+                        "pairs_with" => {
+                            spec.pairs_with = table.get_array("pairs_with").unwrap_or_default()
+                        }
+                        op if ATOMIC_METHODS.contains(&op) => {
+                            let vals = table.get_array(op).unwrap_or_default();
+                            if !valid_ordering_list(&vals) {
+                                return Err(format!(
+                                    "line {line}: `{op}` has an invalid ordering (expected \
+                                     Relaxed/Acquire/Release/AcqRel/SeqCst, with `/` for \
+                                     success/failure pairs)"
+                                ));
+                            }
+                            spec.ops.push((op.to_string(), vals));
+                        }
+                        other => {
+                            return Err(format!("line {line}: unknown [[field]] key `{other}`"))
+                        }
+                    }
+                }
+                for (key, val) in [
+                    ("file", &spec.file),
+                    ("name", &spec.name),
+                    ("type", &spec.ty),
+                ] {
+                    if val.is_empty() {
+                        return Err(format!(
+                            "line {}: [[field]] missing required key `{key}`",
+                            table.line
+                        ));
+                    }
+                }
+                if spec.ops.is_empty() {
+                    return Err(format!(
+                        "line {}: [[field]] `{}` declares no operations",
+                        table.line, spec.name
+                    ));
+                }
+                manifest.fields.push(spec);
+            }
+            other => return Err(format!("line {}: unknown table `{other}`", table.line)),
+        }
+    }
+    Ok(manifest)
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+fn ord_is(ord: &str, any_of: &[&str]) -> bool {
+    any_of.contains(&ord)
+}
+
+/// Success ordering of a site (first literal; for CAS the success slot).
+fn success_ord(site: &CallSite) -> Option<&str> {
+    site.orderings.first().map(String::as_str)
+}
+
+fn is_rmw(method: &str) -> bool {
+    !matches!(method, "load" | "store")
+}
+
+/// Does this call site publish (release side of an edge)?
+fn is_release_site(site: &CallSite) -> bool {
+    let Some(ord) = success_ord(site) else {
+        return false;
+    };
+    match site.method.as_str() {
+        "load" => false,
+        "store" => ord_is(ord, &["Release", "SeqCst"]),
+        _ => ord_is(ord, &["Release", "AcqRel", "SeqCst"]),
+    }
+}
+
+/// Does this call site observe (acquire side of an edge)?
+fn is_acquire_site(site: &CallSite) -> bool {
+    let Some(ord) = success_ord(site) else {
+        return false;
+    };
+    match site.method.as_str() {
+        "store" => false,
+        "load" => ord_is(ord, &["Acquire", "SeqCst"]),
+        _ => {
+            ord_is(ord, &["Acquire", "AcqRel", "SeqCst"])
+                || site
+                    .orderings
+                    .get(1)
+                    .is_some_and(|f| ord_is(f, &["Acquire", "SeqCst"]))
+        }
+    }
+}
+
+fn finding(path: &str, line: usize, rule: &'static str, msg: String) -> Finding {
+    Finding {
+        path: path.to_string(),
+        line,
+        rule,
+        msg,
+    }
+}
+
+/// Resolves a `pairs_with` reference from `from` to a manifest field index:
+/// `"name"` (same file) or `"path/suffix.rs::name"`.
+fn resolve_pair<'m>(
+    manifest: &'m Manifest,
+    from: &FieldSpec,
+    reference: &str,
+) -> Option<&'m FieldSpec> {
+    let (fpart, name) = match reference.rsplit_once("::") {
+        Some((f, n)) => (Some(f), n),
+        None => (None, reference),
+    };
+    manifest.fields.iter().find(|s| {
+        s.name == name
+            && match fpart {
+                None => s.file == from.file,
+                Some(f) => s.file == f || s.file.ends_with(&format!("/{f}")),
+            }
+    })
+}
+
+/// Checks the inventory against the manifest. `loom_fns` is the set of test
+/// function names found in the models file; `manifest_path` labels
+/// manifest-level findings.
+pub fn check(
+    files: &[FileAtomics],
+    manifest: &Manifest,
+    loom_fns: &BTreeSet<String>,
+    manifest_path: &str,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let enforced = |rel: &str| manifest.enforce.iter().any(|p| rel.starts_with(p.as_str()));
+    let spec_of = |file: &str, name: &str| {
+        manifest
+            .fields
+            .iter()
+            .find(|s| s.file == file && s.name == name)
+    };
+
+    // --- Declarations vs manifest ---------------------------------------
+    for fa in files.iter().filter(|f| enforced(&f.rel)) {
+        for d in &fa.decls {
+            match spec_of(&fa.rel, &d.name) {
+                None => findings.push(finding(
+                    &fa.rel,
+                    d.line,
+                    "atomics-undeclared-field",
+                    format!(
+                        "atomic field `{}: {}` has no entry in the protocol manifest; declare \
+                         its role, permitted orderings, and justification in ATOMICS.toml",
+                        d.name, d.ty
+                    ),
+                )),
+                Some(spec) if spec.ty != d.ty => findings.push(finding(
+                    manifest_path,
+                    spec.line,
+                    "atomics-stale-entry",
+                    format!(
+                        "manifest declares `{}` as `{}` but the source declares `{}` \
+                         ({}:{})",
+                        spec.name, spec.ty, d.ty, fa.rel, d.line
+                    ),
+                )),
+                Some(_) => {}
+            }
+        }
+    }
+    for spec in &manifest.fields {
+        let exists = files
+            .iter()
+            .any(|f| f.rel == spec.file && f.decls.iter().any(|d| d.name == spec.name));
+        if !exists {
+            findings.push(finding(
+                manifest_path,
+                spec.line,
+                "atomics-stale-entry",
+                format!(
+                    "manifest entry `{}::{}` matches no declaration in the source",
+                    spec.file, spec.name
+                ),
+            ));
+        }
+    }
+
+    // --- Call sites vs manifest -----------------------------------------
+    for fa in files.iter().filter(|f| enforced(&f.rel)) {
+        for site in &fa.sites {
+            let Some(field) = &site.resolved else {
+                findings.push(finding(
+                    &fa.rel,
+                    site.line,
+                    "atomics-unresolved-receiver",
+                    format!(
+                        "cannot trace receiver `{}` of `.{}({})` to a declared atomic field; \
+                         name the field directly or extend the analyzer's alias forms",
+                        site.receiver,
+                        site.method,
+                        site.orderings.join(", ")
+                    ),
+                ));
+                continue;
+            };
+            let Some(spec) = spec_of(&fa.rel, field) else {
+                continue; // already reported as undeclared-field
+            };
+            if site.orderings.is_empty() {
+                findings.push(finding(
+                    &fa.rel,
+                    site.line,
+                    "atomics-ordering-mismatch",
+                    format!(
+                        "`{field}.{}` passes a non-literal `Ordering` the analyzer cannot \
+                         check; use a literal `Ordering::*`",
+                        site.method
+                    ),
+                ));
+                continue;
+            }
+            let ord_str = site.orderings.join("/");
+            match spec.ops.iter().find(|(op, _)| *op == site.method) {
+                None => findings.push(finding(
+                    &fa.rel,
+                    site.line,
+                    "atomics-ordering-mismatch",
+                    format!(
+                        "`{field}.{}` is not an operation the manifest declares for this \
+                         field (declared: {})",
+                        site.method,
+                        spec.ops
+                            .iter()
+                            .map(|(op, _)| op.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                )),
+                Some((_, permitted)) if !permitted.contains(&ord_str) => findings.push(finding(
+                    &fa.rel,
+                    site.line,
+                    "atomics-ordering-mismatch",
+                    format!(
+                        "`{field}.{}(Ordering::{ord_str})` disagrees with the manifest \
+                             (permitted: {})",
+                        site.method,
+                        permitted.join(", ")
+                    ),
+                )),
+                Some(_) => {}
+            }
+            // Claim discipline: an RMW that arbitrates ownership must also
+            // order the claimed payload — Relaxed can win the claim yet read
+            // stale data.
+            if spec.role == "claim"
+                && is_rmw(&site.method)
+                && success_ord(site).is_some_and(|o| o == "Relaxed")
+            {
+                findings.push(finding(
+                    &fa.rel,
+                    site.line,
+                    "atomics-claim-relaxed-rmw",
+                    format!(
+                        "`Relaxed` read-modify-write on claim-discipline field `{field}`: \
+                         the winning claim must order the claimed payload (use AcqRel)",
+                    ),
+                ));
+            }
+        }
+    }
+
+    // --- Manifest-level rules -------------------------------------------
+    for spec in &manifest.fields {
+        let all_orderings: Vec<&str> = spec
+            .ops
+            .iter()
+            .flat_map(|(_, perms)| perms.iter())
+            .flat_map(|p| p.split('/'))
+            .collect();
+        if !ROLES.contains(&spec.role.as_str()) {
+            findings.push(finding(
+                manifest_path,
+                spec.line,
+                "atomics-role",
+                format!(
+                    "`{}` has unknown role `{}` (expected one of: {})",
+                    spec.name,
+                    spec.role,
+                    ROLES.join(", ")
+                ),
+            ));
+        }
+        if spec.role == "audit" && all_orderings.iter().any(|o| *o != "Relaxed") {
+            findings.push(finding(
+                manifest_path,
+                spec.line,
+                "atomics-role",
+                format!(
+                    "audit-role field `{}` permits orderings stronger than Relaxed; audit \
+                     words are diagnostic-only and must never carry a happens-before edge",
+                    spec.name
+                ),
+            ));
+        }
+        if spec.role == "claim" {
+            for (op, perms) in &spec.ops {
+                if is_rmw(op) && perms.iter().any(|p| p.split('/').next() == Some("Relaxed")) {
+                    findings.push(finding(
+                        manifest_path,
+                        spec.line,
+                        "atomics-claim-relaxed-rmw",
+                        format!(
+                            "manifest permits `Relaxed` `{op}` on claim-discipline field \
+                             `{}`",
+                            spec.name
+                        ),
+                    ));
+                }
+            }
+        }
+        if all_orderings.contains(&"Relaxed") && spec.relaxed_why.is_none() {
+            findings.push(finding(
+                manifest_path,
+                spec.line,
+                "atomics-missing-justification",
+                format!(
+                    "`{}` permits `Relaxed` without a `relaxed_why` happens-before \
+                     justification",
+                    spec.name
+                ),
+            ));
+        }
+        if all_orderings.contains(&"SeqCst") && spec.seqcst_why.is_none() {
+            findings.push(finding(
+                manifest_path,
+                spec.line,
+                "atomics-missing-justification",
+                format!(
+                    "`{}` permits `SeqCst` without a `seqcst_why` justification (SeqCst is \
+                     almost never required; explain the total-order dependence)",
+                    spec.name
+                ),
+            ));
+        }
+        let has_sync_ordering = all_orderings
+            .iter()
+            .any(|o| matches!(*o, "Acquire" | "Release" | "AcqRel" | "SeqCst"));
+        match &spec.loom {
+            None if has_sync_ordering => findings.push(finding(
+                manifest_path,
+                spec.line,
+                "atomics-stale-loom-model",
+                format!(
+                    "`{}` participates in an acquire/release protocol but names no `loom` \
+                     model covering it",
+                    spec.name
+                ),
+            )),
+            Some(model) if !loom_fns.contains(model) => findings.push(finding(
+                manifest_path,
+                spec.line,
+                "atomics-stale-loom-model",
+                format!(
+                    "`{}` cites loom model `{model}`, which no longer exists in the models \
+                     file",
+                    spec.name
+                ),
+            )),
+            _ => {}
+        }
+        for reference in &spec.pairs_with {
+            if resolve_pair(manifest, spec, reference).is_none() {
+                findings.push(finding(
+                    manifest_path,
+                    spec.line,
+                    "atomics-unmatched-pairing",
+                    format!(
+                        "`{}` pairs_with `{reference}`, which matches no manifest entry",
+                        spec.name
+                    ),
+                ));
+            }
+        }
+    }
+
+    // --- Pairing groups: every observed edge needs both sides ------------
+    // Union fields into groups via `pairs_with` (symmetric closure).
+    let n = manifest.fields.len();
+    let mut group: Vec<usize> = (0..n).collect();
+    fn root(group: &mut [usize], mut i: usize) -> usize {
+        while group[i] != i {
+            group[i] = group[group[i]];
+            i = group[i];
+        }
+        i
+    }
+    for i in 0..n {
+        for reference in manifest.fields[i].pairs_with.clone() {
+            if let Some(other) = resolve_pair(manifest, &manifest.fields[i], &reference) {
+                let j = manifest
+                    .fields
+                    .iter()
+                    .position(|s| std::ptr::eq(s, other))
+                    .unwrap_or(i);
+                let (ri, rj) = (root(&mut group, i), root(&mut group, j));
+                group[ri] = rj;
+            }
+        }
+    }
+    let mut group_sites: BTreeMap<usize, (bool, bool)> = BTreeMap::new();
+    for fa in files {
+        for site in &fa.sites {
+            let Some(field) = &site.resolved else {
+                continue;
+            };
+            let Some(idx) = manifest
+                .fields
+                .iter()
+                .position(|s| s.file == fa.rel && s.name == *field)
+            else {
+                continue;
+            };
+            let r = root(&mut group, idx);
+            let e = group_sites.entry(r).or_insert((false, false));
+            e.0 |= is_release_site(site);
+            e.1 |= is_acquire_site(site);
+        }
+    }
+    for (r, (has_rel, has_acq)) in &group_sites {
+        if *has_rel != *has_acq {
+            let members: Vec<String> = (0..n)
+                .filter(|i| root(&mut group, *i) == *r)
+                .map(|i| format!("{}::{}", manifest.fields[i].file, manifest.fields[i].name))
+                .collect();
+            let missing = if *has_rel { "acquire" } else { "release" };
+            findings.push(finding(
+                manifest_path,
+                manifest.fields[*r].line,
+                "atomics-unmatched-pairing",
+                format!(
+                    "pairing group {{{}}} has {}-side call sites but no matching \
+                     {missing}-side call site anywhere in the inventory",
+                    members.join(", "),
+                    if *has_rel { "release" } else { "acquire" },
+                ),
+            ));
+        }
+    }
+
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// Workspace entry point and report
+// ---------------------------------------------------------------------------
+
+/// Test-function names in the loom models file.
+pub fn loom_fn_names(src: &str) -> BTreeSet<String> {
+    let lines = lexer::scan(src);
+    let toks = lexer::tokenize(&lines);
+    let mut out = BTreeSet::new();
+    for i in 0..toks.len().saturating_sub(1) {
+        if toks[i].kind == TokKind::Ident
+            && toks[i].text == "fn"
+            && toks[i + 1].kind == TokKind::Ident
+        {
+            out.insert(toks[i + 1].text.clone());
+        }
+    }
+    out
+}
+
+/// Summary statistics of a workspace run, for the report and CLI output.
+#[derive(Debug)]
+pub struct Summary {
+    pub files_scanned: usize,
+    pub fields_declared: usize,
+    pub sites_checked: usize,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the machine-readable inventory report (hand-rolled JSON; the
+/// workspace builds without serde by policy).
+pub fn render_report(
+    files: &[FileAtomics],
+    manifest: &Manifest,
+    findings: &[Finding],
+    summary: &Summary,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"unison-atomics-inventory-v1\",\n");
+    out.push_str(&format!(
+        "  \"files_scanned\": {},\n  \"fields_declared\": {},\n  \"sites_checked\": {},\n",
+        summary.files_scanned, summary.fields_declared, summary.sites_checked
+    ));
+    out.push_str("  \"fields\": [\n");
+    let mut first = true;
+    for fa in files {
+        for d in &fa.decls {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let role = manifest
+                .fields
+                .iter()
+                .find(|s| s.file == fa.rel && s.name == d.name)
+                .map(|s| s.role.as_str())
+                .unwrap_or("");
+            out.push_str(&format!(
+                "    {{\"file\": \"{}\", \"name\": \"{}\", \"type\": \"{}\", \"line\": {}, \
+                 \"role\": \"{}\"}}",
+                json_escape(&fa.rel),
+                json_escape(&d.name),
+                json_escape(&d.ty),
+                d.line,
+                json_escape(role)
+            ));
+        }
+    }
+    out.push_str("\n  ],\n  \"call_sites\": [\n");
+    first = true;
+    for fa in files {
+        for s in &fa.sites {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let ords: Vec<String> = s
+                .orderings
+                .iter()
+                .map(|o| format!("\"{}\"", json_escape(o)))
+                .collect();
+            out.push_str(&format!(
+                "    {{\"file\": \"{}\", \"line\": {}, \"field\": \"{}\", \"method\": \"{}\", \
+                 \"orderings\": [{}]}}",
+                json_escape(&fa.rel),
+                s.line,
+                json_escape(s.resolved.as_deref().unwrap_or(&s.receiver)),
+                json_escape(&s.method),
+                ords.join(", ")
+            ));
+        }
+    }
+    out.push_str("\n  ],\n  \"findings\": [\n");
+    first = true;
+    for f in findings {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&format!(
+            "    {{\"path\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"msg\": \"{}\"}}",
+            json_escape(&f.path),
+            f.line,
+            f.rule,
+            json_escape(&f.msg)
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// The workspace-relative manifest location.
+pub const MANIFEST_REL: &str = "crates/core/ATOMICS.toml";
+
+/// Runs the full pass over the workspace at `root`. Returns the findings,
+/// summary, and rendered report, or an `Err` for infrastructure problems
+/// (missing/unparseable manifest, IO).
+pub fn atomics_workspace(root: &Path) -> Result<(Vec<Finding>, Summary, String), String> {
+    let manifest_path = root.join(MANIFEST_REL);
+    let manifest_src = std::fs::read_to_string(&manifest_path)
+        .map_err(|e| format!("cannot read {MANIFEST_REL}: {e}"))?;
+    let manifest = parse_manifest(&manifest_src).map_err(|e| format!("{MANIFEST_REL}: {e}"))?;
+
+    let models_src = std::fs::read_to_string(root.join(&manifest.models_path))
+        .map_err(|e| format!("cannot read loom models `{}`: {e}", manifest.models_path))?;
+    let loom_fns = loom_fn_names(&models_src);
+
+    let sources = crate::lint::collect_sources(root).map_err(|e| format!("workspace walk: {e}"))?;
+    // Inventory covers `src/` trees only: test and bench code may use
+    // atomics freely (loom models deliberately re-implement protocols).
+    let files: Vec<FileAtomics> = sources
+        .iter()
+        .filter(|(rel, _)| rel.starts_with("src/") || rel.contains("/src/"))
+        .map(|(rel, src)| analyze_file(rel, src))
+        .collect();
+
+    let findings = check(&files, &manifest, &loom_fns, MANIFEST_REL);
+    let summary = Summary {
+        files_scanned: files.len(),
+        fields_declared: files.iter().map(|f| f.decls.len()).sum(),
+        sites_checked: files.iter().map(|f| f.sites.len()).sum(),
+    };
+    let report = render_report(&files, &manifest, &findings, &summary);
+    Ok((findings, summary, report))
+}

@@ -30,9 +30,54 @@ impl Line {
     }
 
     /// True if the code on this line is only an attribute (`#[…]`/`#![…]`).
+    ///
+    /// Token-aware: a line like `#[inline] fn helper() {}` carries code
+    /// *after* the attribute and is NOT attribute-only (a naive
+    /// starts-with-`#[` check let such lines leak a stale `// SAFETY:`
+    /// comment through to an unrelated construct below — see the
+    /// `stale_safety_attr_code` regression fixture). A line that *opens* a
+    /// multi-line attribute (`#[cfg(` with the `]` on a later line) still
+    /// counts as attribute-only.
     pub fn is_attr_only(&self) -> bool {
-        let t = self.code.trim();
-        !t.is_empty() && (t.starts_with("#[") || t.starts_with("#!["))
+        let toks = tokenize_code(&self.code);
+        if toks.is_empty() {
+            return false;
+        }
+        let mut i = 0;
+        while i < toks.len() {
+            if toks[i].text != "#" {
+                return false;
+            }
+            i += 1;
+            if i < toks.len() && toks[i].text == "!" {
+                i += 1;
+            }
+            if i >= toks.len() || toks[i].text != "[" {
+                return false;
+            }
+            let mut depth = 0usize;
+            loop {
+                if i >= toks.len() {
+                    // Attribute opened but not closed on this line: the
+                    // attribute continues on the next physical line, so by
+                    // construction there is no trailing code here.
+                    return true;
+                }
+                match toks[i].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        }
+        true
     }
 
     /// True if the line has neither code nor comment.
@@ -192,26 +237,168 @@ fn is_ident_char(ch: char) -> bool {
     ch.is_alphanumeric() || ch == '_'
 }
 
-/// Char offsets of identifier-boundary occurrences of `word` in `code`.
-pub fn find_tokens(code: &str, word: &str) -> Vec<usize> {
+/// Token classes produced by [`tokenize`]/[`tokenize_code`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `AtomicU64`, `self`, …).
+    Ident,
+    /// Numeric literal (digit-initial run of alphanumerics/underscores).
+    Num,
+    /// Lifetime (`'a` — a quote followed by identifier chars, no close).
+    Lifetime,
+    /// A (content-stripped) string or char literal delimiter pair.
+    Str,
+    /// Punctuation. `::` is one token; everything else is a single char.
+    Punct,
+}
+
+/// One lexical token. `line` is the 0-based index into the [`scan`] output
+/// (always 0 for [`tokenize_code`]); `col` is the char offset within that
+/// line's `code` text, comparable with [`find_tokens`] offsets.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: usize,
+    pub col: usize,
+}
+
+fn tokenize_into(code: &str, line: usize, out: &mut Vec<Tok>) {
     let chars: Vec<char> = code.chars().collect();
-    let wchars: Vec<char> = word.chars().collect();
-    let mut out = Vec::new();
-    if wchars.is_empty() || chars.len() < wchars.len() {
-        return out;
-    }
-    for start in 0..=(chars.len() - wchars.len()) {
-        if chars[start..start + wchars.len()] != wchars[..] {
+    let n = chars.len();
+    let mut i = 0;
+    while i < n {
+        let ch = chars[i];
+        if ch.is_whitespace() {
+            i += 1;
             continue;
         }
-        let before_ok = start == 0 || !is_ident_char(chars[start - 1]);
-        let end = start + wchars.len();
-        let after_ok = end == chars.len() || !is_ident_char(chars[end]);
-        if before_ok && after_ok {
-            out.push(start);
+        let col = i;
+        if ch.is_alphabetic() || ch == '_' {
+            let mut text = String::new();
+            while i < n && is_ident_char(chars[i]) {
+                text.push(chars[i]);
+                i += 1;
+            }
+            out.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line,
+                col,
+            });
+        } else if ch.is_ascii_digit() {
+            let mut text = String::new();
+            while i < n && is_ident_char(chars[i]) {
+                text.push(chars[i]);
+                i += 1;
+            }
+            out.push(Tok {
+                kind: TokKind::Num,
+                text,
+                line,
+                col,
+            });
+        } else if ch == '\'' {
+            // In stripped code a char literal is exactly `''`; `'a` with no
+            // adjacent close quote is a lifetime.
+            if chars.get(i + 1) == Some(&'\'') {
+                out.push(Tok {
+                    kind: TokKind::Str,
+                    text: "''".into(),
+                    line,
+                    col,
+                });
+                i += 2;
+            } else if chars
+                .get(i + 1)
+                .is_some_and(|c| c.is_alphabetic() || *c == '_')
+            {
+                let mut text = String::from("'");
+                i += 1;
+                while i < n && is_ident_char(chars[i]) {
+                    text.push(chars[i]);
+                    i += 1;
+                }
+                out.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text,
+                    line,
+                    col,
+                });
+            } else {
+                out.push(Tok {
+                    kind: TokKind::Punct,
+                    text: "'".into(),
+                    line,
+                    col,
+                });
+                i += 1;
+            }
+        } else if ch == '"' {
+            // Stripped strings are bare delimiter pairs; a lone `"` opens or
+            // closes a multi-line string on this line.
+            if chars.get(i + 1) == Some(&'"') {
+                out.push(Tok {
+                    kind: TokKind::Str,
+                    text: "\"\"".into(),
+                    line,
+                    col,
+                });
+                i += 2;
+            } else {
+                out.push(Tok {
+                    kind: TokKind::Str,
+                    text: "\"".into(),
+                    line,
+                    col,
+                });
+                i += 1;
+            }
+        } else if ch == ':' && chars.get(i + 1) == Some(&':') {
+            out.push(Tok {
+                kind: TokKind::Punct,
+                text: "::".into(),
+                line,
+                col,
+            });
+            i += 2;
+        } else {
+            out.push(Tok {
+                kind: TokKind::Punct,
+                text: ch.to_string(),
+                line,
+                col,
+            });
+            i += 1;
         }
     }
+}
+
+/// Tokenizes one line of already-stripped code (a [`Line::code`] string).
+pub fn tokenize_code(code: &str) -> Vec<Tok> {
+    let mut out = Vec::new();
+    tokenize_into(code, 0, &mut out);
     out
+}
+
+/// Tokenizes a whole scanned file into a flat token stream. This is the
+/// shared front end for both the lint rules and the atomics expression
+/// parser: everything downstream works on the same `Tok` values.
+pub fn tokenize(lines: &[Line]) -> Vec<Tok> {
+    let mut out = Vec::new();
+    for (i, l) in lines.iter().enumerate() {
+        tokenize_into(&l.code, i, &mut out);
+    }
+    out
+}
+
+/// Char offsets of identifier-boundary occurrences of `word` in `code`.
+pub fn find_tokens(code: &str, word: &str) -> Vec<usize> {
+    tokenize_code(code)
+        .iter()
+        .filter(|t| matches!(t.kind, TokKind::Ident | TokKind::Num) && t.text == word)
+        .map(|t| t.col)
+        .collect()
 }
 
 /// True if `code` contains `word` as a whole identifier token.
@@ -256,6 +443,61 @@ mod tests {
         assert!(!has_token(&lines[0].code, "unsafe"));
         assert!(has_token(&lines[0].code, "y"));
         assert!(lines[0].comment.contains("inner unsafe"));
+    }
+
+    #[test]
+    fn tokenizer_splits_paths_and_numbers() {
+        let toks = tokenize_code("self.head.compare_exchange(cur, 0, Ordering::Release)");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            [
+                "self",
+                ".",
+                "head",
+                ".",
+                "compare_exchange",
+                "(",
+                "cur",
+                ",",
+                "0",
+                ",",
+                "Ordering",
+                "::",
+                "Release",
+                ")"
+            ]
+        );
+        assert_eq!(toks[11].kind, TokKind::Punct, "`::` is one token");
+        assert_eq!(toks[8].kind, TokKind::Num);
+    }
+
+    #[test]
+    fn tokenizer_lifetimes_and_stripped_literals() {
+        let lines = scan("fn f<'a>(x: &'a str) { let c = 'u'; let s = \"x\"; }\n");
+        let toks = tokenize(&lines);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "'a"));
+        // Stripped char/string literals come through as bare delimiters.
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text == "''"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text == "\"\""));
+        assert!(!has_token(&lines[0].code, "u"), "char content stripped");
+    }
+
+    #[test]
+    fn attr_only_rejects_trailing_code() {
+        // The regression the tokenizer unification surfaced: a line that
+        // STARTS with an attribute but carries code after it must not count
+        // as attribute-only, or marker-comment association walks through it.
+        let lines = scan("#[inline] fn helper() {}\n#[inline]\n#[cfg(all(\n");
+        assert!(!lines[0].is_attr_only(), "attr with trailing code");
+        assert!(lines[1].is_attr_only(), "plain attr");
+        assert!(lines[2].is_attr_only(), "multi-line attr opener");
     }
 
     #[test]

@@ -1,8 +1,17 @@
-//! Workspace automation tasks (the `cargo xtask` pattern): a custom
-//! static-analysis pass enforcing the concurrency-safety conventions of the
-//! lock-free kernel. See [`lint`] for the rules and `cargo xtask lint` to
-//! run them; fixtures demonstrating each failure mode live under
-//! `crates/xtask/fixtures/` and are exercised by this crate's tests.
+//! Workspace automation tasks (the `cargo xtask` pattern): custom
+//! static-analysis passes enforcing the concurrency-safety conventions of
+//! the lock-free kernel.
+//!
+//! - [`lint`] — six convention rules (`cargo xtask lint`).
+//! - [`atomics`] — the memory-ordering protocol analyzer checking every
+//!   atomic field and call site against `crates/core/ATOMICS.toml`
+//!   (`cargo xtask atomics`).
+//!
+//! Both passes share the tokenizer in [`lexer`]; fixtures demonstrating
+//! each failure mode live under `crates/xtask/fixtures/` and are exercised
+//! by this crate's tests.
 
+pub mod atomics;
 pub mod lexer;
 pub mod lint;
+pub mod toml_lite;

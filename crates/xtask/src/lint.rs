@@ -129,31 +129,16 @@ fn unwrap_allowed(rel: &str) -> bool {
 /// `Some("{")` for a block, `Some("impl")`, `Some("fn")`, etc.
 fn token_after_unsafe(lines: &[Line], line: usize, col: usize) -> Option<String> {
     let mut li = line;
-    // Start right after the `unsafe` keyword on its line.
-    let mut chars: Vec<char> = lines[li].code.chars().collect();
-    let mut ci = col + "unsafe".len();
     loop {
-        while ci < chars.len() && chars[ci].is_whitespace() {
-            ci += 1;
-        }
-        if ci < chars.len() {
-            let ch = chars[ci];
-            if ch.is_alphanumeric() || ch == '_' {
-                let mut word = String::new();
-                while ci < chars.len() && (chars[ci].is_alphanumeric() || chars[ci] == '_') {
-                    word.push(chars[ci]);
-                    ci += 1;
-                }
-                return Some(word);
+        for t in lexer::tokenize_code(&lines[li].code) {
+            if li > line || t.col > col {
+                return Some(t.text);
             }
-            return Some(ch.to_string());
         }
         li += 1;
         if li >= lines.len() {
             return None;
         }
-        chars = lines[li].code.chars().collect();
-        ci = 0;
     }
 }
 
@@ -188,14 +173,18 @@ fn has_safety_comment(lines: &[Line], line: usize) -> bool {
 }
 
 /// True if the token at char offset `col` is a method call receiver — the
-/// nearest non-whitespace char before it on the line is `.` (multi-line
-/// chains keep the dot on the call's line in this codebase's style).
+/// token immediately before it on the line is `.` (multi-line chains keep
+/// the dot on the call's line in this codebase's style).
 fn is_method_call(code: &str, col: usize) -> bool {
-    code.chars()
-        .take(col)
-        .collect::<String>()
-        .trim_end()
-        .ends_with('.')
+    let toks = lexer::tokenize_code(code);
+    let mut prev: Option<String> = None;
+    for t in toks {
+        if t.col == col {
+            return prev.as_deref() == Some(".");
+        }
+        prev = Some(t.text);
+    }
+    false
 }
 
 /// Lints a single file's source text. `rel` is the workspace-relative path
@@ -399,12 +388,14 @@ fn crate_root_of(rel: &str) -> Option<String> {
     Some(format!("{prefix}src/"))
 }
 
-/// Runs all rules over every `.rs` file under `root`.
-pub fn lint_workspace(root: &Path) -> std::io::Result<(Vec<Finding>, usize)> {
+/// Collects every `.rs` file under `root` (same walk and skip list as the
+/// lint pass) as `(workspace-relative path, source text)` pairs. Shared by
+/// `lint_workspace` and the atomics analyzer so both passes see exactly the
+/// same file set.
+pub fn collect_sources(root: &Path) -> std::io::Result<Vec<(String, String)>> {
     let mut files = Vec::new();
     walk_rs(root, root, &mut files)?;
-    let mut findings = Vec::new();
-    let mut sources: Vec<(String, String)> = Vec::new();
+    let mut sources = Vec::new();
     for path in &files {
         let rel = path
             .strip_prefix(root)
@@ -412,8 +403,17 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<(Vec<Finding>, usize)> {
             .to_string_lossy()
             .replace('\\', "/");
         let src = std::fs::read_to_string(path)?;
-        findings.extend(lint_file(&rel, &src));
         sources.push((rel, src));
+    }
+    Ok(sources)
+}
+
+/// Runs all rules over every `.rs` file under `root`.
+pub fn lint_workspace(root: &Path) -> std::io::Result<(Vec<Finding>, usize)> {
+    let sources = collect_sources(root)?;
+    let mut findings = Vec::new();
+    for (rel, src) in &sources {
+        findings.extend(lint_file(rel, src));
     }
 
     // Rule 5: group `src/` files by crate and check the root attribute.

@@ -2,49 +2,66 @@
 //!
 //! Subcommands:
 //!
-//! - `lint` — run the custom static-analysis pass over every `.rs` file in
-//!   the workspace (see `xtask::lint` for the rules). Exits non-zero if any
+//! - `lint` — run the convention lint rules over every `.rs` file in the
+//!   workspace (see `xtask::lint` for the rules). Exits non-zero if any
 //!   finding is reported, so it can gate CI.
+//! - `atomics [--report <path>]` — run the memory-ordering protocol
+//!   analyzer against `crates/core/ATOMICS.toml` (see `xtask::atomics`).
+//!   `--report` additionally writes the machine-readable JSON inventory
+//!   (fields, call sites, findings) to `<path>`, e.g. for the CI artifact.
 
 use std::process::ExitCode;
 
-use xtask::lint;
+use xtask::{atomics, lint};
+
+const USAGE: &str = "usage: cargo xtask <lint | atomics [--report <path>]>
+  lint     check the workspace against the concurrency-convention lint rules
+  atomics  check every atomic field and Ordering against crates/core/ATOMICS.toml";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(),
+        Some("atomics") => run_atomics(&args[1..]),
         Some(other) => {
             eprintln!("xtask: unknown task `{other}`");
-            eprintln!("usage: cargo xtask lint");
+            eprintln!("{USAGE}");
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("usage: cargo xtask lint");
+            eprintln!("{USAGE}");
             ExitCode::FAILURE
         }
     }
 }
 
-fn run_lint() -> ExitCode {
+fn workspace_root(task: &str) -> Option<std::path::PathBuf> {
     let cwd = match std::env::current_dir() {
         Ok(d) => d,
         Err(e) => {
-            eprintln!("xtask lint: cannot read current dir: {e}");
-            return ExitCode::FAILURE;
+            eprintln!("xtask {task}: cannot read current dir: {e}");
+            return None;
         }
     };
-    let Some(root) = lint::find_workspace_root(&cwd) else {
+    let root = lint::find_workspace_root(&cwd);
+    if root.is_none() {
         eprintln!(
-            "xtask lint: no workspace root found above {}",
+            "xtask {task}: no workspace root found above {}",
             cwd.display()
         );
+    }
+    root
+}
+
+fn run_lint() -> ExitCode {
+    let Some(root) = workspace_root("lint") else {
         return ExitCode::FAILURE;
     };
     match lint::lint_workspace(&root) {
         Ok((findings, checked)) => {
             if findings.is_empty() {
                 println!("xtask lint: OK ({checked} files checked)");
+                println!("hint: `cargo xtask atomics` checks the memory-ordering contract");
                 ExitCode::SUCCESS
             } else {
                 for f in &findings {
@@ -59,6 +76,69 @@ fn run_lint() -> ExitCode {
         }
         Err(e) => {
             eprintln!("xtask lint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_atomics(args: &[String]) -> ExitCode {
+    let mut report_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--report" => {
+                let Some(p) = args.get(i + 1) else {
+                    eprintln!("xtask atomics: --report requires a path");
+                    return ExitCode::FAILURE;
+                };
+                report_path = Some(p.clone());
+                i += 2;
+            }
+            other => {
+                eprintln!("xtask atomics: unknown argument `{other}`");
+                eprintln!("{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(root) = workspace_root("atomics") else {
+        return ExitCode::FAILURE;
+    };
+    match atomics::atomics_workspace(&root) {
+        Ok((findings, summary, report)) => {
+            if let Some(path) = report_path {
+                if let Err(e) = std::fs::write(&path, report) {
+                    eprintln!("xtask atomics: cannot write report {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("xtask atomics: inventory report written to {path}");
+            }
+            if findings.is_empty() {
+                println!(
+                    "xtask atomics: OK ({} fields, {} call sites across {} files checked \
+                     against {})",
+                    summary.fields_declared,
+                    summary.sites_checked,
+                    summary.files_scanned,
+                    atomics::MANIFEST_REL
+                );
+                ExitCode::SUCCESS
+            } else {
+                for f in &findings {
+                    eprintln!("{f}");
+                }
+                eprintln!(
+                    "xtask atomics: {} finding(s) ({} fields, {} call sites in {} files)",
+                    findings.len(),
+                    summary.fields_declared,
+                    summary.sites_checked,
+                    summary.files_scanned
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("xtask atomics: {e}");
             ExitCode::FAILURE
         }
     }

@@ -1,0 +1,278 @@
+//! A dependency-free parser for the TOML subset used by `ATOMICS.toml`.
+//!
+//! The workspace builds offline with no third-party crates, so the atomics
+//! manifest sticks to a deliberately small grammar and this module parses
+//! exactly that:
+//!
+//! - `# comment` lines and blank lines,
+//! - `[table]` and `[[array-of-tables]]` headers (bare-key names with `.`,
+//!   `-`, `_` allowed),
+//! - `key = "string"` with `\"`, `\\`, `\n`, `\t` escapes,
+//! - `key = ["a", "b"]` arrays of strings, which may span multiple lines
+//!   until the closing `]`.
+//!
+//! Anything else (inline tables, numbers, dates, dotted keys) is a parse
+//! error with a line number, which is the right behavior for a reviewed
+//! protocol manifest: unknown syntax should fail loudly, not be guessed at.
+
+/// A parsed value: the manifest only ever holds strings and string arrays.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    Str(String),
+    Array(Vec<String>),
+}
+
+/// One `[name]` / `[[name]]` table with its key-value entries in file order.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Header name; `""` for the implicit root table before any header.
+    pub name: String,
+    /// True for `[[name]]` (array-of-tables) headers.
+    pub is_array: bool,
+    /// 1-based line of the header (or 1 for the implicit root table).
+    pub line: usize,
+    /// `(key, value, 1-based line)` in file order.
+    pub entries: Vec<(String, Value, usize)>,
+}
+
+impl Table {
+    /// The first value for `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _, _)| k == key).map(|e| &e.1)
+    }
+
+    /// The value for `key` as a string, if present and a string.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        match self.get(key) {
+            Some(Value::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value for `key` as an array, if present (a bare string is
+    /// accepted as a one-element array for ergonomic single-value keys).
+    pub fn get_array(&self, key: &str) -> Option<Vec<String>> {
+        match self.get(key) {
+            Some(Value::Array(v)) => Some(v.clone()),
+            Some(Value::Str(s)) => Some(vec![s.clone()]),
+            None => None,
+        }
+    }
+}
+
+fn err(line: usize, msg: &str) -> String {
+    format!("line {line}: {msg}")
+}
+
+/// Strips a trailing `# comment` from a line, respecting string quotes.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, ch) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match ch {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn valid_key(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.'))
+}
+
+/// Parses one double-quoted string starting at `s` (which must begin with
+/// `"`). Returns the decoded string and the rest of the input after the
+/// closing quote.
+fn parse_string(s: &str, line: usize) -> Result<(String, &str), String> {
+    let mut out = String::new();
+    let mut chars = s.char_indices();
+    match chars.next() {
+        Some((_, '"')) => {}
+        _ => return Err(err(line, "expected `\"`")),
+    }
+    while let Some((i, ch)) = chars.next() {
+        match ch {
+            '"' => return Ok((out, &s[i + 1..])),
+            '\\' => match chars.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, other)) => {
+                    return Err(err(line, &format!("unsupported escape `\\{other}`")))
+                }
+                None => return Err(err(line, "dangling `\\` in string")),
+            },
+            _ => out.push(ch),
+        }
+    }
+    Err(err(line, "unterminated string"))
+}
+
+/// Parses manifest text into tables (see module docs for the grammar).
+pub fn parse(src: &str) -> Result<Vec<Table>, String> {
+    let mut tables: Vec<Table> = Vec::new();
+    let mut current = Table {
+        name: String::new(),
+        is_array: false,
+        line: 1,
+        entries: Vec::new(),
+    };
+    let lines: Vec<&str> = src.lines().collect();
+    let mut i = 0;
+    while i < lines.len() {
+        let lineno = i + 1;
+        let raw = strip_comment(lines[i]).trim();
+        i += 1;
+        if raw.is_empty() {
+            continue;
+        }
+        if let Some(head) = raw.strip_prefix("[[") {
+            let Some(name) = head.strip_suffix("]]") else {
+                return Err(err(lineno, "malformed `[[table]]` header"));
+            };
+            let name = name.trim();
+            if !valid_key(name) {
+                return Err(err(lineno, &format!("invalid table name `{name}`")));
+            }
+            tables.push(std::mem::replace(
+                &mut current,
+                Table {
+                    name: name.to_string(),
+                    is_array: true,
+                    line: lineno,
+                    entries: Vec::new(),
+                },
+            ));
+            continue;
+        }
+        if let Some(head) = raw.strip_prefix('[') {
+            let Some(name) = head.strip_suffix(']') else {
+                return Err(err(lineno, "malformed `[table]` header"));
+            };
+            let name = name.trim();
+            if !valid_key(name) {
+                return Err(err(lineno, &format!("invalid table name `{name}`")));
+            }
+            tables.push(std::mem::replace(
+                &mut current,
+                Table {
+                    name: name.to_string(),
+                    is_array: false,
+                    line: lineno,
+                    entries: Vec::new(),
+                },
+            ));
+            continue;
+        }
+        let Some(eq) = raw.find('=') else {
+            return Err(err(lineno, &format!("expected `key = value`, got `{raw}`")));
+        };
+        let key = raw[..eq].trim();
+        if !valid_key(key) {
+            return Err(err(lineno, &format!("invalid key `{key}`")));
+        }
+        let mut rest = raw[eq + 1..].trim().to_string();
+        if rest.starts_with('"') {
+            let (s, tail) = parse_string(&rest, lineno)?;
+            if !tail.trim().is_empty() {
+                return Err(err(lineno, "trailing text after string value"));
+            }
+            current
+                .entries
+                .push((key.to_string(), Value::Str(s), lineno));
+        } else if rest.starts_with('[') {
+            // Accumulate lines until the closing `]` (arrays may span lines).
+            while !rest.contains(']') {
+                if i >= lines.len() {
+                    return Err(err(lineno, "unterminated array"));
+                }
+                rest.push(' ');
+                rest.push_str(strip_comment(lines[i]).trim());
+                i += 1;
+            }
+            let body = rest.trim();
+            let Some(body) = body.strip_prefix('[').and_then(|b| b.strip_suffix(']')) else {
+                return Err(err(lineno, "trailing text after array value"));
+            };
+            let mut items = Vec::new();
+            let mut cur = body.trim();
+            while !cur.is_empty() {
+                let (s, tail) = parse_string(cur, lineno)?;
+                items.push(s);
+                cur = tail.trim();
+                if let Some(t) = cur.strip_prefix(',') {
+                    cur = t.trim();
+                } else if !cur.is_empty() {
+                    return Err(err(lineno, "expected `,` between array items"));
+                }
+            }
+            current
+                .entries
+                .push((key.to_string(), Value::Array(items), lineno));
+        } else {
+            return Err(err(
+                lineno,
+                &format!("unsupported value `{rest}` (only strings and string arrays)"),
+            ));
+        }
+    }
+    tables.push(current);
+    Ok(tables)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tables_strings_and_arrays() {
+        let src = "\
+# comment
+[scope]
+enforce = [\"crates/core/src\"] # trailing comment
+
+[[field]]
+name = \"head\"
+load = [\n  \"Acquire\",\n  \"Relaxed\",\n]
+why = \"a \\\"quoted\\\" reason\"
+";
+        let tables = parse(src).unwrap();
+        assert_eq!(tables.len(), 3, "root + scope + field");
+        let scope = &tables[1];
+        assert_eq!(scope.name, "scope");
+        assert_eq!(
+            scope.get_array("enforce").unwrap(),
+            vec!["crates/core/src".to_string()]
+        );
+        let field = &tables[2];
+        assert!(field.is_array);
+        assert_eq!(field.get_str("name"), Some("head"));
+        assert_eq!(
+            field.get_array("load").unwrap(),
+            vec!["Acquire".to_string(), "Relaxed".to_string()]
+        );
+        assert_eq!(field.get_str("why"), Some("a \"quoted\" reason"));
+    }
+
+    #[test]
+    fn rejects_unsupported_syntax_with_line_numbers() {
+        assert!(parse("x = 1\n").unwrap_err().contains("line 1"));
+        assert!(parse("[t]\nk = { a = 1 }\n")
+            .unwrap_err()
+            .contains("line 2"));
+        assert!(parse("k = \"unterminated\n")
+            .unwrap_err()
+            .contains("line 1"));
+        assert!(parse("[bad name]\n").unwrap_err().contains("line 1"));
+    }
+}

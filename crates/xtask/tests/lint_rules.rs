@@ -70,6 +70,27 @@ fn stale_safety_comment_is_flagged() {
 }
 
 #[test]
+fn attr_line_with_trailing_code_breaks_safety_association() {
+    // Regression: `#[inline] pub fn ...` used to count as attribute-only,
+    // letting a SAFETY comment above it leak down to an unrelated
+    // `unsafe impl`. Exactly the first impl must be flagged; the second
+    // (true attribute-only line between comment and keyword) stays clean.
+    let f = lint_file(
+        "crates/core/src/kernel/fixture.rs",
+        &fixture("stale_safety_attr_code.rs"),
+    );
+    assert_eq!(rules_of(&f), vec!["safety-comment"], "{f:?}");
+    assert!(
+        fixture("stale_safety_attr_code.rs")
+            .lines()
+            .nth(f[0].line - 1)
+            .unwrap()
+            .contains("Send"),
+        "flagged the wrong impl: {f:?}"
+    );
+}
+
+#[test]
 fn unsafe_outside_allowlist_is_flagged() {
     let f = lint_file(
         "crates/stats/src/fixture.rs",
