@@ -134,6 +134,7 @@ fn bench_fig12_family(c: &mut Criterion) {
                     metrics: MetricsLevel::Summary,
                     telemetry: Default::default(),
                     fel: Default::default(),
+                    fault: Default::default(),
                 })
                 .unwrap();
             black_box(res.kernel.node_switches())

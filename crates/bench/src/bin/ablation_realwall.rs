@@ -38,6 +38,7 @@ fn main() {
                     hosts: 2,
                     threads_per_host: 2,
                 },
+                fault: Default::default(),
                 partition: PartitionMode::Auto,
                 sched: SchedConfig::default(),
                 metrics: MetricsLevel::Summary,

@@ -13,6 +13,14 @@
 //! steal-deque vs. shared cursor, thread scaling), not absolute rates,
 //! across machines. The CI `perf-smoke` job regenerates the file as a
 //! build artifact on every run.
+//!
+//! With `--fault-profile` (requires the `fault-profile` cargo feature,
+//! which pulls in `unison-core/fault-inject`) the report additionally
+//! measures the resilience contract's cost (DESIGN.md §4.7): the same
+//! workload run plainly, under the resilient driver without faults
+//! (checkpoint-chain overhead), and under the driver with a mid-run
+//! injected worker panic (rollback + recovery overhead). Built without
+//! the feature, the `fault_profile` field is `null`.
 
 use unison_bench::harness::{bench_json_path, fat_tree_scenario, Scale, Scenario};
 use unison_core::{
@@ -114,6 +122,137 @@ fn sample_json(s: &Sample) -> String {
     )
 }
 
+/// The `--fault-profile` section: wall-clock cost of the resilience
+/// contract (DESIGN.md §4.7) on the 2-thread Unison configuration —
+/// plain run vs. resilient driver without faults vs. resilient driver
+/// recovering from an injected mid-run worker panic. The recovered
+/// world's digest is asserted identical to the unfailed one.
+#[cfg(feature = "fault-profile")]
+fn fault_profile_json(scenario: &Scenario) -> Option<String> {
+    use std::time::{Duration, Instant};
+
+    use unison_core::{
+        fault, CheckpointConfig, FaultPlan, MetricsLevel, RecoveryPolicy, RunConfig, RunPhase,
+        Snapshot, SnapshotWriter, World,
+    };
+    use unison_netsim::{NetNode, NetworkBuilder};
+
+    if !std::env::args().any(|a| a == "--fault-profile") {
+        return None;
+    }
+    let threads = 2usize;
+    let build = || {
+        let mut b = NetworkBuilder::new(&scenario.topo)
+            .transport(scenario.transport)
+            .traffic(&scenario.traffic)
+            .stop_at(scenario.stop);
+        if let Some(q) = scenario.queue {
+            b = b.queue(q);
+        }
+        b.build().world
+    };
+    let cfg = RunConfig {
+        kernel: KernelKind::Unison { threads },
+        partition: PartitionMode::Auto,
+        sched: SchedConfig::default(),
+        metrics: MetricsLevel::Summary,
+        telemetry: Default::default(),
+        fel: FelImpl::default(),
+        watchdog: Default::default(),
+        fault: Default::default(),
+    };
+    let digest = |w: &World<NetNode>| {
+        let mut wr = SnapshotWriter::new();
+        for n in w.nodes() {
+            n.save(&mut wr);
+        }
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in wr.into_bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    };
+
+    // Warmup (untimed): page-faults, allocator pools and branch state
+    // settle, so the three timed runs compare like for like.
+    unison_core::kernel::try_run(build(), &cfg).expect("warmup run");
+
+    // Plain run: the no-resilience baseline (also tells us the round
+    // count, so the injected panic lands mid-run).
+    let t0 = Instant::now();
+    let (_, rep_plain) = unison_core::kernel::try_run(build(), &cfg).expect("plain run");
+    let plain_wall = t0.elapsed();
+
+    let dir = std::env::temp_dir().join(format!("unison-faultprof-{}", std::process::id()));
+    let policy = RecoveryPolicy::new(CheckpointConfig::new(
+        Time(scenario.stop.as_nanos() / 4),
+        dir.clone(),
+    ))
+    .with_backoff_base(Duration::from_millis(1));
+
+    // Resilient driver, no faults: checkpoint-chain + driver overhead.
+    let t0 = Instant::now();
+    let (w_clean, _) = fault::run_resilient(build(), &cfg, &policy).expect("resilient run");
+    let resilient_wall = t0.elapsed();
+
+    // Resilient driver recovering from a worker panic halfway through.
+    let mut faulted_cfg = cfg.clone();
+    faulted_cfg.fault = FaultPlan::new().worker_panic(rep_plain.rounds / 2, RunPhase::Process, 0);
+    let t0 = Instant::now();
+    let (w_rec, rep_rec) =
+        fault::run_resilient(build(), &faulted_cfg, &policy).expect("recovered run");
+    let faulted_wall = t0.elapsed();
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert_eq!(
+        digest(&w_clean),
+        digest(&w_rec),
+        "recovered run diverged from the unfailed run"
+    );
+    let log = rep_rec.recovery.expect("resilient runs always carry a log");
+    assert!(log.rollback_count() > 0, "the injected panic never fired");
+    let rounds_lost: u64 = log.rollbacks.iter().map(|r| r.rounds_lost).sum();
+    eprintln!(
+        "bench_kernels: fault profile — plain {:.1} ms, resilient {:.1} ms, recovered {:.1} ms \
+         ({} rollback(s), {} rounds lost)",
+        plain_wall.as_secs_f64() * 1e3,
+        resilient_wall.as_secs_f64() * 1e3,
+        faulted_wall.as_secs_f64() * 1e3,
+        log.rollback_count(),
+        rounds_lost,
+    );
+    Some(format!(
+        "{{\n    \"threads\": {},\n    \"plain_wall_ns\": {},\n    \
+         \"resilient_wall_ns\": {},\n    \"faulted_wall_ns\": {},\n    \
+         \"rollbacks\": {},\n    \"rounds_lost\": {},\n    \
+         \"recovery_wall_ns\": {},\n    \"checkpoint_overhead\": {:.3},\n    \
+         \"recovery_overhead\": {:.3}\n  }}",
+        threads,
+        plain_wall.as_nanos(),
+        resilient_wall.as_nanos(),
+        faulted_wall.as_nanos(),
+        log.rollback_count(),
+        rounds_lost,
+        log.total_recovery_wall.as_nanos(),
+        resilient_wall.as_secs_f64() / plain_wall.as_secs_f64(),
+        faulted_wall.as_secs_f64() / plain_wall.as_secs_f64(),
+    ))
+}
+
+/// Built without the `fault-profile` feature: the section is always
+/// `null`, and asking for it on the command line gets a pointer to the
+/// feature instead of silence.
+#[cfg(not(feature = "fault-profile"))]
+fn fault_profile_json(_scenario: &Scenario) -> Option<String> {
+    if std::env::args().any(|a| a == "--fault-profile") {
+        eprintln!(
+            "bench_kernels: built without the `fault-profile` feature; \
+             rebuild with --features fault-profile to measure recovery overhead"
+        );
+    }
+    None
+}
+
 fn main() {
     let scale = Scale::from_args();
     let scenario = fat_tree_scenario(scale, 0.5, DataRate::gbps(100), Time::from_micros(3));
@@ -197,12 +336,14 @@ fn main() {
     eprintln!("bench_kernels: ladder/heap speedup at 2 threads: {speedup:.3}x");
     eprintln!("bench_kernels: steal-deque/ljf-cursor at 2 threads: {steal_over_ljf:.3}x");
 
+    let fault_profile = fault_profile_json(&scenario).unwrap_or_else(|| "null".into());
     let runs: Vec<String> = samples.iter().map(sample_json).collect();
     let json = format!(
-        "{{\n  \"schema\": \"unison-bench/kernels-v2\",\n  \
+        "{{\n  \"schema\": \"unison-bench/kernels-v3\",\n  \
          \"scale\": \"{}\",\n  \
          \"workload\": \"fat-tree k={} incast 0.5, 100 Gbps links, 3 us delay\",\n  \
          \"ladder_over_heap_2t\": {:.3},\n  \"steal_over_ljf_2t\": {:.3},\n  \
+         \"fault_profile\": {},\n  \
          \"runs\": [\n{}\n  ]\n}}\n",
         match scale {
             Scale::Quick => "quick",
@@ -211,6 +352,7 @@ fn main() {
         scale.pick(4, 8),
         speedup,
         steal_over_ljf,
+        fault_profile,
         runs.join(",\n"),
     );
 

@@ -46,6 +46,7 @@ fn main() {
                 metrics: MetricsLevel::PerRound,
                 telemetry: profile_telemetry(),
                 fel: Default::default(),
+                fault: Default::default(),
             })
             .expect("profiled run");
         export_profile(&res.kernel);

@@ -32,6 +32,7 @@ fn run_epoch(kernel: KernelKind, partition: PartitionMode) -> (u64, f64) {
             metrics: MetricsLevel::Summary,
             telemetry: profile_telemetry(),
             fel: Default::default(),
+            fault: Default::default(),
         })
         .expect("run");
     export_profile(&res.kernel);

@@ -46,6 +46,7 @@ fn main() {
                 metrics: MetricsLevel::Summary,
                 telemetry: profile_telemetry(),
                 fel: Default::default(),
+                fault: Default::default(),
             })
             .expect("run");
         export_profile(&res.kernel);

@@ -94,6 +94,7 @@ fn main() {
                 metrics: unison_core::MetricsLevel::PerRound,
                 telemetry: profile_telemetry(),
                 fel: Default::default(),
+                fault: Default::default(),
             })
             .expect("run");
         export_profile(&res.kernel);

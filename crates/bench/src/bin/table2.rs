@@ -83,6 +83,7 @@ fn main() {
                 metrics: MetricsLevel::Summary,
                 telemetry: profile_telemetry(),
                 fel: Default::default(),
+                fault: Default::default(),
             })
             .expect("sequential run");
         export_profile(&seq.kernel);

@@ -158,6 +158,7 @@ impl Scenario {
                 metrics: MetricsLevel::PerRound,
                 telemetry: profile_telemetry(),
                 fel: Default::default(),
+                fault: Default::default(),
             })
             // INVARIANT: bench models are closed and terminating; a crash
             // or stall here invalidates the measurement, so aborting with
@@ -210,6 +211,7 @@ impl Scenario {
                 metrics: MetricsLevel::Summary,
                 telemetry: profile_telemetry(),
                 fel,
+                fault: Default::default(),
             })
             // INVARIANT: bench models are closed and terminating; a crash
             // or stall here invalidates the measurement, so aborting with

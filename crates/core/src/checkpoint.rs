@@ -500,6 +500,95 @@ where
     })
 }
 
+/// Writes a t = 0 checkpoint of an un-run world and returns a world
+/// rebuilt from that same image — the caller's first attempt and any later
+/// rollback to t = 0 therefore start from byte-identical state. Used by
+/// [`fault::run_resilient`](crate::fault::run_resilient) so a failure
+/// before the first periodic checkpoint can still roll back.
+///
+/// `partition` must be the partition the run will execute under (it fixes
+/// the node → LP assignment recorded in the image). Fails with
+/// [`SnapshotError::Unsupported`] when the world carries user global
+/// events (closures do not serialize); install the checkpoint chain *after*
+/// this call.
+pub fn write_initial<N>(
+    world: World<N>,
+    partition: &crate::partition::Partition,
+    fel_impl: crate::fel::FelImpl,
+    path: &Path,
+) -> Result<World<N>, SnapshotError>
+where
+    N: SimNode + Snapshot,
+    N::Payload: Snapshot,
+{
+    if !world.init_globals.is_empty() {
+        return Err(SnapshotError::Unsupported(
+            "worlds with user global events cannot be checkpointed \
+             (global closures do not serialize; keep model state in nodes)"
+                .into(),
+        ));
+    }
+    let (lps, _dir, graph, globals, stop_at, ext_seq) =
+        crate::kernel::build_lps(world, partition, fel_impl);
+    debug_assert!(globals.is_empty(), "checked init_globals above");
+
+    let assignment: Vec<u32> = partition.node_lp.iter().map(|lp| lp.0).collect();
+    let node_count = assignment.len();
+    let mut lp_seqs = Vec::with_capacity(lps.len());
+    let mut events: Vec<&Event<N::Payload>> = Vec::new();
+    let mut node_refs: Vec<Option<&N>> = (0..node_count).map(|_| None).collect();
+    for (i, lp) in lps.iter().enumerate() {
+        lp_seqs.push(lp.seq);
+        events.extend(lp.fel.iter());
+        for (local, node) in lp.nodes.iter().enumerate() {
+            let id = partition.lp_nodes[i][local];
+            node_refs[id.index()] = Some(node);
+        }
+    }
+    events.sort_unstable_by_key(|e| e.key);
+    let nodes: Vec<&N> = node_refs
+        .into_iter()
+        // INVARIANT: the partition covers every node id exactly once
+        // (checked when it was built), so the loop above filled each slot.
+        .map(|n| n.expect("every node captured"))
+        .collect();
+
+    let img = StateImage::<N> {
+        time: Time::ZERO,
+        stop_at,
+        ext_seq,
+        assignment,
+        graph: &graph,
+        lp_seqs,
+        events,
+        nodes,
+    };
+    let bytes = encode_state(&img);
+    std::fs::write(path, &bytes)?;
+    drop(img);
+    drop(lps);
+    // Rebuild from the bytes just written rather than reassembling the
+    // input world: the returned world is exactly what a rollback to this
+    // checkpoint produces, so first attempt and replay cannot diverge.
+    Ok(decode_state::<N>(&bytes)?.world)
+}
+
+/// Every checkpoint file in `dir`, ascending by virtual time (zero-padded
+/// fixed-width names make lexicographic order numeric order). Files not
+/// matching the `ckpt-*.bin` pattern are ignored.
+pub fn list_checkpoints(dir: &Path) -> Result<Vec<PathBuf>, SnapshotError> {
+    let mut found = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.starts_with("ckpt-") && name.ends_with(".bin") {
+            found.push(path);
+        }
+    }
+    found.sort();
+    Ok(found)
+}
+
 /// Returns the most recent checkpoint file in `dir`, by virtual time.
 pub fn latest_checkpoint(dir: &Path) -> Result<Option<PathBuf>, SnapshotError> {
     let mut best: Option<PathBuf> = None;

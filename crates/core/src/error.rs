@@ -143,6 +143,16 @@ pub enum SimError {
     },
     /// Reading or decoding a checkpoint failed.
     Checkpoint(crate::checkpoint::SnapshotError),
+    /// A checkpoint file existed but its bytes failed validation (bad
+    /// magic, truncation, out-of-range references). Distinguished from
+    /// [`SimError::Checkpoint`] so callers — and
+    /// [`fault::run_resilient`](crate::fault::run_resilient), which skips
+    /// corrupt files and falls back to an older checkpoint — can tell
+    /// "disk said no" from "bytes are lying".
+    CorruptSnapshot {
+        /// Human-readable description of the validation failure.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -152,6 +162,9 @@ impl fmt::Display for SimError {
             SimError::WorkerPanic { diag, .. } => write!(f, "{diag}"),
             SimError::Stalled { diag, .. } => write!(f, "watchdog: {diag}"),
             SimError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+            SimError::CorruptSnapshot { detail } => {
+                write!(f, "corrupt snapshot: {detail}")
+            }
         }
     }
 }
@@ -166,7 +179,12 @@ impl From<KernelError> for SimError {
 
 impl From<crate::checkpoint::SnapshotError> for SimError {
     fn from(e: crate::checkpoint::SnapshotError) -> Self {
-        SimError::Checkpoint(e)
+        match e {
+            crate::checkpoint::SnapshotError::Corrupt(detail) => {
+                SimError::CorruptSnapshot { detail }
+            }
+            other => SimError::Checkpoint(other),
+        }
     }
 }
 

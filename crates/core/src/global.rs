@@ -28,6 +28,14 @@ pub type GlobalFn<N> = Box<dyn FnOnce(&mut WorldAccess<'_, N>) + Send>;
 pub(crate) struct CkptEnv<'a, N: SimNode> {
     pub mailboxes: &'a Mailboxes<N::Payload>,
     pub stop_at: Option<Time>,
+    /// The round-progress watchdog, paused for the duration of the write:
+    /// checkpoint serialization runs in-round on the main thread with wall
+    /// cost proportional to state size (and disk speed), which the deadline
+    /// must not count as a stall (DESIGN.md §4.7).
+    pub wd: &'a crate::kernel::watchdog::Watchdog,
+    /// The run's fault plan, for the injected checkpoint-write failure.
+    #[cfg_attr(not(feature = "fault-inject"), allow(dead_code))]
+    pub fault: &'a crate::fault::FaultPlan,
 }
 
 /// Exclusive, whole-world view handed to global events.
@@ -195,6 +203,17 @@ impl<'a, N: SimNode> WorldAccess<'a, N> {
                 ))
             }
         };
+        // Serialization + disk write can exceed any reasonable round
+        // deadline; suspend the watchdog until the write resolves. Every
+        // return path below must go through `unpause`.
+        env.wd.pause();
+        #[cfg(feature = "fault-inject")]
+        if env.fault.fire_ckpt_fail(self.now) {
+            env.wd.unpause();
+            return Err(SnapshotError::Io(std::io::Error::other(
+                "injected fault: checkpoint write failure",
+            )));
+        }
         let lp_count = self.lps.len();
         for dst in 0..lp_count {
             // SAFETY: `WorldAccess::new` guarantees main-thread exclusivity
@@ -245,7 +264,9 @@ impl<'a, N: SimNode> WorldAccess<'a, N> {
             nodes,
         };
         let bytes = checkpoint::encode_state(&img);
-        std::fs::write(path, bytes)?;
+        let written = std::fs::write(path, bytes);
+        env.wd.unpause();
+        written?;
         Ok(())
     }
 }

@@ -26,6 +26,7 @@ pub(crate) mod watchdog;
 use crate::error::SimError;
 
 use crate::event::{Event, EventKey, LpId, NodeId};
+use crate::fault::FaultPlan;
 use crate::fel::{Fel, FelImpl};
 use crate::global::GlobalFn;
 use crate::lp::{LpState, PendingGlobal};
@@ -154,6 +155,10 @@ pub struct RunConfig {
     /// therefore every digest — is identical for all implementations; the
     /// switch exists for A/B benchmarking (DESIGN.md §4.4).
     pub fel: FelImpl,
+    /// Deterministic fault-injection plan (default: empty). Inert unless
+    /// the `fault-inject` cargo feature compiled the kernel hooks in; see
+    /// DESIGN.md §4.7.
+    pub fault: FaultPlan,
 }
 
 impl Default for RunConfig {
@@ -173,6 +178,7 @@ impl RunConfig {
             watchdog: WatchdogConfig::default(),
             telemetry: TelemetryConfig::default(),
             fel: FelImpl::default(),
+            fault: FaultPlan::default(),
         }
     }
 
@@ -186,6 +192,7 @@ impl RunConfig {
             watchdog: WatchdogConfig::default(),
             telemetry: TelemetryConfig::default(),
             fel: FelImpl::default(),
+            fault: FaultPlan::default(),
         }
     }
 
@@ -199,6 +206,7 @@ impl RunConfig {
             watchdog: WatchdogConfig::default(),
             telemetry: TelemetryConfig::default(),
             fel: FelImpl::default(),
+            fault: FaultPlan::default(),
         }
     }
 
@@ -212,6 +220,7 @@ impl RunConfig {
             watchdog: WatchdogConfig::default(),
             telemetry: TelemetryConfig::default(),
             fel: FelImpl::default(),
+            fault: FaultPlan::default(),
         }
     }
 
@@ -258,6 +267,14 @@ impl RunConfig {
     /// either way).
     pub fn with_fel(mut self, fel: FelImpl) -> Self {
         self.fel = fel;
+        self
+    }
+
+    /// Attaches a deterministic fault-injection plan (DESIGN.md §4.7).
+    /// Without the `fault-inject` cargo feature the plan is carried but
+    /// never consulted — the kernel hooks are compiled out.
+    pub fn with_faults(mut self, fault: FaultPlan) -> Self {
+        self.fault = fault;
         self
     }
 }

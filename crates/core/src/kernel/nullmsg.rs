@@ -468,6 +468,7 @@ pub(super) fn run<N: SimNode>(
         sched: SchedStats::default(),
         rounds_profile: None,
         telemetry: telctx.collect(tels, sched_log),
+        recovery: None,
     };
     if let Some(diag) = failure.into_inner().unwrap_or_else(|e| e.into_inner()) {
         return Err(SimError::WorkerPanic {

@@ -304,6 +304,8 @@ pub(super) fn run_grouped<N: SimNode>(
                     let tel_start = tel.start();
                     let t0 = Instant::now();
                     let r = catch_unwind(AssertUnwindSafe(|| {
+                        #[cfg(feature = "fault-inject")]
+                        cfg.fault.fire_phase(round, RunPhase::Process, w);
                         process_phase(
                             slots,
                             mailboxes,
@@ -356,6 +358,11 @@ pub(super) fn run_grouped<N: SimNode>(
                     let tel_start = tel.start();
                     let t0 = Instant::now();
                     let r = catch_unwind(AssertUnwindSafe(|| {
+                        #[cfg(feature = "fault-inject")]
+                        {
+                            cfg.fault.fire_phase(round, RunPhase::Receive, w);
+                            cfg.fault.fire_stall(round, w);
+                        }
                         receive_phase(
                             slots,
                             mailboxes,
@@ -387,6 +394,8 @@ pub(super) fn run_grouped<N: SimNode>(
                             break;
                         }
                     }
+                    #[cfg(feature = "fault-inject")]
+                    cfg.fault.fire_barrier_delay(round, w);
                     wait_timed(barrier, &mut psm.s_ns, &mut tel, round, 3); // B3
                     if barrier.is_poisoned() {
                         break;
@@ -426,6 +435,8 @@ pub(super) fn run_grouped<N: SimNode>(
             let tel_start = main_tel.start();
             let t0 = Instant::now();
             let r = catch_unwind(AssertUnwindSafe(|| {
+                #[cfg(feature = "fault-inject")]
+                cfg.fault.fire_phase(rounds + 1, RunPhase::Process, 0);
                 process_phase(
                     &slots,
                     &mailboxes,
@@ -478,6 +489,8 @@ pub(super) fn run_grouped<N: SimNode>(
             let mut stopped = stop_flag.load(Ordering::Acquire);
             let site: Site = Cell::new((None, window_end));
             let r = catch_unwind(AssertUnwindSafe(|| {
+                #[cfg(feature = "fault-inject")]
+                cfg.fault.fire_phase(rounds + 1, RunPhase::Global, 0);
                 let mut topology_dirty = false;
                 for c in cursor_recv.iter() {
                     c.store(0, Ordering::Relaxed);
@@ -548,6 +561,8 @@ pub(super) fn run_grouped<N: SimNode>(
                                 Some(CkptEnv {
                                     mailboxes: &mailboxes,
                                     stop_at,
+                                    wd: &wd,
+                                    fault: &cfg.fault,
                                 }),
                             )
                         };
@@ -605,6 +620,11 @@ pub(super) fn run_grouped<N: SimNode>(
             let tel_start = main_tel.start();
             let t0 = Instant::now();
             let r = catch_unwind(AssertUnwindSafe(|| {
+                #[cfg(feature = "fault-inject")]
+                {
+                    cfg.fault.fire_phase(rounds + 1, RunPhase::Receive, 0);
+                    cfg.fault.fire_stall(rounds + 1, 0);
+                }
                 receive_phase(
                     &slots,
                     &mailboxes,
@@ -642,6 +662,8 @@ pub(super) fn run_grouped<N: SimNode>(
                     break;
                 }
             }
+            #[cfg(feature = "fault-inject")]
+            cfg.fault.fire_barrier_delay(rounds + 1, 0);
             wait_timed(&barrier, &mut main_psm.s_ns, &mut main_tel, rounds + 1, 3); // B3
             if barrier.is_poisoned() {
                 break;
@@ -863,6 +885,7 @@ pub(super) fn run_grouped<N: SimNode>(
         sched: sched_stats,
         rounds_profile,
         telemetry: telctx.collect(tels, sched_log),
+        recovery: None,
     };
     if let Some(diag) = failure.into_inner().unwrap_or_else(|e| e.into_inner()) {
         return Err(SimError::WorkerPanic {

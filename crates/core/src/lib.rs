@@ -62,6 +62,7 @@
 pub mod checkpoint;
 pub mod error;
 pub mod event;
+pub mod fault;
 pub mod fel;
 pub mod global;
 pub mod graph;
@@ -82,11 +83,14 @@ pub mod time;
 pub mod world;
 
 pub use checkpoint::{
-    latest_checkpoint, resume, schedule_checkpoints, CheckpointConfig, Resumed, Snapshot,
-    SnapshotError, SnapshotReader, SnapshotWriter,
+    latest_checkpoint, list_checkpoints, resume, schedule_checkpoints, CheckpointConfig, Resumed,
+    Snapshot, SnapshotError, SnapshotReader, SnapshotWriter,
 };
 pub use error::{FailureDiagnostics, RunPhase, SimError, StallDiagnostics};
 pub use event::{Event, EventKey, LpId, NodeId};
+pub use fault::{
+    run_resilient, FaultKind, FaultPlan, FaultSpec, RecoveryLog, RecoveryPolicy, RollbackRecord,
+};
 pub use fel::{Fel, FelImpl};
 pub use global::{GlobalFn, WorldAccess};
 pub use graph::{LinkGraph, LinkSpec};

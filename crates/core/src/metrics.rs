@@ -211,6 +211,11 @@ pub struct RunReport {
     /// was configured with `TelemetryConfig::enabled` (and the `telemetry`
     /// cargo feature is on). `None` otherwise.
     pub telemetry: Option<RunTelemetry>,
+    /// Rollback/retry history, when the run went through
+    /// [`fault::run_resilient`](crate::fault::run_resilient). `None` for
+    /// plain [`kernel::try_run`](crate::kernel::try_run) runs; `Some` with
+    /// an empty record list for a resilient run that never had to recover.
+    pub recovery: Option<crate::fault::RecoveryLog>,
 }
 
 impl RunReport {

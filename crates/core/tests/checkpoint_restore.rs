@@ -113,6 +113,7 @@ fn cfg(threads: usize, metric: SchedMetric) -> RunConfig {
         telemetry: Default::default(),
         fel: Default::default(),
         watchdog: Default::default(),
+        fault: Default::default(),
     }
 }
 
@@ -304,6 +305,7 @@ fn hybrid_kernel_supports_checkpoints() {
             hosts: 2,
             threads_per_host: 2,
         },
+        fault: Default::default(),
         ..cfg(1, SchedMetric::ByLastRoundTime)
     };
     let (w_hy, _) = kernel::try_run(world, &hy).unwrap();

@@ -320,5 +320,6 @@ fn world_cfg(kernel: KernelKind) -> RunConfig {
         telemetry: Default::default(),
         fel: Default::default(),
         watchdog: Default::default(),
+        fault: Default::default(),
     }
 }

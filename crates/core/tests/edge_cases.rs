@@ -86,6 +86,7 @@ fn single_lp_barrier_kernel_degenerates_gracefully() {
         metrics: MetricsLevel::Summary,
         telemetry: Default::default(),
         fel: Default::default(),
+        fault: Default::default(),
     };
     let (_, report) = kernel::run(world, &cfg).unwrap();
     assert_eq!(report.events, 25);
@@ -108,6 +109,7 @@ fn hybrid_clamps_host_count_to_lps() {
             hosts: 16,
             threads_per_host: 1,
         },
+        fault: Default::default(),
         partition: PartitionMode::Auto,
         sched: SchedConfig::default(),
         metrics: MetricsLevel::Summary,
@@ -129,6 +131,7 @@ fn manual_partition_wrong_length_is_rejected() {
         metrics: MetricsLevel::Summary,
         telemetry: Default::default(),
         fel: Default::default(),
+        fault: Default::default(),
     };
     let err = match kernel::run(one_node_world(1), &cfg) {
         Err(e) => e,

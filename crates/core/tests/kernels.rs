@@ -119,6 +119,7 @@ fn unison_matches_compat_sequential_bitwise() {
             metrics: MetricsLevel::Summary,
             telemetry: Default::default(),
             fel: Default::default(),
+            fault: Default::default(),
         },
     )
     .unwrap();
@@ -164,6 +165,7 @@ fn all_kernels_agree_on_event_totals() {
                 hosts: 2,
                 threads_per_host: 2,
             },
+            fault: Default::default(),
             partition: PartitionMode::Auto,
             sched: SchedConfig::default(),
             metrics: MetricsLevel::Summary,
@@ -194,6 +196,7 @@ fn hybrid_matches_unison_bitwise() {
                 hosts: 2,
                 threads_per_host: 2,
             },
+            fault: Default::default(),
             partition: PartitionMode::Auto,
             sched: SchedConfig::default(),
             metrics: MetricsLevel::Summary,
@@ -403,6 +406,7 @@ fn manual_partition_controls_lp_count() {
         metrics: MetricsLevel::Summary,
         telemetry: Default::default(),
         fel: Default::default(),
+        fault: Default::default(),
     };
     let (_, report) = kernel::run(ring_world(N, DELAY, TOKENS, STOP), &cfg).unwrap();
     assert_eq!(report.lp_count, 4);
@@ -421,6 +425,7 @@ fn partition_bound_sweeps_granularity() {
             metrics: MetricsLevel::Summary,
             telemetry: Default::default(),
             fel: Default::default(),
+            fault: Default::default(),
         };
         let (_, report) = kernel::run(ring_world(N, DELAY, TOKENS, STOP), &cfg).unwrap();
         assert_eq!(report.lp_count, expect, "bound {bound:?}");
@@ -469,6 +474,7 @@ fn psm_indexing_matches_kernel_family() {
                 hosts: 2,
                 threads_per_host: 2,
             },
+            fault: Default::default(),
             partition: PartitionMode::Auto,
             sched: SchedConfig::default(),
             metrics: MetricsLevel::Summary,

@@ -106,6 +106,7 @@ fn run(kernel_kind: KernelKind, partition: PartitionMode, sched: SchedConfig) ->
             metrics: Default::default(),
             telemetry: Default::default(),
             fel: Default::default(),
+            fault: Default::default(),
         },
     )
     .unwrap();
@@ -223,6 +224,7 @@ fn steal_deque_reports_scheduler_activity() {
             metrics: Default::default(),
             telemetry: Default::default(),
             fel: Default::default(),
+            fault: Default::default(),
         },
     )
     .unwrap();
@@ -244,6 +246,7 @@ fn steal_deque_reports_scheduler_activity() {
             metrics: Default::default(),
             telemetry: Default::default(),
             fel: Default::default(),
+            fault: Default::default(),
         },
     )
     .unwrap();

@@ -109,6 +109,7 @@ fn unison_cfg(threads: usize, metric: SchedMetric, telemetry: TelemetryConfig) -
         metrics: MetricsLevel::Summary,
         telemetry,
         fel: Default::default(),
+        fault: Default::default(),
     }
 }
 
@@ -141,6 +142,7 @@ fn telemetry_does_not_perturb_other_kernels() {
         metrics: MetricsLevel::Summary,
         telemetry,
         fel: Default::default(),
+        fault: Default::default(),
     };
     let kernels = [
         (

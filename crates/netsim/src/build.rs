@@ -335,6 +335,7 @@ impl NetSim {
             metrics: MetricsLevel::Summary,
             telemetry: Default::default(),
             fel: Default::default(),
+            fault: Default::default(),
         })
         .expect("valid default configuration")
     }

@@ -67,6 +67,8 @@ pub struct FlowReport {
     pub queued_packets: u64,
     /// Packets dropped for lack of a route.
     pub routing_drops: u64,
+    /// Packets dropped by injected loss bursts.
+    pub burst_drops: u64,
     /// Sender retransmissions.
     pub retransmits: u64,
     /// RTO timer fires.
@@ -106,6 +108,7 @@ impl FlowReport {
             report.rtt_ns.merge(&node.mon.rtt_ns);
             report.queue_delay_ns.merge(&node.mon.queue_delay_ns);
             report.routing_drops += node.mon.routing_drops;
+            report.burst_drops += node.mon.burst_drops;
             report.rto_fires += node.mon.rto_fires;
             for dev in &node.devices {
                 report.drops += dev.queue.drops;

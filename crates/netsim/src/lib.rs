@@ -12,8 +12,9 @@
 //! - TCP NewReno and DCTCP transports ([`tcp`]);
 //! - applications (finite TCP flows driven by `FlowStart` events);
 //! - deterministic, lock-free global flow monitoring ([`flowmon`]);
-//! - topology-change helpers for reconfigurable-DCN experiments
-//!   ([`reconfig`]).
+//! - topology-change helpers for reconfigurable-DCN experiments, plus a
+//!   deterministic simulated-network fault axis — link flaps, node
+//!   crashes, loss bursts ([`reconfig`]).
 //!
 //! The model is kernel-agnostic: a built [`NetSim`] runs unmodified on the
 //! sequential kernel, the barrier/null-message PDES baselines, or Unison —
@@ -55,9 +56,9 @@ pub mod trace;
 pub use app::{OnOffAction, OnOffApp, OnOffConfig};
 pub use build::{BuiltLink, NetSim, NetworkBuilder, RoutingKind, SimResult};
 pub use flowmon::{FlowReport, FlowStat};
-pub use node::{Device, NetEvent, NetNode};
+pub use node::{Device, LossState, NetEvent, NetNode};
 pub use packet::{FlowId, Packet, PacketKind, MSS};
 pub use queue::{Enqueue, Queue, QueueConfig};
-pub use reconfig::{recompute_static_routes, set_link_state};
+pub use reconfig::{install_faults, recompute_static_routes, set_link_state, NetFault};
 pub use tcp::{TcpConfig, TcpReceiver, TcpSender, TransportKind};
 pub use trace::{Trace, TraceBuffer, TraceEntry, TraceKind};

@@ -84,6 +84,21 @@ pub struct Device {
     pub link_id: usize,
 }
 
+/// Active deterministic loss burst on a node, installed and removed by the
+/// [`reconfig::install_faults`](crate::reconfig::install_faults) window
+/// globals: while present, every `period`-th packet the node routes is
+/// dropped. A plain counter — no randomness — so the exact same packets
+/// are lost at every thread count and on every rerun.
+#[derive(Debug, Clone, Copy)]
+pub struct LossState {
+    /// Drop every `period`-th routed packet.
+    pub period: u64,
+    /// Packets routed since the burst began.
+    pub counter: u64,
+}
+
+snapshot_struct!(LossState { period, counter });
+
 /// Receiver-side accounting of one UDP flow.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct UdpRx {
@@ -105,6 +120,8 @@ pub struct NodeMonitor {
     pub queue_delay_ns: Summary,
     /// Packets dropped for lack of a route (or a downed egress).
     pub routing_drops: u64,
+    /// Packets dropped by an injected loss burst ([`LossState`]).
+    pub burst_drops: u64,
     /// Retransmission timeouts fired.
     pub rto_fires: u64,
     /// Flows originated here.
@@ -135,6 +152,8 @@ pub struct NetNode {
     pub udp_rx: HashMap<FlowId, UdpRx>,
     /// Packet tracing, when enabled for this node.
     pub trace: Option<TraceBuffer>,
+    /// Injected loss burst, when one is active ([`LossState`]).
+    pub loss: Option<LossState>,
     /// Measurement shard.
     pub mon: NodeMonitor,
     next_sport: u16,
@@ -156,6 +175,7 @@ impl NetNode {
             apps: Vec::new(),
             udp_rx: HashMap::new(),
             trace: None,
+            loss: None,
             mon: NodeMonitor::default(),
             next_sport: 1_000,
             out_buf: Vec::new(),
@@ -236,6 +256,13 @@ impl NetNode {
 
     /// Routes `packet` towards its destination and sends it.
     fn route_and_send(&mut self, packet: Packet, ctx: &mut dyn SimCtx<Self>) {
+        if let Some(loss) = &mut self.loss {
+            loss.counter += 1;
+            if loss.counter % loss.period == 0 {
+                self.mon.burst_drops += 1;
+                return;
+            }
+        }
         let mut buf = [0u8; 16];
         let n = self.routing.lookup(packet.flow.dst, &mut buf);
         if n == 0 {
@@ -259,14 +286,29 @@ impl NetNode {
         self.out_buf = out;
     }
 
-    /// Ensures a single outstanding RTO timer for `flow`, with the deadline
+    /// Ensures an RTO timer event will fire no later than the deadline
     /// already stored in the sender.
+    ///
+    /// Lazy timer scheme with one twist: RTO estimates can *shrink* — the
+    /// first RTT sample replaces the conservative initial RTO, and a
+    /// post-backoff sample undoes the doubling — moving the deadline
+    /// earlier than the outstanding event. A scheme that never schedules
+    /// while `timer_pending` is set would then leave the only physical
+    /// event far in the future and the timeout would silently never fire.
+    /// Instead, schedule an additional earlier event and track its fire
+    /// time in `timer_at`; the superseded later event is ignored when it
+    /// arrives (see [`Self::on_rto_timer`]).
     fn arm_timer(&mut self, flow: FlowId, ctx: &mut dyn SimCtx<Self>) {
         let now = ctx.now();
         if let Some(s) = self.senders.get_mut(&flow) {
-            if !s.timer_pending && s.completed_at.is_none() {
+            if s.completed_at.is_some() {
+                return;
+            }
+            let delay = s.rto_deadline.saturating_sub(now).max(Time(1));
+            let fire_at = now + delay;
+            if !s.timer_pending || fire_at < s.timer_at {
                 s.timer_pending = true;
-                let delay = s.rto_deadline.saturating_sub(now).max(Time(1));
+                s.timer_at = fire_at;
                 ctx.schedule_self(delay, NetEvent::Rto { flow });
             }
         }
@@ -355,10 +397,16 @@ impl NetNode {
         let Some(sender) = self.senders.get_mut(&flow) else {
             return;
         };
-        sender.timer_pending = false;
         if sender.completed_at.is_some() {
+            sender.timer_pending = false;
             return;
         }
+        if now < sender.timer_at {
+            // A superseded event: the deadline moved earlier after this
+            // one was scheduled and a replacement owns the chain.
+            return;
+        }
+        sender.timer_pending = false;
         if now < sender.rto_deadline {
             // The deadline moved forward since this timer was scheduled.
             self.arm_timer(flow, ctx);
@@ -608,6 +656,7 @@ impl Snapshot for NodeMonitor {
         save_summary(&self.rtt_ns, w);
         save_summary(&self.queue_delay_ns, w);
         self.routing_drops.save(w);
+        self.burst_drops.save(w);
         self.rto_fires.save(w);
         self.flows_started.save(w);
         self.forwarded.save(w);
@@ -617,6 +666,7 @@ impl Snapshot for NodeMonitor {
             rtt_ns: load_summary(r)?,
             queue_delay_ns: load_summary(r)?,
             routing_drops: u64::load(r)?,
+            burst_drops: u64::load(r)?,
             rto_fires: u64::load(r)?,
             flows_started: u64::load(r)?,
             forwarded: u64::load(r)?,
@@ -638,6 +688,7 @@ impl Snapshot for NetNode {
         self.apps.save(w);
         save_map(&self.udp_rx, w);
         self.trace.save(w);
+        self.loss.save(w);
         self.mon.save(w);
         self.next_sport.save(w);
         self.out_buf.save(w);
@@ -654,6 +705,7 @@ impl Snapshot for NetNode {
             apps: Vec::load(r)?,
             udp_rx: load_map(r)?,
             trace: Option::load(r)?,
+            loss: Option::load(r)?,
             mon: NodeMonitor::load(r)?,
             next_sport: u16::load(r)?,
             out_buf: Vec::load(r)?,

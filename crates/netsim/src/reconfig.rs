@@ -1,15 +1,24 @@
-//! Topology-change helpers for global events (§4.2 dynamic topologies).
+//! Topology-change helpers for global events (§4.2 dynamic topologies)
+//! and the simulated-network fault axis (DESIGN.md §4.7).
 //!
 //! Reconfigurable-DCN experiments (Fig. 10d) and WAN convergence runs tear
 //! links down and bring them back mid-simulation. Both the model layer
 //! (device state, routing tables) and the kernel layer (link graph →
 //! lookahead) must see the change; these helpers do both sides from inside
 //! a global event.
+//!
+//! On top of the raw helpers, [`NetFault`] + [`install_faults`] describe a
+//! *schedule* of simulated network failures — link flaps, node
+//! crash/recovery, deterministic loss bursts — as global events keyed off
+//! virtual time. Globals execute at an exact point in the deterministic
+//! event order, so a fault schedule perturbs the simulation identically at
+//! every worker thread count and on every rerun; the golden-digest tests
+//! in `crates/netsim/tests/net_faults.rs` pin that invariant.
 
-use unison_core::{NodeId, WorldAccess};
+use unison_core::{NodeId, Time, WorldAccess};
 
-use crate::build::BuiltLink;
-use crate::node::NetNode;
+use crate::build::{BuiltLink, NetSim};
+use crate::node::{LossState, NetNode};
 use crate::route::{compute_static_tables, Routing};
 
 /// Administratively enables/disables a link: both endpoint devices change
@@ -49,6 +58,145 @@ pub fn recompute_static_routes(wa: &mut WorldAccess<'_, NetNode>) {
         let node = wa.node_mut(NodeId(i as u32));
         if matches!(node.routing, Routing::Static(_)) {
             node.routing = Routing::Static(table);
+        }
+    }
+}
+
+/// One simulated network failure on the fault axis, keyed off virtual
+/// time. Install with [`install_faults`].
+#[derive(Clone, Copy, Debug)]
+pub enum NetFault {
+    /// Link `link` (an index into [`NetSim::links`]) goes down at
+    /// `down_at` and is restored at `up_at`.
+    LinkFlap {
+        /// Index into [`NetSim::links`].
+        link: usize,
+        /// Failure time.
+        down_at: Time,
+        /// Restoration time.
+        up_at: Time,
+    },
+    /// Every link touching `node` goes down at `at` — the node falls off
+    /// the network — and is restored at `recover_at`.
+    NodeCrash {
+        /// Topology node index.
+        node: usize,
+        /// Crash time.
+        at: Time,
+        /// Recovery time.
+        recover_at: Time,
+    },
+    /// Between `from` and `until`, `node` drops every `period`-th packet
+    /// it routes (see [`LossState`]) — a congestion-free loss regime that
+    /// exercises retransmission paths without any randomness.
+    LossBurst {
+        /// Topology node index.
+        node: usize,
+        /// Burst start.
+        from: Time,
+        /// Burst end.
+        until: Time,
+        /// Drop every `period`-th routed packet.
+        period: u64,
+    },
+}
+
+/// Installs a fault schedule as global events on a built simulation.
+///
+/// Each fault becomes a pair of globals (inject, restore) that mutate both
+/// the model layer and — for topology faults — the kernel's link graph,
+/// then recompute static routes (RIP nodes converge on their own). Call
+/// before running; the schedule perturbs the run at exact virtual-time
+/// points, so results stay bit-identical across thread counts and reruns.
+///
+/// # Panics
+///
+/// On an out-of-range link/node index, a restore time not after the
+/// inject time, or a zero loss period — a fault plan that cannot mean
+/// anything is a harness bug, not a runtime condition.
+pub fn install_faults(sim: &mut NetSim, faults: &[NetFault]) {
+    let node_count = sim.world.node_count();
+    for fault in faults {
+        match *fault {
+            NetFault::LinkFlap {
+                link,
+                down_at,
+                up_at,
+            } => {
+                assert!(down_at < up_at, "link flap must restore after failing");
+                let l = sim.links[link];
+                sim.world.add_global_event(
+                    down_at,
+                    Box::new(move |wa| {
+                        set_link_state(wa, &l, false);
+                        recompute_static_routes(wa);
+                    }),
+                );
+                sim.world.add_global_event(
+                    up_at,
+                    Box::new(move |wa| {
+                        set_link_state(wa, &l, true);
+                        recompute_static_routes(wa);
+                    }),
+                );
+            }
+            NetFault::NodeCrash {
+                node,
+                at,
+                recover_at,
+            } => {
+                assert!(at < recover_at, "node crash must recover after failing");
+                assert!(node < node_count, "crash target {node} out of range");
+                let touching: Vec<BuiltLink> = sim
+                    .links
+                    .iter()
+                    .filter(|l| l.a == node || l.b == node)
+                    .copied()
+                    .collect();
+                assert!(!touching.is_empty(), "node {node} has no links to fail");
+                let restored = touching.clone();
+                sim.world.add_global_event(
+                    at,
+                    Box::new(move |wa| {
+                        for l in &touching {
+                            set_link_state(wa, l, false);
+                        }
+                        recompute_static_routes(wa);
+                    }),
+                );
+                sim.world.add_global_event(
+                    recover_at,
+                    Box::new(move |wa| {
+                        for l in &restored {
+                            set_link_state(wa, l, true);
+                        }
+                        recompute_static_routes(wa);
+                    }),
+                );
+            }
+            NetFault::LossBurst {
+                node,
+                from,
+                until,
+                period,
+            } => {
+                assert!(from < until, "loss burst must end after starting");
+                assert!(node < node_count, "loss target {node} out of range");
+                assert!(period > 0, "loss period must be positive");
+                sim.world.add_global_event(
+                    from,
+                    Box::new(move |wa| {
+                        wa.node_mut(NodeId(node as u32)).loss =
+                            Some(LossState { period, counter: 0 });
+                    }),
+                );
+                sim.world.add_global_event(
+                    until,
+                    Box::new(move |wa| {
+                        wa.node_mut(NodeId(node as u32)).loss = None;
+                    }),
+                );
+            }
         }
     }
 }

@@ -34,6 +34,11 @@ pub struct TcpConfig {
     pub init_cwnd: u32,
     /// Lower bound on the retransmission timeout.
     pub min_rto: Time,
+    /// RTO before the first valid RTT sample. Karn's rule never samples
+    /// retransmitted segments, so a flow that loses its whole first
+    /// window recovers at this timeout — a DCN profile wants it far below
+    /// the RFC 6298 conservative default.
+    pub initial_rto: Time,
     /// DCTCP's EWMA gain g.
     pub dctcp_g: f64,
     /// RFC 3042 limited transmit: send one new segment on each of the
@@ -48,6 +53,7 @@ impl TcpConfig {
             kind: TransportKind::NewReno,
             init_cwnd: 10,
             min_rto: Time::from_millis(200),
+            initial_rto: Time::from_millis(200),
             dctcp_g: 1.0 / 16.0,
             limited_transmit: true,
         }
@@ -58,6 +64,7 @@ impl TcpConfig {
     pub fn newreno_dcn() -> Self {
         TcpConfig {
             min_rto: Time::from_millis(1),
+            initial_rto: Time::from_millis(10),
             ..Self::newreno()
         }
     }
@@ -120,12 +127,19 @@ pub struct TcpSender {
     window_end: u64,
     /// Statistics: segments retransmitted.
     pub retransmits: u64,
-    /// RTO deadline managed by the owning node (lazy single-timer scheme:
-    /// at most one timer event is outstanding per flow; when it fires
-    /// before the deadline it is re-scheduled instead of acting).
+    /// RTO deadline managed by the owning node (lazy timer scheme: a
+    /// timer event that fires before the deadline is re-scheduled instead
+    /// of acting).
     pub rto_deadline: Time,
     /// Whether a timer event is currently outstanding.
     pub timer_pending: bool,
+    /// Virtual fire time of the tracked outstanding timer event. RTO
+    /// estimates can *shrink* (the first RTT sample replaces the
+    /// conservative initial RTO), moving the deadline earlier than an
+    /// already-scheduled event; the owning node then schedules a new,
+    /// earlier event and this field tracks it. Events arriving before
+    /// `timer_at` are superseded and ignored.
+    pub timer_at: Time,
     /// Set when the flow completed (all bytes ACKed).
     pub completed_at: Option<Time>,
     /// Time the first segment was sent.
@@ -147,7 +161,7 @@ impl TcpSender {
             state: CcState::Open,
             srtt_ns: 0.0,
             rttvar_ns: 0.0,
-            rto: Time::from_millis(200),
+            rto: cfg.initial_rto.max(cfg.min_rto),
             rto_gen: 0,
             alpha: 0.0,
             ce_bytes: 0,
@@ -156,6 +170,7 @@ impl TcpSender {
             retransmits: 0,
             rto_deadline: Time::MAX,
             timer_pending: false,
+            timer_at: Time::MAX,
             completed_at: None,
             first_sent: None,
         }
@@ -415,6 +430,7 @@ snapshot_struct!(TcpConfig {
     kind,
     init_cwnd,
     min_rto,
+    initial_rto,
     dctcp_g,
     limited_transmit
 });
@@ -461,6 +477,7 @@ snapshot_struct!(TcpSender {
     retransmits,
     rto_deadline,
     timer_pending,
+    timer_at,
     completed_at,
     first_sent
 });

@@ -36,6 +36,7 @@ fn unison_cfg(threads: usize) -> RunConfig {
         telemetry: Default::default(),
         fel: Default::default(),
         watchdog: Default::default(),
+        fault: Default::default(),
     }
 }
 

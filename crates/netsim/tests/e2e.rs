@@ -88,6 +88,7 @@ fn all_kernels_complete_the_same_flows() {
             metrics: MetricsLevel::Summary,
             telemetry: Default::default(),
             fel: Default::default(),
+            fault: Default::default(),
         })
         .unwrap();
     let nm = build()
@@ -99,6 +100,7 @@ fn all_kernels_complete_the_same_flows() {
             metrics: MetricsLevel::Summary,
             telemetry: Default::default(),
             fel: Default::default(),
+            fault: Default::default(),
         })
         .unwrap();
     assert_eq!(seq.flows.total_flows(), uni.flows.total_flows());
@@ -159,6 +161,7 @@ fn unison_matches_compat_sequential_on_network() {
             metrics: MetricsLevel::Summary,
             telemetry: Default::default(),
             fel: Default::default(),
+            fault: Default::default(),
         })
         .unwrap();
     let uni = build().run(KernelKind::Unison { threads: 4 });

@@ -113,6 +113,7 @@ fn main() -> ExitCode {
         kernel: KernelKind::Unison {
             threads: args.threads,
         },
+        fault: Default::default(),
         partition: PartitionMode::Auto,
         sched: SchedConfig::default(),
         metrics: MetricsLevel::PerRound,

@@ -34,6 +34,7 @@ fn run_profiled_sched(threads: usize, sched: SchedConfig) -> unison_core::RunRep
         metrics: MetricsLevel::PerRound,
         telemetry: TelemetryConfig::enabled(),
         fel: Default::default(),
+        fault: Default::default(),
     })
     .expect("scenario run")
     .kernel

@@ -1,0 +1,35 @@
+//! Fixture: every fault-injection hook call is feature-gated (rule 7).
+
+fn gated_statement(plan: &FaultPlan) {
+    #[cfg(feature = "fault-inject")]
+    plan.fire_phase(1, RunPhase::Process, 0);
+    #[cfg(feature = "fault-inject")]
+    crate::fault::alloc_check();
+}
+
+fn gated_block(plan: &FaultPlan) {
+    #[cfg(feature = "fault-inject")]
+    {
+        plan.fire_phase(1, RunPhase::Receive, 0);
+        plan.fire_stall(1, 0);
+    }
+    after_the_gate_closes();
+}
+
+fn gated_if(env: &CkptEnv) -> Result<(), SnapshotError> {
+    #[cfg(feature = "fault-inject")]
+    if env.fault.fire_ckpt_fail(now) {
+        return Err(SnapshotError::Io(other()));
+    }
+    Ok(())
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    // Test modules may exercise the hooks without per-call gates.
+    #[test]
+    fn hooks_in_tests_are_exempt() {
+        plan.fire_barrier_delay(1, 0);
+        crate::fault::alloc_check();
+    }
+}

@@ -188,7 +188,13 @@ pub fn scan(src: &str) -> Vec<Line> {
             }
             St::Str => {
                 if ch == '\\' {
-                    i += 2; // skip the escaped char (content is dropped)
+                    // Skip the escaped char (content is dropped) — but a
+                    // `\` line continuation still ends the physical line,
+                    // or every later finding's line number drifts.
+                    if c.get(i + 1) == Some(&'\n') {
+                        lines.push(std::mem::take(&mut cur));
+                    }
+                    i += 2;
                 } else if ch == '"' {
                     cur.code.push('"');
                     st = St::Code;

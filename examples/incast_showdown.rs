@@ -35,6 +35,7 @@ fn main() {
             metrics: MetricsLevel::PerRound,
             telemetry: Default::default(),
             fel: Default::default(),
+            fault: Default::default(),
         })
         .expect("profiled run")
     };

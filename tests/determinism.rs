@@ -27,6 +27,7 @@ fn run_sched(kernel: KernelKind, sched: SchedConfig) -> SimResult {
         metrics: MetricsLevel::Summary,
         telemetry: Default::default(),
         fel: Default::default(),
+        fault: Default::default(),
     })
     .expect("run")
 }

@@ -33,6 +33,7 @@ fn profile(
             metrics: MetricsLevel::PerRound,
             telemetry: Default::default(),
             fel: Default::default(),
+            fault: Default::default(),
         })
         .expect("profiled run");
     // LP adjacency for the null-message model.
@@ -190,6 +191,7 @@ fn claim_fine_granularity_improves_locality() {
                 metrics: MetricsLevel::Summary,
                 telemetry: Default::default(),
                 fel: Default::default(),
+                fault: Default::default(),
             })
             .expect("run");
         res.kernel.node_switches()

@@ -33,6 +33,7 @@ fn every_kernel_runs_the_same_model() {
                 metrics: MetricsLevel::Summary,
                 telemetry: Default::default(),
                 fel: Default::default(),
+                fault: Default::default(),
             },
         ),
         ("unison", RunConfig::unison(2)),
@@ -49,6 +50,7 @@ fn every_kernel_runs_the_same_model() {
                 metrics: MetricsLevel::Summary,
                 telemetry: Default::default(),
                 fel: Default::default(),
+                fault: Default::default(),
             },
         ),
         ("barrier", RunConfig::barrier(pods.clone())),
