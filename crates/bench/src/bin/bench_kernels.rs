@@ -4,11 +4,16 @@
 //!
 //! ```sh
 //! cargo run --release -p unison-bench --bin bench_kernels -- \
-//!     --bench-json BENCH_kernels.json [--full]
+//!     --bench-json BENCH_kernels.json [--scale quick|full|large]
 //! ```
 //!
+//! `--scale large` is the k=8 fat-tree tier (>= 10^7 events per run) that
+//! backs the committed `async_over_unison_4t` headline; `--full` is kept
+//! as an alias for `--scale full`.
+//!
 //! Without `--bench-json` the report prints to stdout. The committed
-//! `BENCH_kernels.json` at the repository root is one quick-scale snapshot;
+//! `BENCH_kernels.json` at the repository root is one large-scale snapshot
+//! (the tier the `async_over_unison_4t` acceptance ratio is defined on);
 //! numbers are machine-dependent, so compare ratios (ladder vs. heap,
 //! steal-deque vs. shared cursor, thread scaling), not absolute rates,
 //! across machines. The CI `perf-smoke` job regenerates the file as a
@@ -97,11 +102,19 @@ fn measure(
 /// number or a controlled identifier, so no escaping is needed).
 fn sample_json(s: &Sample) -> String {
     let r = &s.report;
+    // Round-based kernels report rounds and zero grants/stalls; the async
+    // kernel reports the reverse (kernels-v4).
+    let (grants, stalls) = r
+        .async_stats
+        .as_ref()
+        .map(|a| (a.grants, a.stalls))
+        .unwrap_or((0, 0));
     format!(
         "    {{\n      \"kernel\": \"{}\",\n      \"threads\": {},\n      \
          \"fel\": \"{}\",\n      \"partitioner\": \"{}\",\n      \
          \"sched\": \"{}\",\n      \"wall_ns\": {},\n      \"events\": {},\n      \
          \"events_per_sec\": {:.0},\n      \"rounds\": {},\n      \
+         \"grants\": {},\n      \"stalls\": {},\n      \
          \"pool_hits\": {},\n      \"pool_misses\": {},\n      \
          \"pool_hit_rate\": {:.4},\n      \"steals\": {},\n      \
          \"affinity_hit_rate\": {:.4}\n    }}",
@@ -114,6 +127,8 @@ fn sample_json(s: &Sample) -> String {
         r.events,
         r.events_per_sec(),
         r.rounds,
+        grants,
+        stalls,
         r.engine.pool_hits,
         r.engine.pool_misses,
         r.engine.pool_hit_rate(),
@@ -287,6 +302,23 @@ fn main() {
             ));
         }
     }
+    // The barrier-free asynchronous conservative kernel on the default
+    // (ladder) FEL: its scheduling is static ownership, so only the
+    // thread axis is swept.
+    for threads in [1u32, 2, 4] {
+        samples.push(measure(
+            &scenario,
+            "async_cons",
+            KernelKind::AsyncCons {
+                threads: threads as usize,
+            },
+            threads,
+            FelImpl::Ladder,
+            "auto",
+            PartitionMode::Auto,
+            SchedPolicyKind::LjfCursor,
+        ));
+    }
     // (partitioner, sched-policy) grid at the parallel thread counts, on
     // the default (ladder) FEL. The (auto, ljf-cursor) cell already exists
     // above; skip the duplicate.
@@ -316,42 +348,71 @@ fn main() {
     // (DESIGN.md §4.4); steal-deque vs. shared cursor backs the scheduler
     // extension's "no regression" claim (DESIGN.md §4.5) — both on the
     // 2-thread configuration.
-    let rate = |fel: FelImpl, partitioner: &str, policy: SchedPolicyKind| {
+    let kernel_rate = |kernel: &str, threads: u32, fel: FelImpl, policy: SchedPolicyKind| {
         samples
             .iter()
             .find(|s| {
-                s.kernel == "unison"
-                    && s.threads == 2
+                s.kernel == kernel
+                    && s.threads == threads
                     && s.fel == fel
-                    && s.partitioner == partitioner
+                    && s.partitioner == "auto"
                     && s.policy == policy
             })
             .map(|s| s.report.events_per_sec())
             .unwrap_or(f64::NAN)
     };
     let ljf = SchedPolicyKind::LjfCursor;
-    let speedup = rate(FelImpl::Ladder, "auto", ljf) / rate(FelImpl::BinaryHeap, "auto", ljf);
-    let steal_over_ljf = rate(FelImpl::Ladder, "auto", SchedPolicyKind::StealDeque)
-        / rate(FelImpl::Ladder, "auto", ljf);
+    let rate = |fel: FelImpl, policy: SchedPolicyKind| kernel_rate("unison", 2, fel, policy);
+    let speedup = rate(FelImpl::Ladder, ljf) / rate(FelImpl::BinaryHeap, ljf);
+    let steal_over_ljf =
+        rate(FelImpl::Ladder, SchedPolicyKind::StealDeque) / rate(FelImpl::Ladder, ljf);
+    // The async kernel's headline: barrier-free vs. round-based at the
+    // widest measured thread count (the perf-smoke tripwire guards this
+    // ratio on the large tier). The grid rows above are measured minutes
+    // apart, so their ratio soaks up machine drift; the headline instead
+    // comes from three dedicated interleaved pairs with alternating
+    // within-pair order, medians per arm — the same discipline as the
+    // tripwire.
+    let async_over_unison_4t = {
+        let run = |kernel: KernelKind| {
+            scenario
+                .run_real_with_fel(kernel, PartitionMode::Auto, FelImpl::Ladder)
+                .kernel
+                .events_per_sec()
+        };
+        let (mut a, mut u) = (Vec::new(), Vec::new());
+        for pair in 0..3 {
+            if pair % 2 == 0 {
+                a.push(run(KernelKind::AsyncCons { threads: 4 }));
+                u.push(run(KernelKind::Unison { threads: 4 }));
+            } else {
+                u.push(run(KernelKind::Unison { threads: 4 }));
+                a.push(run(KernelKind::AsyncCons { threads: 4 }));
+            }
+        }
+        a.sort_unstable_by(|x, y| x.total_cmp(y));
+        u.sort_unstable_by(|x, y| x.total_cmp(y));
+        a[1] / u[1]
+    };
     eprintln!("bench_kernels: ladder/heap speedup at 2 threads: {speedup:.3}x");
     eprintln!("bench_kernels: steal-deque/ljf-cursor at 2 threads: {steal_over_ljf:.3}x");
+    eprintln!("bench_kernels: async_cons/unison at 4 threads: {async_over_unison_4t:.3}x");
 
     let fault_profile = fault_profile_json(&scenario).unwrap_or_else(|| "null".into());
     let runs: Vec<String> = samples.iter().map(sample_json).collect();
     let json = format!(
-        "{{\n  \"schema\": \"unison-bench/kernels-v3\",\n  \
+        "{{\n  \"schema\": \"unison-bench/kernels-v4\",\n  \
          \"scale\": \"{}\",\n  \
          \"workload\": \"fat-tree k={} incast 0.5, 100 Gbps links, 3 us delay\",\n  \
          \"ladder_over_heap_2t\": {:.3},\n  \"steal_over_ljf_2t\": {:.3},\n  \
+         \"async_over_unison_4t\": {:.3},\n  \
          \"fault_profile\": {},\n  \
          \"runs\": [\n{}\n  ]\n}}\n",
-        match scale {
-            Scale::Quick => "quick",
-            Scale::Full => "full",
-        },
+        scale.name(),
         scale.pick(4, 8),
         speedup,
         steal_over_ljf,
+        async_over_unison_4t,
         fault_profile,
         runs.join(",\n"),
     );

@@ -12,30 +12,62 @@ use unison_netsim::{FlowReport, NetworkBuilder, QueueConfig, TransportKind};
 use unison_topology::Topology;
 use unison_traffic::TrafficConfig;
 
-/// Experiment scale, selected by a `--full` CLI flag.
+/// Experiment scale, selected by `--full` or `--scale <name>`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Scale {
     /// Seconds-scale runs (default; shapes hold).
     Quick,
     /// Larger topologies / longer windows (minutes).
     Full,
+    /// The ≥ 10⁷-event tier (fat-tree k = 8, shortened window): big enough
+    /// that per-event costs dominate setup, small enough for a
+    /// timeout-bounded CI job. Used by the `bench_kernels` large rows and
+    /// the async-vs-unison perf-smoke tripwire.
+    Large,
 }
 
 impl Scale {
-    /// Parses the process arguments.
+    /// Parses the process arguments: `--scale quick|full|large`, with
+    /// `--full` kept as shorthand for `--scale full`.
     pub fn from_args() -> Scale {
-        if std::env::args().any(|a| a == "--full") {
-            Scale::Full
-        } else {
-            Scale::Quick
+        let mut scale = Scale::Quick;
+        let mut args = std::env::args();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--full" => scale = Scale::Full,
+                "--scale" => match args.next().as_deref() {
+                    Some("quick") => scale = Scale::Quick,
+                    Some("full") => scale = Scale::Full,
+                    Some("large") => scale = Scale::Large,
+                    other => {
+                        eprintln!(
+                            "--scale expects quick|full|large, got {:?}",
+                            other.unwrap_or("<missing>")
+                        );
+                        std::process::exit(2);
+                    }
+                },
+                _ => {}
+            }
+        }
+        scale
+    }
+
+    /// The JSON/report label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+            Scale::Large => "large",
         }
     }
 
-    /// Picks between a quick and a full value.
+    /// Picks between a quick and a full-size value (the large tier uses
+    /// the full-size topology; its window is set separately).
     pub fn pick<T>(self, quick: T, full: T) -> T {
         match self {
             Scale::Quick => quick,
-            Scale::Full => full,
+            Scale::Full | Scale::Large => full,
         }
     }
 }
@@ -278,8 +310,10 @@ pub fn profile_run(scenario: &Scenario, manual: Vec<u32>) -> (ProfiledRun, Profi
 }
 
 /// The paper's §3.2 profiling workload: a k-ary fat-tree (k = 4 quick,
-/// k = 8 full) with the given link rate/delay and incast ratio, simulated
-/// for a few milliseconds.
+/// k = 8 full and large) with the given link rate/delay and incast ratio,
+/// simulated for a few milliseconds. The large tier trades window length
+/// for the full topology so one run clears 10⁷ events without taking
+/// minutes.
 pub fn fat_tree_scenario(
     scale: Scale,
     incast_ratio: f64,
@@ -287,7 +321,11 @@ pub fn fat_tree_scenario(
     delay: Time,
 ) -> Scenario {
     let k = scale.pick(4, 8);
-    let window = scale.pick(Time::from_millis(2), Time::from_millis(5));
+    let window = match scale {
+        Scale::Quick => Time::from_millis(2),
+        Scale::Full => Time::from_millis(5),
+        Scale::Large => Time::from_millis(3),
+    };
     let topo = unison_topology::fat_tree(k)
         .with_rate(rate)
         .with_delay(delay);

@@ -276,16 +276,24 @@ impl<P> Ladder<P> {
     /// cached overflow minimum) keeps the no-more-work answer cheap: a
     /// failing call never scans bucket contents the way [`Ladder::next_ts`]
     /// must, so the round-boundary probe is O(1) amortized.
+    ///
+    /// The stage is flushed only when a staged event is actually *due*
+    /// (`stage_min.ts < bound`), not merely earlier than the bottom head:
+    /// keys order by `ts` first, so a staged event at or after `bound` can
+    /// never precede a poppable bottom event. Arrivals that are not yet
+    /// poppable therefore accumulate unsorted across calls and are merged
+    /// in one sort when the bound reaches them — under the asynchronous
+    /// kernel's trickle of small cross-LP deliveries this is the
+    /// difference between one `bottom` sort per grant window and one per
+    /// sweep (DESIGN.md §4.8).
     fn pop_below(&mut self, bound: Time) -> Option<Event<P>> {
         loop {
-            if !self.stage.is_empty()
-                && (self.bottom.is_empty()
-                    // INVARIANT: `bottom` is non-empty on this branch.
-                    || self.stage_min < self.bottom.last().expect("bottom non-empty").key)
-            {
-                self.flush_stage();
-            }
+            let stage_due = !self.stage.is_empty() && self.stage_min.ts < bound;
             if let Some(ev) = self.bottom.last() {
+                if stage_due && self.stage_min < ev.key {
+                    self.flush_stage();
+                    continue;
+                }
                 if ev.key.ts >= bound {
                     return None;
                 }
@@ -293,6 +301,17 @@ impl<P> Ladder<P> {
                 let ev = self.bottom.pop().expect("bottom non-empty");
                 self.len -= 1;
                 return Some(ev);
+            }
+            if stage_due {
+                self.flush_stage();
+                continue;
+            }
+            if !self.stage.is_empty() {
+                // Staged events are all at/after `bound`, and every rung
+                // and overflow event is at/after the deepest rung
+                // threshold, which lies above the staged range — nothing
+                // below `bound` exists.
+                return None;
             }
             if self.len == 0 || self.settle() >= bound {
                 return None;

@@ -16,6 +16,7 @@
 //! The model code is identical for all kernels (*user transparency*): pick a
 //! kernel by configuration only.
 
+pub mod async_cons;
 pub mod barrier;
 pub mod hybrid;
 pub mod nullmsg;
@@ -74,6 +75,17 @@ pub enum KernelKind {
         /// Unison worker threads per host.
         threads_per_host: usize,
     },
+    /// The barrier-free asynchronous conservative kernel (DESIGN.md §4.8):
+    /// `threads` workers each own a static set of LPs and advance them
+    /// independently to per-neighbor channel-clock bounds, with lazy
+    /// null-message grants instead of round barriers. Deterministic
+    /// (digest-identical to the compat-keys sequential kernel) at any
+    /// thread count; requires a stop time.
+    AsyncCons {
+        /// Worker thread count (≥ 1). LPs are statically assigned to
+        /// workers (affinity hints when the partitioner provides them).
+        threads: usize,
+    },
 }
 
 impl KernelKind {
@@ -86,6 +98,7 @@ impl KernelKind {
             KernelKind::NullMessage => "nullmsg",
             KernelKind::Unison { .. } => "unison",
             KernelKind::Hybrid { .. } => "hybrid",
+            KernelKind::AsyncCons { .. } => "async_cons",
         }
     }
 }
@@ -186,6 +199,22 @@ impl RunConfig {
     pub fn unison(threads: usize) -> Self {
         RunConfig {
             kernel: KernelKind::Unison { threads },
+            partition: PartitionMode::Auto,
+            sched: SchedConfig::default(),
+            metrics: MetricsLevel::Summary,
+            watchdog: WatchdogConfig::default(),
+            telemetry: TelemetryConfig::default(),
+            fel: FelImpl::default(),
+            fault: FaultPlan::default(),
+        }
+    }
+
+    /// An asynchronous-conservative run with `threads` workers and
+    /// automatic partitioning (DESIGN.md §4.8). The world must carry a
+    /// stop time (`WorldBuilder::stop_at`).
+    pub fn async_cons(threads: usize) -> Self {
+        RunConfig {
+            kernel: KernelKind::AsyncCons { threads },
             partition: PartitionMode::Auto,
             sched: SchedConfig::default(),
             metrics: MetricsLevel::Summary,
@@ -344,6 +373,7 @@ pub fn try_run<N: SimNode>(
             hosts,
             threads_per_host,
         } => hybrid::run(world, cfg, *hosts, *threads_per_host),
+        KernelKind::AsyncCons { threads } => async_cons::run(world, cfg, *threads),
     }
 }
 

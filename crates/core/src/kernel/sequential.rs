@@ -338,6 +338,7 @@ pub(super) fn run<N: SimNode>(
         rounds_profile: None,
         telemetry: telctx.collect(vec![tel], sched_log),
         recovery: None,
+        async_stats: None,
     };
     match outcome {
         Ok(()) => {

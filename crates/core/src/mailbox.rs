@@ -85,6 +85,39 @@ impl<P> Mailboxes<P> {
         out.len() - start
     }
 
+    /// Drains the single directed channel `src -> dst`, appending its
+    /// pending events to `out` in FIFO (send) order and recycling the
+    /// nodes. Returns how many events were appended; 0 when no such
+    /// channel exists.
+    ///
+    /// The async-conservative kernel uses this to keep per-channel
+    /// deliveries separate for the deterministic k-way merge. Same claim
+    /// requirement as [`Mailboxes::drain`].
+    pub fn drain_channel(&self, src: u32, dst: u32, out: &mut Vec<Event<P>>) -> usize {
+        let inbox = &self.inboxes[dst as usize];
+        match inbox.binary_search_by_key(&src, |(s, _)| *s) {
+            Ok(i) => inbox[i].1.drain_into(out),
+            Err(_) => 0,
+        }
+    }
+
+    /// Inbox slot of the directed channel `src -> dst`, for use with
+    /// [`Mailboxes::drain_slot`]. `None` when no such channel exists.
+    pub fn channel_slot(&self, src: u32, dst: u32) -> Option<usize> {
+        self.inboxes[dst as usize]
+            .binary_search_by_key(&src, |(s, _)| *s)
+            .ok()
+    }
+
+    /// [`Mailboxes::drain_channel`] with the binary search hoisted out:
+    /// `slot` must come from [`Mailboxes::channel_slot`] for the same
+    /// `dst`. The async-conservative kernel resolves every channel's slot
+    /// once at set-up and probes it on every sweep, where a repeated
+    /// search would dominate the cost of probing an empty queue.
+    pub fn drain_slot(&self, dst: u32, slot: usize, out: &mut Vec<Event<P>>) -> usize {
+        self.inboxes[dst as usize][slot].1.drain_into(out)
+    }
+
     /// Aggregate `(pool_hits, pool_misses)` over every mailbox — the
     /// steady-state allocation profile of cross-LP traffic, reported as
     /// `RunReport::engine`.

@@ -181,7 +181,10 @@ pub struct RunReport {
     pub events: u64,
     /// Global events executed.
     pub global_events: u64,
-    /// Synchronization rounds executed (1 for the sequential kernel).
+    /// Synchronization rounds executed by the round-based kernels (1 for
+    /// the sequential kernel). The asynchronous conservative kernel has no
+    /// rounds and reports 0 here; its progress counters (grants, stalls,
+    /// gates, per-worker stall wait) live in [`RunReport::async_stats`].
     pub rounds: u64,
     /// Number of LPs.
     pub lp_count: u32,
@@ -216,6 +219,30 @@ pub struct RunReport {
     /// plain [`kernel::try_run`](crate::kernel::try_run) runs; `Some` with
     /// an empty record list for a resilient run that never had to recover.
     pub recovery: Option<crate::fault::RecoveryLog>,
+    /// Progress counters of the asynchronous conservative kernel, which
+    /// replaces `rounds` with grant/stall accounting. `None` for every
+    /// other kernel.
+    pub async_stats: Option<AsyncStats>,
+}
+
+/// Progress counters of the barrier-free asynchronous conservative kernel
+/// (DESIGN.md §4.8). These replace the `rounds` notion: the kernel has no
+/// global synchronization rounds, only channel-clock grants, stall waits
+/// and gate rendezvous for global events.
+#[derive(Clone, Debug, Default)]
+pub struct AsyncStats {
+    /// Time-advance grants published (out-channel promise rises — the lazy
+    /// null messages actually sent).
+    pub grants: u64,
+    /// Times a worker found no runnable work and parked on its waker.
+    pub stalls: u64,
+    /// Quiesced virtual-time fronts reached (global-event windows run by
+    /// the control thread).
+    pub gates: u64,
+    /// Wall nanoseconds each worker spent parked in stall waits (indexed
+    /// by worker; gate-rendezvous waits are counted in `Psm::s_ns`, not
+    /// here).
+    pub stall_wait_ns: Vec<u64>,
 }
 
 impl RunReport {

@@ -87,11 +87,24 @@ pub enum SpanKind {
     /// One LP's execution in phase 1. `arg` = events executed, `arg2` = the
     /// scheduler's cost estimate for this LP (0 when no estimate existed).
     LpTask,
+    /// Async-conservative kernel: one LP advanced to its channel-clock
+    /// bound (`round` = worker iteration). `arg` = events executed.
+    Advance,
+    /// Async-conservative kernel: one LP's in-channel deliveries merged
+    /// through the deterministic k-way merger. `arg` = events merged.
+    Merge,
+    /// Async-conservative kernel: out-channel promise refresh that raised
+    /// at least one channel clock. `arg` = channels whose promise rose.
+    Grant,
+    /// Async-conservative kernel: time parked waiting for a neighbor grant
+    /// (the barrier-free analogue of `BarrierWait`, which that kernel only
+    /// uses for gate rendezvous).
+    StallWait,
 }
 
 impl SpanKind {
     /// Every kind, for report iteration.
-    pub const ALL: [SpanKind; 7] = [
+    pub const ALL: [SpanKind; 11] = [
         SpanKind::Process,
         SpanKind::Global,
         SpanKind::Receive,
@@ -99,6 +112,10 @@ impl SpanKind {
         SpanKind::BarrierWait,
         SpanKind::MailboxFlush,
         SpanKind::LpTask,
+        SpanKind::Advance,
+        SpanKind::Merge,
+        SpanKind::Grant,
+        SpanKind::StallWait,
     ];
 
     /// Short display name (also the Chrome-trace event name).
@@ -111,6 +128,10 @@ impl SpanKind {
             SpanKind::BarrierWait => "barrier-wait",
             SpanKind::MailboxFlush => "mailbox-flush",
             SpanKind::LpTask => "lp-task",
+            SpanKind::Advance => "advance",
+            SpanKind::Merge => "merge",
+            SpanKind::Grant => "grant",
+            SpanKind::StallWait => "stall-wait",
         }
     }
 }
@@ -238,6 +259,7 @@ mod imp {
                 enabled: self.cfg.enabled,
                 capacity: self.cfg.span_capacity,
                 spans: Vec::new(),
+                last_end: 0,
                 truncated: 0,
                 traffic: BTreeMap::new(),
             }
@@ -276,6 +298,7 @@ mod imp {
         enabled: bool,
         capacity: usize,
         spans: Vec<Span>,
+        last_end: u64,
         truncated: u64,
         traffic: BTreeMap<(u32, u32), u64>,
     }
@@ -355,7 +378,21 @@ mod imp {
         }
 
         #[inline]
-        fn push(&mut self, span: Span) {
+        fn push(&mut self, mut span: Span) {
+            // Spans are pushed at close, so within a sink the end
+            // timestamps follow push order — an invariant the exporter
+            // tests rely on. [`Self::span_dur`] can violate it raw: its
+            // duration comes from a kernel clock pair read moments after
+            // `start()`, so a preemption gap between the two reads lands
+            // the computed end before an earlier span's. Slide such a span
+            // forward to the recorded frontier, keeping its measured
+            // duration exact (the gap is time the thread did not run).
+            let end = span.start_ns.saturating_add(span.dur_ns);
+            if end < self.last_end {
+                span.start_ns = self.last_end - span.dur_ns;
+            } else {
+                self.last_end = end;
+            }
             if self.spans.len() < self.capacity {
                 self.spans.push(span);
             } else {
@@ -578,6 +615,30 @@ mod tests {
         assert_eq!(t.sched[0].steals, 4);
         assert_eq!(t.sched[0].affinity_hits, 6);
         assert_eq!(t.sched_truncated, 0);
+    }
+
+    #[test]
+    fn sink_slides_regressing_span_ends_to_the_frontier() {
+        // `span_dur` durations come from a clock pair separate from
+        // `start()`; a preemption gap between the two reads can compute an
+        // end before an already-pushed span's. The sink slides such spans
+        // forward (duration untouched) so push order == end order.
+        let ctx = TelContext::new(&TelemetryConfig::enabled());
+        let mut tel = ctx.worker(0);
+        tel.span_dur(SpanKind::Process, 1, NO_LP, 100, 50, 0, 0); // end 150
+        tel.span_dur(SpanKind::Receive, 1, NO_LP, 110, 10, 0, 0); // raw end 120
+        tel.span_dur(SpanKind::Process, 2, NO_LP, 160, 5, 0, 0); // end 165
+        let log = ctx.sched_log();
+        let t = ctx.collect(vec![tel], log).expect("enabled");
+        let spans = &t.workers[0].spans;
+        assert_eq!(spans[1].start_ns, 140, "slid to the 150 frontier");
+        assert_eq!(spans[1].dur_ns, 10, "measured duration preserved");
+        assert_eq!(spans[2].start_ns, 160, "non-regressing span untouched");
+        let mut last = 0;
+        for s in spans {
+            assert!(s.start_ns + s.dur_ns >= last);
+            last = s.start_ns + s.dur_ns;
+        }
     }
 
     #[test]

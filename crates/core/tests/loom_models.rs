@@ -55,7 +55,14 @@
 //!     the clock monotone (`nullmsg.chan_clock`);
 //! 11. per-producer clock words stored with Release and min-reduced with
 //!     Acquire loads publish each producer's state as of the published
-//!     timestamp (`barrier.next_ts` LBTS reduction, `nullmsg.stall_clocks`).
+//!     timestamp (`barrier.next_ts` LBTS reduction, `nullmsg.stall_clocks`);
+//! 12. the asynchronous conservative kernel's grant protocol
+//!     (`async_cons.chan_clock`): each in-channel's sender appends events
+//!     and then raises its promise with `fetch_max(AcqRel)`; the receiver
+//!     Acquire-min-reduces all in-channel clocks into a safe bound *before*
+//!     draining, so every event strictly below the observed bound is
+//!     visible — combining the fetch_max edge of claim 10 with the
+//!     min-reduction of claim 11 (DESIGN.md §4.8).
 //!
 //! A final, deliberately broken model double-checks the checker: weakening
 //! a publish to `Relaxed` must be reported as a data race.
@@ -563,6 +570,74 @@ fn clock_word_release_acquire_publication() {
         for t in producers {
             t.join().unwrap();
         }
+    });
+}
+
+/// Claim 12: the async-conservative grant protocol
+/// (`async_cons.chan_clock`, DESIGN.md §4.8). Two in-channel senders each
+/// write their event payload (plain memory, standing in for the mailbox
+/// push) and then raise their channel's promise with `fetch_max(AcqRel)`.
+/// The receiver Acquire-loads *every* in-channel clock and min-reduces
+/// them into its safe bound before touching any payload — exactly the
+/// worker loop's "compute `safe`, then drain" order. Any event timestamped
+/// strictly below the observed bound must be visible. A laggard re-grant
+/// below a channel's current promise must not regress the bound.
+#[test]
+fn channel_grant_publication() {
+    loom::model(|| {
+        let clocks = Arc::new([AtomicU64::new(0), AtomicU64::new(0)]);
+        let events = Arc::new([UnsafeCell::new(0u64), UnsafeCell::new(0u64)]);
+
+        let mut senders = Vec::new();
+        for (i, promise) in [(0usize, 5u64), (1usize, 8u64)] {
+            let clocks = Arc::clone(&clocks);
+            let events = Arc::clone(&events);
+            senders.push(thread::spawn(move || {
+                events[i].with_mut(|p| {
+                    // SAFETY: written before this channel's AcqRel
+                    // fetch_max; the receiver reads it only after its
+                    // Acquire min-reduction observes a nonzero promise on
+                    // slot `i`.
+                    unsafe { *p = promise }
+                });
+                clocks[i].fetch_max(promise, Ordering::AcqRel);
+                // A duplicate lazy grant at a lower bound: `fetch_max`
+                // keeps the promise monotone.
+                clocks[i].fetch_max(promise - 1, Ordering::AcqRel);
+            }));
+        }
+
+        // Receiver: min-reduce the in-channel clocks into the safe bound,
+        // retrying until every channel has granted (the worker's stall
+        // sleep stands in for the yield loop).
+        let mut obs = [0u64; 2];
+        loop {
+            for (i, c) in clocks.iter().enumerate() {
+                obs[i] = c.load(Ordering::Acquire);
+            }
+            if obs.iter().all(|&t| t > 0) {
+                break;
+            }
+            thread::yield_now();
+        }
+        let safe = obs[0].min(obs[1]);
+        assert_eq!(safe, 5, "min-reduction over both granted promises");
+        for (i, e) in events.iter().enumerate() {
+            let seen = e.with(|p| {
+                // SAFETY: ordered after sender `i`'s payload write by the
+                // fetch_max(AcqRel) / load(Acquire) edge on its clock.
+                unsafe { *p }
+            });
+            assert_eq!(
+                seen, obs[i],
+                "every event below the observed promise must be visible"
+            );
+        }
+        for t in senders {
+            t.join().unwrap();
+        }
+        assert_eq!(clocks[0].load(Ordering::Acquire), 5);
+        assert_eq!(clocks[1].load(Ordering::Acquire), 8);
     });
 }
 

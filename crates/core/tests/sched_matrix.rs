@@ -205,6 +205,57 @@ fn hybrid_kernel_is_policy_invariant() {
     );
 }
 
+/// The asynchronous conservative kernel has no rounds to schedule, so its
+/// matrix is {partitioner} × {threads}; every cell must match the
+/// 1-thread compat-keys sequential digest exactly (DESIGN.md §4.8: keys
+/// are preserved across channels, so the merge order *is* the sequential
+/// order regardless of partition or thread count).
+#[test]
+fn async_cons_matrix_is_bit_identical_to_sequential() {
+    let reference = run(
+        KernelKind::Sequential { compat_keys: true },
+        PartitionMode::Auto,
+        SchedConfig::default(),
+    );
+    assert!(reference.1 > 0, "sequential reference executed no events");
+    for (pname, pmode) in partitioners() {
+        for threads in [1usize, 2, 4] {
+            let got = run(
+                KernelKind::AsyncCons { threads },
+                pmode.clone(),
+                SchedConfig::default(),
+            );
+            assert_eq!(
+                reference, got,
+                "digest mismatch: async_cons partitioner={pname} threads={threads}"
+            );
+        }
+    }
+}
+
+/// The async kernel reports grant/stall/gate progress counters instead of
+/// rounds (`rounds == 0`), with one stall-wait slot per worker.
+#[test]
+fn async_cons_reports_async_stats() {
+    let (_, report) = kernel::run(world(), &RunConfig::async_cons(4)).unwrap();
+    assert_eq!(report.kernel, "async_cons(4)");
+    assert_eq!(report.rounds, 0, "async_cons has no rounds");
+    let stats = report
+        .async_stats
+        .as_ref()
+        .expect("async_cons populates RunReport::async_stats");
+    assert!(stats.grants > 0, "no time-advance grants were issued");
+    assert_eq!(
+        stats.stall_wait_ns.len(),
+        4,
+        "one stall-wait slot per worker"
+    );
+    // Round-based kernels leave the field empty.
+    let (_, unison) = kernel::run(world(), &RunConfig::unison(2)).unwrap();
+    assert!(unison.async_stats.is_none());
+    assert!(unison.rounds > 0);
+}
+
 /// Work stealing actually happens on this workload (the digest equality
 /// above is vacuous if every claim is an affinity hit), and the report
 /// surfaces the counters.

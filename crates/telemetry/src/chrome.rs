@@ -22,10 +22,14 @@ fn us(ns: u64) -> Value {
 
 fn cat(kind: SpanKind) -> &'static str {
     match kind {
-        SpanKind::Process | SpanKind::Global | SpanKind::Receive | SpanKind::WindowUpdate => {
-            "phase"
-        }
-        SpanKind::BarrierWait => "sync",
+        SpanKind::Process
+        | SpanKind::Global
+        | SpanKind::Receive
+        | SpanKind::WindowUpdate
+        | SpanKind::Advance
+        | SpanKind::Merge
+        | SpanKind::Grant => "phase",
+        SpanKind::BarrierWait | SpanKind::StallWait => "sync",
         SpanKind::MailboxFlush => "mailbox",
         SpanKind::LpTask => "lp",
     }
@@ -39,7 +43,11 @@ fn span_args(span: &Span) -> Value {
         pairs.push(("lp", Value::Num(span.lp as f64)));
     }
     match span.kind {
-        SpanKind::Process | SpanKind::Receive | SpanKind::MailboxFlush => {
+        SpanKind::Process
+        | SpanKind::Receive
+        | SpanKind::MailboxFlush
+        | SpanKind::Advance
+        | SpanKind::Merge => {
             pairs.push(("events", Value::Num(span.arg as f64)));
         }
         SpanKind::Global => pairs.push(("globals", Value::Num(span.arg as f64))),
@@ -48,6 +56,8 @@ fn span_args(span: &Span) -> Value {
             pairs.push(("next_window_end_ns", Value::Num(span.arg2 as f64)));
         }
         SpanKind::BarrierWait => pairs.push(("barrier", Value::Num(span.arg as f64))),
+        SpanKind::Grant => pairs.push(("grants", Value::Num(span.arg as f64))),
+        SpanKind::StallWait => pairs.push(("stalls", Value::Num(span.arg as f64))),
         SpanKind::LpTask => {
             pairs.push(("events", Value::Num(span.arg as f64)));
             pairs.push(("estimate", Value::Num(span.arg2 as f64)));

@@ -18,15 +18,53 @@ fn ms(ns: f64) -> String {
 /// Writes the full profile report for one run.
 pub fn write_report(report: &RunReport, out: &mut impl Write) -> io::Result<()> {
     writeln!(out, "== profile report: {} ==", report.kernel)?;
-    writeln!(
-        out,
-        "threads {}   lps {}   rounds {}   events {}   wall {:.3} s",
-        report.threads,
-        report.lp_count,
-        report.rounds,
-        report.events,
-        report.wall.as_secs_f64()
-    )?;
+    // Not every kernel counts rounds: the asynchronous conservative kernel
+    // is barrier-free and reports grant/stall/gate progress counters
+    // instead (RunReport::async_stats), so its header swaps `rounds` for
+    // `gates` and gains a progress section below.
+    if let Some(stats) = &report.async_stats {
+        writeln!(
+            out,
+            "threads {}   lps {}   gates {}   events {}   wall {:.3} s",
+            report.threads,
+            report.lp_count,
+            stats.gates,
+            report.events,
+            report.wall.as_secs_f64()
+        )?;
+        writeln!(out)?;
+        writeln!(out, "-- asynchronous progress (no rounds: barrier-free) --")?;
+        writeln!(
+            out,
+            "grants {}   stall cycles {}   gates {}",
+            stats.grants, stats.stalls, stats.gates
+        )?;
+        let wall_ns = report.wall.as_nanos() as f64;
+        for (w, &ns) in stats.stall_wait_ns.iter().enumerate() {
+            let share = if wall_ns > 0.0 {
+                ns as f64 / wall_ns * 100.0
+            } else {
+                0.0
+            };
+            writeln!(
+                out,
+                "worker {:>3}: stall wait {} ({:.2}% of wall)",
+                w,
+                ms(ns as f64),
+                share
+            )?;
+        }
+    } else {
+        writeln!(
+            out,
+            "threads {}   lps {}   rounds {}   events {}   wall {:.3} s",
+            report.threads,
+            report.lp_count,
+            report.rounds,
+            report.events,
+            report.wall.as_secs_f64()
+        )?;
+    }
 
     // Recovery history — only resilient runs (fault::run_resilient)
     // carry a log; a plain run omits the section entirely.
@@ -197,6 +235,43 @@ mod tests {
         assert!(text.contains("2.250"));
         // Plain runs carry no recovery log and no recovery section.
         assert!(!text.contains("recovery"));
+    }
+
+    #[test]
+    fn async_kernel_header_swaps_rounds_for_gates() {
+        use unison_core::AsyncStats;
+
+        let rep = RunReport {
+            kernel: "async_cons(2)".into(),
+            threads: 2,
+            async_stats: Some(AsyncStats {
+                grants: 120,
+                stalls: 7,
+                gates: 3,
+                stall_wait_ns: vec![1_500_000, 0],
+            }),
+            ..Default::default()
+        };
+        let text = report_string(&rep);
+        assert!(text.contains("gates 3"), "{text}");
+        assert!(
+            !text.contains("rounds 0"),
+            "the async report must not claim a round count: {text}"
+        );
+        assert!(text.contains("asynchronous progress"));
+        assert!(text.contains("grants 120"));
+        assert!(text.contains("stall cycles 7"));
+        assert!(text.contains("worker   0: stall wait 1.500 ms"));
+
+        // Round-based kernels keep the rounds header and gain no section.
+        let rep = RunReport {
+            kernel: "unison".into(),
+            rounds: 42,
+            ..Default::default()
+        };
+        let text = report_string(&rep);
+        assert!(text.contains("rounds 42"));
+        assert!(!text.contains("asynchronous progress"));
     }
 
     #[test]

@@ -109,14 +109,17 @@ impl<'a> Timeline<'a> {
                 };
                 for s in &w.spans {
                     match s.kind {
-                        SpanKind::BarrierWait => {
+                        SpanKind::BarrierWait | SpanKind::StallWait => {
                             wait.barrier_ns += s.dur_ns;
                             wait.accounted_ns += s.dur_ns;
                         }
                         SpanKind::Process
                         | SpanKind::Global
                         | SpanKind::Receive
-                        | SpanKind::WindowUpdate => wait.accounted_ns += s.dur_ns,
+                        | SpanKind::WindowUpdate
+                        | SpanKind::Advance
+                        | SpanKind::Merge
+                        | SpanKind::Grant => wait.accounted_ns += s.dur_ns,
                         SpanKind::LpTask | SpanKind::MailboxFlush => {}
                     }
                 }

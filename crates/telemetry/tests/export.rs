@@ -154,6 +154,79 @@ fn timeline_steal_counters_are_consistent_with_the_report() {
     assert_eq!((ljf_summary.steals, ljf_summary.affinity_hits), (0, 0));
 }
 
+/// Consistency of the async kernel's report surface (ISSUE satellite 4):
+/// `rounds` is a round-based-kernel counter, so async_cons reports 0 there
+/// and carries its progress in `async_stats`; the telemetry stream uses
+/// the advance/merge/grant/stall-wait span kinds, exports to a valid
+/// Chrome trace, and the profile report renders the progress section.
+#[test]
+fn async_cons_report_and_trace_are_consistent() {
+    let topo = fat_tree(4)
+        .with_rate(DataRate::gbps(10))
+        .with_delay(Time::from_micros(3));
+    let traffic = TrafficConfig::incast(0.3, 0.6)
+        .with_seed(7)
+        .with_window(Time::ZERO, Time::from_micros(400));
+    let sim = NetworkBuilder::new(&topo)
+        .transport(TransportKind::NewReno)
+        .traffic(&traffic)
+        .stop_at(Time::from_micros(600))
+        .build();
+    let threads = 2;
+    let report = sim
+        .run_with(&RunConfig {
+            watchdog: Default::default(),
+            kernel: KernelKind::AsyncCons { threads },
+            partition: PartitionMode::Auto,
+            sched: SchedConfig::default(),
+            metrics: MetricsLevel::Summary,
+            telemetry: TelemetryConfig::enabled(),
+            fel: Default::default(),
+            fault: Default::default(),
+        })
+        .expect("async scenario run")
+        .kernel;
+
+    // The report surface: no rounds, async progress counters instead.
+    assert_eq!(report.rounds, 0, "async_cons has no rounds to count");
+    let stats = report.async_stats.as_ref().expect("async_stats attached");
+    assert!(stats.grants > 0, "a multi-LP run must issue grants");
+    assert!(stats.gates > 0, "the stop global implies at least one gate");
+    assert_eq!(
+        stats.stall_wait_ns.len(),
+        threads,
+        "one stall-wait accumulator per worker"
+    );
+
+    // The telemetry stream uses the async span vocabulary.
+    let tel = report.telemetry.as_ref().expect("telemetry attached");
+    let mut kinds: std::collections::BTreeSet<&str> = Default::default();
+    for w in &tel.workers {
+        for s in &w.spans {
+            kinds.insert(s.kind.name());
+        }
+    }
+    for needed in ["advance", "merge", "grant"] {
+        assert!(kinds.contains(needed), "no {needed} spans in {kinds:?}");
+    }
+    assert!(
+        !kinds.contains("process") && !kinds.contains("window-update"),
+        "async workers must not emit round-phase spans: {kinds:?}"
+    );
+
+    // The export path handles the new kinds end to end.
+    let json_text = chrome_trace_json(tel);
+    let summary = validate_chrome_trace(&json_text).expect("async trace must validate");
+    assert_eq!(summary.durations as usize, tel.span_count());
+    let parsed = json::parse(&json_text).expect("own parser accepts own output");
+    assert_eq!(parsed.to_json(), json_text, "serializer not a fixpoint");
+
+    // And the profile report renders the async section.
+    let text = unison_telemetry::report_string(&report);
+    assert!(text.contains("asynchronous progress"), "{text}");
+    assert!(!text.contains("rounds 0"), "stale rounds claim: {text}");
+}
+
 #[test]
 fn validator_rejects_malformed_traces() {
     for (bad, why) in [
