@@ -8,16 +8,21 @@
 //! ```
 //!
 //! `--scale large` is the k=8 fat-tree tier (>= 10^7 events per run) that
-//! backs the committed `async_over_unison_4t` headline; `--full` is kept
-//! as an alias for `--scale full`.
+//! backs the committed `async_over_unison_4t` and `unison_4t_over_1t`
+//! headlines; `--full` is kept as an alias for `--scale full`.
 //!
 //! Without `--bench-json` the report prints to stdout. The committed
 //! `BENCH_kernels.json` at the repository root is one large-scale snapshot
-//! (the tier the `async_over_unison_4t` acceptance ratio is defined on);
-//! numbers are machine-dependent, so compare ratios (ladder vs. heap,
-//! steal-deque vs. shared cursor, thread scaling), not absolute rates,
-//! across machines. The CI `perf-smoke` job regenerates the file as a
-//! build artifact on every run.
+//! (the tier the headline acceptance ratios are defined on); numbers are
+//! machine-dependent, so compare ratios (ladder vs. heap, steal-deque vs.
+//! shared cursor, thread scaling), not absolute rates, across machines.
+//! The CI `perf-smoke` job regenerates the file as a build artifact on
+//! every run.
+//!
+//! Schema kernels-v5: each row carries `"repeat"` (0 for grid rows, n ≥ 1
+//! for the dedicated interleaved headline pairs — v4 emitted those
+//! indistinguishable from grid rows) and `"fused_rounds"` (how many rounds
+//! the unison kernel ran barrier-free, DESIGN.md §4.9).
 //!
 //! With `--fault-profile` (requires the `fault-profile` cargo feature,
 //! which pulls in `unison-core/fault-inject`) the report additionally
@@ -41,6 +46,10 @@ struct Sample {
     /// Partitioner label (`auto` or a pipeline's stage chain).
     partitioner: &'static str,
     policy: SchedPolicyKind,
+    /// 0 for grid rows (median-of-3, one row per configuration); n ≥ 1 for
+    /// the dedicated interleaved headline pairs, which would otherwise be
+    /// indistinguishable from the grid rows they duplicate (kernels-v5).
+    repeat: u32,
     report: RunReport,
 }
 
@@ -94,6 +103,7 @@ fn measure(
         fel,
         partitioner,
         policy,
+        repeat: 0,
         report,
     }
 }
@@ -103,7 +113,9 @@ fn measure(
 fn sample_json(s: &Sample) -> String {
     let r = &s.report;
     // Round-based kernels report rounds and zero grants/stalls; the async
-    // kernel reports the reverse (kernels-v4).
+    // kernel reports the reverse. `fused_rounds` counts the rounds the
+    // unison kernel ran barrier-free (DESIGN.md §4.9); `repeat` tags the
+    // dedicated headline pairs (kernels-v5).
     let (grants, stalls) = r
         .async_stats
         .as_ref()
@@ -112,8 +124,10 @@ fn sample_json(s: &Sample) -> String {
     format!(
         "    {{\n      \"kernel\": \"{}\",\n      \"threads\": {},\n      \
          \"fel\": \"{}\",\n      \"partitioner\": \"{}\",\n      \
-         \"sched\": \"{}\",\n      \"wall_ns\": {},\n      \"events\": {},\n      \
+         \"sched\": \"{}\",\n      \"repeat\": {},\n      \
+         \"wall_ns\": {},\n      \"events\": {},\n      \
          \"events_per_sec\": {:.0},\n      \"rounds\": {},\n      \
+         \"fused_rounds\": {},\n      \
          \"grants\": {},\n      \"stalls\": {},\n      \
          \"pool_hits\": {},\n      \"pool_misses\": {},\n      \
          \"pool_hit_rate\": {:.4},\n      \"steals\": {},\n      \
@@ -123,10 +137,12 @@ fn sample_json(s: &Sample) -> String {
         s.fel.name(),
         s.partitioner,
         s.policy.name(),
+        s.repeat,
         r.wall.as_nanos(),
         r.events,
         r.events_per_sec(),
         r.rounds,
+        r.fused_rounds,
         grants,
         stalls,
         r.engine.pool_hits,
@@ -366,46 +382,83 @@ fn main() {
     let speedup = rate(FelImpl::Ladder, ljf) / rate(FelImpl::BinaryHeap, ljf);
     let steal_over_ljf =
         rate(FelImpl::Ladder, SchedPolicyKind::StealDeque) / rate(FelImpl::Ladder, ljf);
-    // The async kernel's headline: barrier-free vs. round-based at the
-    // widest measured thread count (the perf-smoke tripwire guards this
-    // ratio on the large tier). The grid rows above are measured minutes
-    // apart, so their ratio soaks up machine drift; the headline instead
-    // comes from three dedicated interleaved pairs with alternating
+    // Thread-scaling and async headlines: the grid rows above are measured
+    // minutes apart, so their ratios soak up machine drift; the headlines
+    // instead come from three dedicated interleaved pairs with alternating
     // within-pair order, medians per arm — the same discipline as the
-    // tripwire.
-    let async_over_unison_4t = {
-        let run = |kernel: KernelKind| {
-            scenario
-                .run_real_with_fel(kernel, PartitionMode::Auto, FelImpl::Ladder)
-                .kernel
-                .events_per_sec()
+    // perf-smoke tripwires that guard them on the large tier. Each
+    // dedicated run is also emitted into `runs`, tagged `"repeat": n` so
+    // it cannot be mistaken for a grid row (the kernels-v4 duplicate-row
+    // bug).
+    let mut headline_pair = |x_kernel: KernelKind,
+                             x_name: &'static str,
+                             x_threads: u32,
+                             y_kernel: KernelKind,
+                             y_name: &'static str,
+                             y_threads: u32| {
+        let mut run = |kernel: &KernelKind, name: &'static str, threads: u32, repeat: u32| {
+            let report = scenario
+                .run_real_with_fel(kernel.clone(), PartitionMode::Auto, FelImpl::Ladder)
+                .kernel;
+            let rate = report.events_per_sec();
+            samples.push(Sample {
+                kernel: name,
+                threads,
+                fel: FelImpl::Ladder,
+                partitioner: "auto",
+                policy: SchedPolicyKind::LjfCursor,
+                repeat,
+                report,
+            });
+            rate
         };
-        let (mut a, mut u) = (Vec::new(), Vec::new());
-        for pair in 0..3 {
+        let (mut x, mut y) = (Vec::new(), Vec::new());
+        for pair in 0u32..3 {
             if pair % 2 == 0 {
-                a.push(run(KernelKind::AsyncCons { threads: 4 }));
-                u.push(run(KernelKind::Unison { threads: 4 }));
+                x.push(run(&x_kernel, x_name, x_threads, pair + 1));
+                y.push(run(&y_kernel, y_name, y_threads, pair + 1));
             } else {
-                u.push(run(KernelKind::Unison { threads: 4 }));
-                a.push(run(KernelKind::AsyncCons { threads: 4 }));
+                y.push(run(&y_kernel, y_name, y_threads, pair + 1));
+                x.push(run(&x_kernel, x_name, x_threads, pair + 1));
             }
         }
-        a.sort_unstable_by(|x, y| x.total_cmp(y));
-        u.sort_unstable_by(|x, y| x.total_cmp(y));
-        a[1] / u[1]
+        x.sort_unstable_by(|a, b| a.total_cmp(b));
+        y.sort_unstable_by(|a, b| a.total_cmp(b));
+        x[1] / y[1]
     };
+    // Barrier-free vs. round-based at the widest measured thread count.
+    let async_over_unison_4t = headline_pair(
+        KernelKind::AsyncCons { threads: 4 },
+        "async_cons",
+        4,
+        KernelKind::Unison { threads: 4 },
+        "unison",
+        4,
+    );
+    // The round-based kernel's own thread scaling — the ratio round fusion
+    // and the tree barrier exist to lift above 1.0 (ROADMAP item 1).
+    let unison_4t_over_1t = headline_pair(
+        KernelKind::Unison { threads: 4 },
+        "unison",
+        4,
+        KernelKind::Unison { threads: 1 },
+        "unison",
+        1,
+    );
     eprintln!("bench_kernels: ladder/heap speedup at 2 threads: {speedup:.3}x");
     eprintln!("bench_kernels: steal-deque/ljf-cursor at 2 threads: {steal_over_ljf:.3}x");
     eprintln!("bench_kernels: async_cons/unison at 4 threads: {async_over_unison_4t:.3}x");
+    eprintln!("bench_kernels: unison 4t over 1t: {unison_4t_over_1t:.3}x");
 
     let fault_profile = fault_profile_json(&scenario).unwrap_or_else(|| "null".into());
     let runs: Vec<String> = samples.iter().map(sample_json).collect();
     let json = format!(
-        "{{\n  \"schema\": \"unison-bench/kernels-v4\",\n  \
+        "{{\n  \"schema\": \"unison-bench/kernels-v5\",\n  \
          \"scale\": \"{}\",\n  \
          \"workload\": \"fat-tree k={} incast 0.5, 100 Gbps links, 3 us delay\",\n  \
          \"ladder_over_heap_2t\": {:.3},\n  \"steal_over_ljf_2t\": {:.3},\n  \
          \"async_over_unison_4t\": {:.3},\n  \
+         \"unison_4t_over_1t\": {:.3},\n  \
          \"fault_profile\": {},\n  \
          \"runs\": [\n{}\n  ]\n}}\n",
         scale.name(),
@@ -413,6 +466,7 @@ fn main() {
         speedup,
         steal_over_ljf,
         async_over_unison_4t,
+        unison_4t_over_1t,
         fault_profile,
         runs.join(",\n"),
     );

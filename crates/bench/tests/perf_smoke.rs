@@ -11,7 +11,7 @@
 //!     --test-threads=1
 //! ```
 //!
-//! Four claims are guarded, with deliberately loose thresholds (these
+//! Six claims are guarded, with deliberately loose thresholds (these
 //! are tripwires against large regressions, not micro-benchmarks — the
 //! committed `BENCH_kernels.json` baseline holds the precise numbers):
 //!
@@ -34,7 +34,13 @@
 //!    better against the Unison kernel at 4 threads (contract ≥ 1.0x,
 //!    recorded in `BENCH_kernels.json`; enforcement floor 0.85 absorbs
 //!    shared-runner noise — removing the round barrier is the kernel's
-//!    entire reason to exist, DESIGN.md §4.8).
+//!    entire reason to exist, DESIGN.md §4.8);
+//! 6. on the same large tier the round-based Unison kernel at 4 threads
+//!    holds parity or better against itself at 1 thread (contract ≥ 1.0x,
+//!    the `unison_4t_over_1t` headline in `BENCH_kernels.json`; same 0.85
+//!    enforcement floor for timesliced 1-CPU runners) — the ratio round
+//!    fusion and the hierarchical tree barrier exist to lift (DESIGN.md
+//!    §4.9, ROADMAP item 1).
 
 use unison_bench::harness::{fat_tree_scenario, Scale, Scenario};
 use unison_core::{
@@ -284,5 +290,66 @@ fn async_cons_not_slower_than_unison_on_large_tier() {
          {threads} threads on the large tier: {a:.0} vs {u:.0} events/sec \
          (ratio {ratio:.3}, tripwire 0.85 — contract is parity, see \
          BENCH_kernels.json async_over_unison_4t)"
+    );
+}
+
+/// Tripwire 5: the round-based kernel's own thread scaling on the large
+/// tier — the `unison_4t_over_1t` headline. Round fusion (DESIGN.md §4.9)
+/// removes barrier crossings from sparse rounds and the hierarchical tree
+/// barrier cheapens the rest, so 4 threads must not run *slower* than 1
+/// thread on a ≥ 10⁷-event workload (the kernels-v4 baseline measured
+/// 0.96 — ROADMAP item 1 verbatim).
+///
+/// Same measurement discipline as tripwire 4: interleaved pairs with
+/// alternating within-pair order, medians per arm. The contract is
+/// parity or better (≥ 1.0x); the enforcement threshold is 0.85 because
+/// on timesliced single-CPU runners four workers sharing one core pay
+/// a context-switch tax no barrier topology can remove, and a 1.0
+/// assertion there would trip on the runner, not the kernel.
+#[test]
+#[ignore = "wall-clock tripwire; run explicitly in the CI perf-smoke job"]
+fn unison_4t_not_slower_than_1t_on_large_tier() {
+    let scenario = fat_tree_scenario(Scale::Large, 0.5, DataRate::gbps(100), Time::from_micros(3));
+    let sample_threads = |threads: usize| {
+        let run = scenario.run_real_with_fel(
+            KernelKind::Unison { threads },
+            PartitionMode::Auto,
+            FelImpl::Ladder,
+        );
+        (run.kernel.events, run.kernel.events_per_sec())
+    };
+    // Warm-up (page cache, allocator, frequency scaling).
+    sample_threads(4);
+    let mut wide = Vec::new();
+    let mut narrow = Vec::new();
+    let mut events = u64::MAX;
+    for pair in 0..5 {
+        let order: [usize; 2] = if pair % 2 == 0 { [4, 1] } else { [1, 4] };
+        for threads in order {
+            let (n, r) = sample_threads(threads);
+            events = events.min(n);
+            if threads == 4 {
+                wide.push(r);
+            } else {
+                narrow.push(r);
+            }
+        }
+    }
+    assert!(
+        events >= 10_000_000,
+        "the large tier must clear 10^7 events per run, got {events}"
+    );
+    let (w, n) = (median(&mut wide), median(&mut narrow));
+    let ratio = w / n;
+    eprintln!(
+        "perf-smoke: large-tier events/sec — unison 4t {w:.0}, unison 1t \
+         {n:.0} (ratio {ratio:.3}, {events} events)"
+    );
+    assert!(
+        ratio >= 0.85,
+        "the round-based kernel at 4 threads lost to itself at 1 thread \
+         on the large tier: {w:.0} vs {n:.0} events/sec (ratio {ratio:.3}, \
+         tripwire 0.85 — contract is parity, see BENCH_kernels.json \
+         unison_4t_over_1t and DESIGN.md §4.9)"
     );
 }

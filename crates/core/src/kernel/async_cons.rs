@@ -198,7 +198,7 @@ struct AsyncCtx<'a, N: SimNode> {
     out_pair: &'a [(u32, usize)],
     /// Per-channel lookahead (atomic: the main thread rewrites these inside
     /// its exclusive gate window after a topology mutation).
-    chan_la: &'a [AtomicU64],
+    chan_la: &'a [CachePadded<AtomicU64>],
     /// Destination LPs sent to while processing this LP (for wake-ups).
     touched: &'a mut Vec<u32>,
 }
@@ -336,7 +336,12 @@ pub(super) fn run<N: SimNode>(
         la_init.push(la.0);
     }
     let chan_count = chan_src.len();
-    let chan_la: Vec<AtomicU64> = la_init.into_iter().map(AtomicU64::new).collect();
+    // Padded: channel clocks are written by the sender and spun on by
+    // the receiver — the hottest cross-worker words in this kernel.
+    let chan_la: Vec<CachePadded<AtomicU64>> = la_init
+        .into_iter()
+        .map(|la| CachePadded::new(AtomicU64::new(la)))
+        .collect();
     // Cache-padded: each clock is written by exactly one worker (the
     // channel source's owner) and read by its receiver's owner every
     // sweep; packing them 8-to-a-line would false-share every grant.
@@ -453,6 +458,7 @@ pub(super) fn run<N: SimNode>(
     let wd = Watchdog::new();
     // Channel promises as they stood when the watchdog fired (the abort
     // drain overwrites the live clocks with `u64::MAX`).
+    // PADDING: written only on the abort drain — a cold failure path.
     let stall_clocks: Vec<AtomicU64> = (0..chan_count).map(|_| AtomicU64::new(u64::MAX)).collect();
 
     let mut gates_run: u64 = 0;
@@ -1106,6 +1112,7 @@ pub(super) fn run<N: SimNode>(
         // No synchronization rounds exist; see `async_stats` for the
         // kernel's own progress counters.
         rounds: 0,
+        fused_rounds: 0,
         lp_count: lp_count as u32,
         threads: threads as u32,
         lookahead: partition.lookahead,

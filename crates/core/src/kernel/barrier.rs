@@ -141,6 +141,8 @@ pub(super) fn run<N: SimNode>(
 
     let inboxes: Vec<MpscQueue<Event<N::Payload>>> =
         (0..lp_count).map(|_| MpscQueue::new()).collect();
+    // PADDING: the lock-step kernel is the deliberately naive baseline the
+    // paper compares against; each word has a single writer per round.
     let next_ts: Vec<AtomicU64> = lps.iter().map(|lp| AtomicU64::new(lp.next_ts.0)).collect();
     let barrier = SpinBarrier::new(lp_count);
     let stop_flag = AtomicBool::new(false);
@@ -391,6 +393,7 @@ pub(super) fn run<N: SimNode>(
             profile.push(RoundRecord {
                 window_start: results[0].2[r].window_start,
                 window_end: results[0].2[r].window_end,
+                fused: false,
                 lp_cost_ns: results.iter().map(|(_, _, s, ..)| s[r].cost_ns).collect(),
                 lp_events: results.iter().map(|(_, _, s, ..)| s[r].events).collect(),
                 lp_recv: results.iter().map(|(_, _, s, ..)| s[r].recv).collect(),
@@ -424,6 +427,7 @@ pub(super) fn run<N: SimNode>(
         events,
         global_events: 0,
         rounds,
+        fused_rounds: 0,
         lp_count: lp_count as u32,
         threads: lp_count as u32,
         lookahead,

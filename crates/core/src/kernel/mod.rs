@@ -265,6 +265,27 @@ impl RunConfig {
         self
     }
 
+    /// Overrides the round-fusion configuration (Unison/hybrid kernels;
+    /// DESIGN.md §4.9). Results are bit-identical with fusion on or off —
+    /// only barrier-crossing counts and wall-clock change.
+    pub fn with_fusion(mut self, fusion: crate::sched::FusionConfig) -> Self {
+        self.sched.fusion = fusion;
+        self
+    }
+
+    /// Disables round fusion (every round crosses the phase barriers).
+    pub fn without_fusion(mut self) -> Self {
+        self.sched.fusion = crate::sched::FusionConfig::off();
+        self
+    }
+
+    /// Sets the worker→core pinning policy (default off). Placement only:
+    /// pinning never affects simulation results.
+    pub fn with_pinning(mut self, pin: crate::pin::PinPolicy) -> Self {
+        self.sched.pin = pin;
+        self
+    }
+
     /// Partitions the topology through a staged [`PartitionPipeline`]
     /// instead of the built-in modes (DESIGN.md §4.5).
     pub fn with_partitioner(mut self, pipeline: PartitionPipeline) -> Self {

@@ -111,6 +111,8 @@ pub(super) fn run<N: SimNode>(
         chan_la.push(*la);
     }
     let chan_count = chan_src.len();
+    // PADDING: the null-message kernel is a comparison baseline; each
+    // channel clock has a single writer (the source LP's current owner).
     let chan_clock: Vec<AtomicU64> = (0..chan_count).map(|_| AtomicU64::new(0)).collect();
     let mut in_chans: Vec<Vec<usize>> = vec![Vec::new(); lp_count];
     let mut out_chans: Vec<Vec<usize>> = vec![Vec::new(); lp_count];
@@ -142,6 +144,7 @@ pub(super) fn run<N: SimNode>(
     // Channel promises as they stood when the watchdog fired: the abort
     // drain overwrites the live clocks with `u64::MAX`, so the stall
     // diagnosis walks this snapshot instead.
+    // PADDING: written only on the abort drain — a cold failure path.
     let stall_clocks: Vec<AtomicU64> = (0..chan_count).map(|_| AtomicU64::new(u64::MAX)).collect();
 
     std::thread::scope(|scope| {
@@ -452,6 +455,7 @@ pub(super) fn run<N: SimNode>(
         events,
         global_events: 0,
         rounds,
+        fused_rounds: 0,
         lp_count: lp_count as u32,
         threads: lp_count as u32,
         lookahead: partition.lookahead,

@@ -317,6 +317,7 @@ pub(super) fn run<N: SimNode>(
         events,
         global_events,
         rounds: 1,
+        fused_rounds: 0,
         lp_count: lp_count as u32,
         threads: 1,
         lookahead: partition.lookahead,

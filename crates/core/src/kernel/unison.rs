@@ -44,7 +44,7 @@ use crate::metrics::{
     EngineStats, LpTotals, MetricsLevel, Psm, RoundRecord, RunReport, SchedStats,
 };
 use crate::sched::{order_by_estimate_into, SchedMetric, SchedPolicy};
-use crate::sync::SpinBarrier;
+use crate::sync::{TreeBarrier, TreeWaiter};
 use crate::sync_shim::{AtomicBool, AtomicUsize, CachePadded, Ordering};
 use crate::telemetry::{SpanKind, TelContext, WorkerTel, NO_LP};
 use crate::time::Time;
@@ -89,6 +89,11 @@ struct RoundPlan {
     window_start: Time,
     /// End of the current window (the LBTS).
     window_end: Time,
+    /// The round number workers are released into. Published (instead of
+    /// counted locally by each worker) because fused rounds advance the
+    /// main thread's round counter while the workers stay parked at B0 —
+    /// a local counter would drift from the authoritative one.
+    round: u64,
     /// Set when the simulation is complete.
     done: bool,
     /// Per-LP cost estimates behind the current `order`, published only
@@ -105,7 +110,7 @@ struct RoundPlan {
 struct PlanCell(UnsafeCell<RoundPlan>);
 
 // SAFETY: see the access discipline above — main-thread writes and worker
-// reads are separated by `SpinBarrier::wait`, which performs an acquire/
+// reads are separated by `TreeBarrier::wait`, which performs an acquire/
 // release handshake.
 unsafe impl Sync for PlanCell {}
 
@@ -217,11 +222,40 @@ pub(super) fn run_grouped<N: SimNode>(
         group_lps,
         window_start: Time::ZERO,
         window_end: initial_window,
+        round: 1,
         done: initial_min == Time::MAX && public.next_ts() == Time::MAX,
         est: Vec::new(),
     }));
 
-    let barrier = SpinBarrier::new(threads);
+    // Round fusion (DESIGN.md §4.9): disabled while a fault plan is armed,
+    // so execution-point faults land on the configured worker and phase
+    // (fused rounds run every phase on the main thread).
+    let fusion = cfg.sched.fusion;
+    let fusion_on = fusion.enabled && cfg.fault.is_empty();
+    // Oversubscription clause (DESIGN.md §4.9): when the run asks for more
+    // workers than the machine has cores, parallel rounds only time-slice —
+    // serializing them on the control thread is strictly cheaper, so lift
+    // the load threshold entirely. Deterministic per machine and
+    // digest-neutral: fusion never changes the event order, only who runs
+    // the phases (pinned by the fusion on/off digest matrix).
+    let fusion_threshold = if std::thread::available_parallelism().is_ok_and(|c| threads > c.get())
+    {
+        u64::MAX
+    } else {
+        fusion.threshold
+    };
+    // Entry-predicate seed for round 1: the pending event count below the
+    // initial window stands in for "the previous round's load".
+    let mut last_load: u64 = 0;
+    for i in 0..lp_count {
+        // SAFETY: no worker threads exist yet.
+        last_load += unsafe { slots.get_mut(i) }.fel.count_below(initial_window) as u64;
+    }
+    let mut last_recv: u64 = 0;
+    let mut last_fused = false;
+    let mut fused_rounds: u64 = 0;
+
+    let barrier = TreeBarrier::new(threads);
     let cursor_recv: Vec<CachePadded<AtomicUsize>> = (0..groups)
         .map(|_| CachePadded::new(AtomicUsize::new(0)))
         .collect();
@@ -283,14 +317,20 @@ pub(super) fn run_grouped<N: SimNode>(
             let failure = &failure;
             let telctx = &telctx;
             handles.push(scope.spawn(move || {
+                // Deterministic placement (default off): pin worker `w`
+                // before the first barrier arrival. The main thread (worker
+                // 0) is the caller's thread and is never pinned — the run
+                // must not mutate the caller's affinity mask.
+                cfg.sched.pin.apply(w);
                 let mut psm = Psm::default();
                 let mut tel = telctx.worker(w as u32);
+                let mut waiter = barrier.waiter(w);
                 // Reusable receive-phase batch buffer (DESIGN.md §4.4).
                 let mut recv_buf: Vec<Event<N::Payload>> = Vec::new();
                 let mut round: u64 = 0;
                 loop {
                     // B0: plan published
-                    wait_timed(barrier, &mut psm.s_ns, &mut tel, round + 1, 0);
+                    wait_timed(barrier, &mut waiter, &mut psm.s_ns, &mut tel, round + 1, 0);
                     if barrier.is_poisoned() {
                         break;
                     }
@@ -299,7 +339,9 @@ pub(super) fn run_grouped<N: SimNode>(
                     if p.done {
                         break;
                     }
-                    round += 1;
+                    // Authoritative round number: fused rounds advance it
+                    // while workers are parked, so it may jump.
+                    round = p.round;
                     let site: Site = Cell::new((None, p.window_start));
                     let tel_start = tel.start();
                     let t0 = Instant::now();
@@ -345,12 +387,12 @@ pub(super) fn run_grouped<N: SimNode>(
                             break;
                         }
                     }
-                    wait_timed(barrier, &mut psm.s_ns, &mut tel, round, 1); // B1
+                    wait_timed(barrier, &mut waiter, &mut psm.s_ns, &mut tel, round, 1); // B1
                     if barrier.is_poisoned() {
                         break;
                     }
                     // B2 (main ran globals)
-                    wait_timed(barrier, &mut psm.s_ns, &mut tel, round, 2);
+                    wait_timed(barrier, &mut waiter, &mut psm.s_ns, &mut tel, round, 2);
                     if barrier.is_poisoned() {
                         break;
                     }
@@ -396,7 +438,7 @@ pub(super) fn run_grouped<N: SimNode>(
                     }
                     #[cfg(feature = "fault-inject")]
                     cfg.fault.fire_barrier_delay(round, w);
-                    wait_timed(barrier, &mut psm.s_ns, &mut tel, round, 3); // B3
+                    wait_timed(barrier, &mut waiter, &mut psm.s_ns, &mut tel, round, 3); // B3
                     if barrier.is_poisoned() {
                         break;
                     }
@@ -417,57 +459,99 @@ pub(super) fn run_grouped<N: SimNode>(
         let mut estimates: Vec<u64> = Vec::new();
         let mut group_est: Vec<u64> = Vec::new();
         let mut group_order: Vec<u32> = Vec::new();
+        let mut waiter0 = barrier.waiter(0);
         slots.begin_phase(); // covers phase 1 of round 1
         loop {
-            // B0
-            wait_timed(&barrier, &mut main_psm.s_ns, &mut main_tel, rounds + 1, 0);
-            if barrier.is_poisoned() {
-                break;
-            }
-            // SAFETY: parallel-phase read.
+            // SAFETY: the main thread is exclusive until its B0 arrival —
+            // workers are parked inside the B0 wait (it cannot complete
+            // without main) and only read the plan after it does.
             let p = unsafe { &*plan.0.get() };
-            if p.done {
-                break;
-            }
+            // Round fusion (DESIGN.md §4.9): when the previous round's
+            // load was below the threshold, the four barrier crossings
+            // cost more than this round's events — run the round serially
+            // right here while the workers stay parked at B0. A cross-LP
+            // arrival during a fused round ends the span (the next round
+            // steps through the barrier path).
+            let fuse = fusion_on
+                && !p.done
+                && !barrier.is_poisoned()
+                && last_load <= fusion_threshold
+                && !(last_fused && last_recv > 0);
+            let round = rounds + 1;
             let window_start = p.window_start;
             let window_end = p.window_end;
+            let round_tel_start = main_tel.start();
+            let round_t0 = Instant::now();
+            if !fuse {
+                // B0
+                wait_timed(
+                    &barrier,
+                    &mut waiter0,
+                    &mut main_psm.s_ns,
+                    &mut main_tel,
+                    round,
+                    0,
+                );
+                if barrier.is_poisoned() {
+                    break;
+                }
+                if p.done {
+                    break;
+                }
+            }
             let site: Site = Cell::new((None, window_start));
             let tel_start = main_tel.start();
             let t0 = Instant::now();
             let r = catch_unwind(AssertUnwindSafe(|| {
                 #[cfg(feature = "fault-inject")]
-                cfg.fault.fire_phase(rounds + 1, RunPhase::Process, 0);
-                process_phase(
-                    &slots,
-                    &mailboxes,
-                    &*policies[main_group],
-                    main_slot,
-                    &p.order[main_group],
-                    p,
-                    &stop_flag,
-                    &site,
-                    &mut main_tel,
-                    rounds + 1,
-                )
+                cfg.fault.fire_phase(round, RunPhase::Process, 0);
+                if fuse {
+                    // Fused round: this thread claims every group's whole
+                    // order (slot 0 of each policy); the parked workers
+                    // never contend for claims.
+                    let mut events = 0;
+                    for (g, policy) in policies.iter().enumerate() {
+                        events += process_phase(
+                            &slots,
+                            &mailboxes,
+                            &**policy,
+                            0,
+                            &p.order[g],
+                            p,
+                            &stop_flag,
+                            &site,
+                            &mut main_tel,
+                            round,
+                        );
+                    }
+                    events
+                } else {
+                    process_phase(
+                        &slots,
+                        &mailboxes,
+                        &*policies[main_group],
+                        main_slot,
+                        &p.order[main_group],
+                        p,
+                        &stop_flag,
+                        &site,
+                        &mut main_tel,
+                        round,
+                    )
+                }
             }));
             let p_dur = t0.elapsed().as_nanos() as u64;
             main_psm.p_ns += p_dur;
             match r {
-                Ok(events) => main_tel.span_dur(
-                    SpanKind::Process,
-                    rounds + 1,
-                    NO_LP,
-                    tel_start,
-                    p_dur,
-                    events,
-                    0,
-                ),
+                Ok(events) => {
+                    main_tel.span_dur(SpanKind::Process, round, NO_LP, tel_start, p_dur, events, 0)
+                }
                 Err(payload) => {
                     contain(
                         &failure,
                         &barrier,
                         kernel_name,
-                        rounds + 1,
+                        round,
                         RunPhase::Process,
                         &site,
                         0,
@@ -476,9 +560,18 @@ pub(super) fn run_grouped<N: SimNode>(
                     break;
                 }
             }
-            wait_timed(&barrier, &mut main_psm.s_ns, &mut main_tel, rounds + 1, 1); // B1
-            if barrier.is_poisoned() {
-                break;
+            if !fuse {
+                wait_timed(
+                    &barrier,
+                    &mut waiter0,
+                    &mut main_psm.s_ns,
+                    &mut main_tel,
+                    round,
+                    1,
+                ); // B1
+                if barrier.is_poisoned() {
+                    break;
+                }
             }
 
             // ---- Phase 2: global events (main thread only) ----
@@ -490,7 +583,7 @@ pub(super) fn run_grouped<N: SimNode>(
             let site: Site = Cell::new((None, window_end));
             let r = catch_unwind(AssertUnwindSafe(|| {
                 #[cfg(feature = "fault-inject")]
-                cfg.fault.fire_phase(rounds + 1, RunPhase::Global, 0);
+                cfg.fault.fire_phase(round, RunPhase::Global, 0);
                 let mut topology_dirty = false;
                 for c in cursor_recv.iter() {
                     c.store(0, Ordering::Relaxed);
@@ -592,7 +685,7 @@ pub(super) fn run_grouped<N: SimNode>(
                     &failure,
                     &barrier,
                     kernel_name,
-                    rounds + 1,
+                    round,
                     RunPhase::Global,
                     &site,
                     0,
@@ -602,7 +695,7 @@ pub(super) fn run_grouped<N: SimNode>(
             }
             main_tel.span_dur(
                 SpanKind::Global,
-                rounds + 1,
+                round,
                 NO_LP,
                 tel_start,
                 g_dur,
@@ -610,50 +703,71 @@ pub(super) fn run_grouped<N: SimNode>(
                 0,
             );
             slots.begin_phase(); // covers phase 3 (released by B2)
-            wait_timed(&barrier, &mut main_psm.s_ns, &mut main_tel, rounds + 1, 2); // B2
-            if barrier.is_poisoned() {
-                break;
+            if !fuse {
+                wait_timed(
+                    &barrier,
+                    &mut waiter0,
+                    &mut main_psm.s_ns,
+                    &mut main_tel,
+                    round,
+                    2,
+                ); // B2
+                if barrier.is_poisoned() {
+                    break;
+                }
             }
 
-            // ---- Phase 3: receive (parallel) ----
+            // ---- Phase 3: receive (parallel; fused rounds drain every
+            // group serially on the main thread) ----
             let site: Site = Cell::new((None, window_end));
             let tel_start = main_tel.start();
             let t0 = Instant::now();
             let r = catch_unwind(AssertUnwindSafe(|| {
                 #[cfg(feature = "fault-inject")]
                 {
-                    cfg.fault.fire_phase(rounds + 1, RunPhase::Receive, 0);
-                    cfg.fault.fire_stall(rounds + 1, 0);
+                    cfg.fault.fire_phase(round, RunPhase::Receive, 0);
+                    cfg.fault.fire_stall(round, 0);
                 }
-                receive_phase(
-                    &slots,
-                    &mailboxes,
-                    &cursor_recv[main_group],
-                    &p.group_lps[main_group],
-                    &site,
-                    &mut main_tel,
-                    rounds + 1,
-                    &mut main_recv_buf,
-                )
+                if fuse {
+                    let mut recv = 0u64;
+                    for (g, cursor) in cursor_recv.iter().enumerate() {
+                        recv += receive_phase(
+                            &slots,
+                            &mailboxes,
+                            cursor,
+                            &p.group_lps[g],
+                            &site,
+                            &mut main_tel,
+                            round,
+                            &mut main_recv_buf,
+                        );
+                    }
+                    recv
+                } else {
+                    receive_phase(
+                        &slots,
+                        &mailboxes,
+                        &cursor_recv[main_group],
+                        &p.group_lps[main_group],
+                        &site,
+                        &mut main_tel,
+                        round,
+                        &mut main_recv_buf,
+                    )
+                }
             }));
             let m_dur = t0.elapsed().as_nanos() as u64;
             main_psm.m_ns += m_dur;
             match r {
-                Ok(recv) => main_tel.span_dur(
-                    SpanKind::Receive,
-                    rounds + 1,
-                    NO_LP,
-                    tel_start,
-                    m_dur,
-                    recv,
-                    0,
-                ),
+                Ok(recv) => {
+                    main_tel.span_dur(SpanKind::Receive, round, NO_LP, tel_start, m_dur, recv, 0)
+                }
                 Err(payload) => {
                     contain(
                         &failure,
                         &barrier,
                         kernel_name,
-                        rounds + 1,
+                        round,
                         RunPhase::Receive,
                         &site,
                         0,
@@ -662,11 +776,20 @@ pub(super) fn run_grouped<N: SimNode>(
                     break;
                 }
             }
-            #[cfg(feature = "fault-inject")]
-            cfg.fault.fire_barrier_delay(rounds + 1, 0);
-            wait_timed(&barrier, &mut main_psm.s_ns, &mut main_tel, rounds + 1, 3); // B3
-            if barrier.is_poisoned() {
-                break;
+            if !fuse {
+                #[cfg(feature = "fault-inject")]
+                cfg.fault.fire_barrier_delay(round, 0);
+                wait_timed(
+                    &barrier,
+                    &mut waiter0,
+                    &mut main_psm.s_ns,
+                    &mut main_tel,
+                    round,
+                    3,
+                ); // B3
+                if barrier.is_poisoned() {
+                    break;
+                }
             }
 
             // ---- Phase 4: update window + schedule (main thread only) ----
@@ -674,11 +797,19 @@ pub(super) fn run_grouped<N: SimNode>(
             let tel_start = main_tel.start();
             let t0 = Instant::now();
             rounds += 1;
+            if fuse {
+                fused_rounds += 1;
+            }
             let mut min_next = Time::MAX;
+            let mut load: u64 = 0;
+            let mut recv_total: u64 = 0;
             for i in 0..lp_count {
-                // SAFETY: workers are between B3 and B0; main is exclusive.
+                // SAFETY: workers are between B3 and B0 (fused rounds: still
+                // parked at B0); main is exclusive.
                 let lp = unsafe { slots.get_mut(i) };
                 min_next = min_next.min(lp.next_ts);
+                load += lp.round_events + lp.round_recv;
+                recv_total += lp.round_recv;
             }
             let n_pub = public.next_ts();
             let next_window = n_pub.min(min_next.saturating_add(partition.lookahead));
@@ -689,6 +820,7 @@ pub(super) fn run_grouped<N: SimNode>(
                 let mut rec = RoundRecord {
                     window_start,
                     window_end,
+                    fused: fuse,
                     lp_cost_ns: Vec::with_capacity(lp_count),
                     lp_events: Vec::with_capacity(lp_count),
                     lp_recv: Vec::with_capacity(lp_count),
@@ -780,6 +912,9 @@ pub(super) fn run_grouped<N: SimNode>(
                 plan_mut.window_start = window_end;
                 plan_mut.window_end = next_window;
                 plan_mut.done = done;
+                // Fused rounds advance `rounds` while the workers stay parked
+                // at B0, so the plan carries the authoritative round number.
+                plan_mut.round = rounds + 1;
             }
             for pol in policies.iter() {
                 pol.begin_round();
@@ -796,6 +931,25 @@ pub(super) fn run_grouped<N: SimNode>(
                 window_end.0,
                 next_window.0,
             );
+            if fuse {
+                // A whole-round span marking that every phase of this round
+                // ran on the main thread with no barrier crossing. `a` is
+                // the round's total load, `b` the cross-LP events it drained
+                // (the round that forces the fallback).
+                main_tel.span_dur(
+                    SpanKind::FusedRound,
+                    rounds,
+                    NO_LP,
+                    round_tel_start,
+                    round_t0.elapsed().as_nanos() as u64,
+                    load,
+                    recv_total,
+                );
+            }
+            // Feed the fusion predictor for the next round.
+            last_load = load;
+            last_recv = recv_total;
+            last_fused = fuse;
             // One round completed: feed the watchdog.
             wd.tick();
         }
@@ -870,6 +1024,7 @@ pub(super) fn run_grouped<N: SimNode>(
         events,
         global_events,
         rounds,
+        fused_rounds,
         lp_count: lp_count as u32,
         threads: threads as u32,
         lookahead: partition.lookahead,
@@ -922,7 +1077,7 @@ pub(super) fn run_grouped<N: SimNode>(
 #[allow(clippy::too_many_arguments)]
 fn contain(
     failure: &Mutex<Option<FailureDiagnostics>>,
-    barrier: &SpinBarrier,
+    barrier: &TreeBarrier,
     kernel: &'static str,
     round: u64,
     phase: RunPhase,
@@ -948,12 +1103,20 @@ fn contain(
 
 /// Barrier wait with the blocked time charged to `s_ns` and recorded as a
 /// `barrier-wait` span (`arg` = barrier index 0–3 within `round`). The
-/// wall-clock measurement lives in [`SpinBarrier::wait_timed`].
+/// wall-clock measurement lives in [`TreeBarrier::wait_timed`].
 #[inline]
-fn wait_timed(barrier: &SpinBarrier, s_ns: &mut u64, tel: &mut WorkerTel, round: u64, which: u64) {
+#[allow(clippy::too_many_arguments)]
+fn wait_timed(
+    barrier: &TreeBarrier,
+    waiter: &mut TreeWaiter,
+    s_ns: &mut u64,
+    tel: &mut WorkerTel,
+    round: u64,
+    which: u64,
+) {
     let tel_start = tel.start();
     let before = *s_ns;
-    barrier.wait_timed(s_ns);
+    barrier.wait_timed(waiter, s_ns);
     tel.span_dur(
         SpanKind::BarrierWait,
         round,

@@ -20,14 +20,16 @@ use std::time::{Duration, Instant};
 /// Shared state between a kernel's threads and its watchdog monitor.
 pub(crate) struct Watchdog {
     /// Monotone progress counter; any bump resets the deadline.
+    // PADDING: watchdog words are touched once per round / per poll slice
+    // (milliseconds), never per event — contention is negligible.
     progress: AtomicU64,
     /// Set by the monitor when the deadline expired.
-    stalled: AtomicBool,
+    stalled: AtomicBool, // PADDING: cold; see `progress`.
     /// Round-deadline suspension: while non-zero, the monitor treats every
     /// poll slice as progress. Raised around in-round work whose wall cost
     /// is legitimately unbounded (checkpoint serialization to disk), so a
     /// slow disk cannot masquerade as a stalled round (DESIGN.md §4.7).
-    paused: AtomicBool,
+    paused: AtomicBool, // PADDING: cold; see `progress`.
     /// Run-finished latch, so the monitor exits promptly at run end.
     done: Mutex<bool>,
     cond: Condvar,

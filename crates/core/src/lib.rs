@@ -72,6 +72,7 @@ pub mod mailbox;
 pub mod metrics;
 pub mod partition;
 pub mod perfmodel;
+pub mod pin;
 pub mod queue;
 pub mod rng;
 pub mod sched;
@@ -103,10 +104,11 @@ pub use partition::{
     MedianCut, Partition, PartitionPipeline, Partitioner, PlaceStage, RefineStage, TopoPlace,
 };
 pub use perfmodel::{CostParams, ModelResult, PerfModel};
+pub use pin::PinPolicy;
 pub use rng::Rng;
 pub use sched::{
-    scheduling_regret, LjfCursor, SchedConfig, SchedMetric, SchedPolicy, SchedPolicyKind,
-    SchedPolicyStats,
+    scheduling_regret, FusionConfig, LjfCursor, SchedConfig, SchedMetric, SchedPolicy,
+    SchedPolicyKind, SchedPolicyStats,
 };
 pub use stealdeque::StealDeque;
 pub use telemetry::{RunTelemetry, SchedDecision, Span, SpanKind, TelemetryConfig, WorkerSpans};

@@ -128,8 +128,10 @@ impl<N: SimNode> LpState<N> {
 pub struct LpSlots<N: SimNode> {
     slots: Vec<CachePadded<UnsafeCell<LpState<N>>>>,
     directory: NodeDirectory,
+    // Padded: with the audit on, every claimant swaps its LP's owner
+    // word each phase — unpadded they'd false-share across workers.
     #[cfg(feature = "claim-audit")]
-    owners: Vec<std::sync::atomic::AtomicU32>,
+    owners: Vec<CachePadded<std::sync::atomic::AtomicU32>>,
     #[cfg(feature = "claim-audit")]
     phase: std::sync::atomic::AtomicU32,
 }
@@ -167,7 +169,7 @@ impl<N: SimNode> LpSlots<N> {
     pub fn new(lps: Vec<LpState<N>>, directory: NodeDirectory) -> Self {
         #[cfg(feature = "claim-audit")]
         let owners = (0..lps.len())
-            .map(|_| std::sync::atomic::AtomicU32::new(0))
+            .map(|_| CachePadded::new(std::sync::atomic::AtomicU32::new(0)))
             .collect();
         LpSlots {
             slots: lps

@@ -60,6 +60,10 @@ pub struct RoundRecord {
     pub window_start: Time,
     /// Window end (the LBTS of this round).
     pub window_end: Time,
+    /// Whether the round was *fused*: executed end-to-end on the main
+    /// thread with no barrier crossing (unison kernel round fusion,
+    /// DESIGN.md §4.9). Always `false` for kernels without fusion.
+    pub fused: bool,
     /// Measured (or modeled) processing cost per LP, nanoseconds.
     pub lp_cost_ns: Vec<f32>,
     /// Events processed per LP.
@@ -186,6 +190,10 @@ pub struct RunReport {
     /// rounds and reports 0 here; its progress counters (grants, stalls,
     /// gates, per-worker stall wait) live in [`RunReport::async_stats`].
     pub rounds: u64,
+    /// Rounds that *fused* — ran every phase on the main thread without a
+    /// barrier crossing (unison round fusion, DESIGN.md §4.9). Always
+    /// `<= rounds`; 0 for kernels without fusion or with fusion disabled.
+    pub fused_rounds: u64,
     /// Number of LPs.
     pub lp_count: u32,
     /// Number of worker threads used.
@@ -343,6 +351,7 @@ mod tests {
         let r = RoundRecord {
             window_start: Time(0),
             window_end: Time(10),
+            fused: false,
             lp_cost_ns: vec![1.0, 5.0, 2.0],
             lp_events: vec![1, 5, 2],
             lp_recv: vec![0, 0, 0],
@@ -374,6 +383,7 @@ mod tests {
         RoundRecord {
             window_start: Time(0),
             window_end: Time(10),
+            fused: false,
             lp_cost_ns: costs.to_vec(),
             lp_events: vec![0; costs.len()],
             lp_recv: vec![0; costs.len()],

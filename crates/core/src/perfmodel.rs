@@ -430,6 +430,7 @@ mod tests {
             .map(|r| RoundRecord {
                 window_start: Time(r as u64 * 10),
                 window_end: Time((r as u64 + 1) * 10),
+                fused: false,
                 lp_cost_ns: costs[r % costs.len()].to_vec(),
                 lp_events: vec![1; costs[0].len()],
                 lp_recv: vec![0; costs[0].len()],
@@ -512,6 +513,7 @@ mod tests {
             RoundRecord {
                 window_start: Time(0),
                 window_end: Time(10),
+                fused: false,
                 lp_cost_ns: vec![1.0, 1.0, 10.0],
                 lp_events: vec![1, 1, 1],
                 lp_recv: vec![0, 0, 0],
@@ -519,6 +521,7 @@ mod tests {
             RoundRecord {
                 window_start: Time(10),
                 window_end: Time(20),
+                fused: false,
                 lp_cost_ns: vec![1.0, 1.0, 1.0],
                 lp_events: vec![1, 1, 1],
                 lp_recv: vec![0, 0, 0],

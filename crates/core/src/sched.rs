@@ -192,6 +192,56 @@ impl SchedPolicy for LjfCursor {
     }
 }
 
+/// Round-fusion configuration for the Unison/hybrid kernels
+/// (DESIGN.md §4.9).
+///
+/// A *fused* round is executed serially by the control thread while the
+/// workers stay parked at the round's first barrier: when the previous
+/// round's load is below [`FusionConfig::threshold`], the four barrier
+/// crossings cost more than the round's events do, so the control thread
+/// steps through the same four phases in place — same event order,
+/// bit-identical digests — and only releases the workers again once a
+/// round is worth parallelizing. A cross-LP arrival during a fused round
+/// ends the span: the next round steps through the barrier path
+/// (single-round stepping), and fusion re-enters when the load predicate
+/// holds again.
+///
+/// Fusion is a pure wall-clock optimization: the determinism proof is the
+/// kernel's own "identical for any worker count" guarantee (a fused round
+/// is exactly the 1-worker round), machine-pinned by the fusion digest
+/// matrix in `sched_matrix.rs`. It is disabled automatically while a
+/// fault-injection plan is armed, so execution-point faults keep landing
+/// on the configured worker and phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FusionConfig {
+    /// Master switch (default: on).
+    pub enabled: bool,
+    /// Fuse the next round when the previous round's total load (events
+    /// processed + events received) is at or below this bound. The default
+    /// (512) approximates the break-even point where four barrier
+    /// crossings at spin-then-yield cost rival the events' execution time.
+    pub threshold: u64,
+}
+
+impl Default for FusionConfig {
+    fn default() -> Self {
+        FusionConfig {
+            enabled: true,
+            threshold: 512,
+        }
+    }
+}
+
+impl FusionConfig {
+    /// A disabled configuration (every round crosses the barriers).
+    pub fn off() -> Self {
+        FusionConfig {
+            enabled: false,
+            threshold: 0,
+        }
+    }
+}
+
 /// Scheduling configuration for the Unison kernel.
 #[derive(Clone, Copy, Debug)]
 pub struct SchedConfig {
@@ -204,6 +254,11 @@ pub struct SchedConfig {
     /// Results are bit-identical across policies; only execution placement
     /// and wall-clock behaviour differ.
     pub policy: SchedPolicyKind,
+    /// Round fusion (barrier elision for cheap rounds; DESIGN.md §4.9).
+    /// Results are bit-identical with fusion on or off.
+    pub fusion: FusionConfig,
+    /// Worker→core pinning (default off; no effect on digests).
+    pub pin: crate::pin::PinPolicy,
 }
 
 impl Default for SchedConfig {
@@ -212,6 +267,8 @@ impl Default for SchedConfig {
             metric: SchedMetric::ByLastRoundTime,
             period: None,
             policy: SchedPolicyKind::LjfCursor,
+            fusion: FusionConfig::default(),
+            pin: crate::pin::PinPolicy::Off,
         }
     }
 }

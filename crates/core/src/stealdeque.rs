@@ -65,7 +65,10 @@ pub struct StealDeque {
     lists: UnsafeCell<Vec<Vec<u32>>>,
     /// One claim flag per published position. Replaced in `publish`,
     /// cleared in `begin_round`; swapped by workers during claims.
-    claimed: UnsafeCell<Vec<AtomicBool>>,
+    // Padded: claim flags are the words thieves and owners CAS against
+    // each other on; one flag per cache line keeps a steal from
+    // invalidating its neighbors' claims.
+    claimed: UnsafeCell<Vec<CachePadded<AtomicBool>>>,
     /// Per-worker LIFO counter over its own list.
     local_taken: Vec<CachePadded<AtomicUsize>>,
     /// Per-victim FIFO steal cursor (shared by all thieves of that victim).
@@ -132,7 +135,7 @@ impl SchedPolicy for StealDeque {
             l.clear();
         }
         claimed.clear();
-        claimed.resize_with(order.len(), || AtomicBool::new(false));
+        claimed.resize_with(order.len(), || CachePadded::new(AtomicBool::new(false)));
         if affinity.is_empty() {
             // No placement hints: stripe the LJF order round-robin so each
             // worker's deque gets a balanced slice of long and short jobs.

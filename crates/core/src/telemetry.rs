@@ -100,11 +100,17 @@ pub enum SpanKind {
     /// (the barrier-free analogue of `BarrierWait`, which that kernel only
     /// uses for gate rendezvous).
     StallWait,
+    /// Unison kernel: a whole round that *fused* — every phase ran on the
+    /// main thread with no barrier crossing (DESIGN.md §4.9). Control
+    /// thread only; `arg` = the round's total load (events + cross-LP
+    /// receives), `arg2` = cross-LP events drained (a non-zero value is
+    /// what forces the next round back through the barrier path).
+    FusedRound,
 }
 
 impl SpanKind {
     /// Every kind, for report iteration.
-    pub const ALL: [SpanKind; 11] = [
+    pub const ALL: [SpanKind; 12] = [
         SpanKind::Process,
         SpanKind::Global,
         SpanKind::Receive,
@@ -116,6 +122,7 @@ impl SpanKind {
         SpanKind::Merge,
         SpanKind::Grant,
         SpanKind::StallWait,
+        SpanKind::FusedRound,
     ];
 
     /// Short display name (also the Chrome-trace event name).
@@ -132,6 +139,7 @@ impl SpanKind {
             SpanKind::Merge => "merge",
             SpanKind::Grant => "grant",
             SpanKind::StallWait => "stall-wait",
+            SpanKind::FusedRound => "fused-round",
         }
     }
 }

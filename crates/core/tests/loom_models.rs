@@ -64,6 +64,15 @@
 //!     visible — combining the fetch_max edge of claim 10 with the
 //!     min-reduction of claim 11 (DESIGN.md §4.8).
 //!
+//! 13. the hierarchical tree barrier ([`TreeBarrier`]) releases a crossing
+//!     only after every participant arrived, elects exactly one root winner
+//!     per generation, carries the happens-before edge from every
+//!     participant's pre-barrier writes to every participant's post-barrier
+//!     reads through the arrival chain + release broadcast, and its
+//!     `Relaxed` per-node arrival reset cannot double-count across
+//!     generations — the monotone `release_gen` clock replacing the flat
+//!     barrier's sense bit (DESIGN.md §4.9);
+//!
 //! A final, deliberately broken model double-checks the checker: weakening
 //! a publish to `Relaxed` must be reported as a data race.
 
@@ -74,7 +83,7 @@ use loom::sync::Arc;
 use loom::thread;
 
 use unison_core::queue::MpscQueue;
-use unison_core::sync::SpinBarrier;
+use unison_core::sync::{SpinBarrier, TreeBarrier};
 use unison_core::sync_shim::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use unison_core::{SchedPolicy, StealDeque};
 
@@ -284,6 +293,135 @@ fn barrier_poison_releases_waiters() {
         assert_eq!(v, 42, "poison did not publish the diagnostics write");
         // A participant arriving after the poison drains immediately too.
         assert!(!bar.wait());
+    });
+
+    // Tree path: same contract on the hierarchical barrier. Fan-in 2 with
+    // 3 participants forces a two-level tree, so the parked waiter spins on
+    // a *leaf* node while the third participant never arrives — poison must
+    // release it (and publish the diagnostics) exactly as on the flat
+    // barrier, and late arrivals must drain.
+    loom::model(|| {
+        let bar = Arc::new(TreeBarrier::with_shape(3, 2, 0));
+        let diag = Arc::new(UnsafeCell::new(0u32));
+
+        let waiter = {
+            let bar = Arc::clone(&bar);
+            let diag = Arc::clone(&diag);
+            thread::spawn(move || {
+                let mut w = bar.waiter(0);
+                let led = bar.wait(&mut w);
+                assert!(!led, "a poisoned generation must not elect a leader");
+                assert!(bar.is_poisoned(), "wait may only drain via poison here");
+                diag.with(|p| {
+                    // SAFETY: `wait` can only have returned by observing the
+                    // poison flag with Acquire, which orders this read after
+                    // the poisoner's write below.
+                    unsafe { *p }
+                })
+            })
+        };
+
+        diag.with_mut(|p| {
+            // SAFETY: written before the Release poison; the waiter reads
+            // only after its Acquire observation of the flag.
+            unsafe { *p = 43 }
+        });
+        bar.poison();
+        let v = waiter.join().unwrap();
+        assert_eq!(v, 43, "tree poison did not publish the diagnostics write");
+        let mut w = bar.waiter(1);
+        assert!(!bar.wait(&mut w), "late arrival must drain via poison");
+    });
+}
+
+/// Claim 13: the tree barrier's release publication. Fan-in 2 with three
+/// participants forces a two-level tree (two leaves + a root), so the model
+/// exercises the full protocol: the winner chain up (leaf winner's
+/// `fetch_add` at the root), the `Relaxed` arrival reset before the climb,
+/// the root winner's top-down `Release` broadcast of the generation, and a
+/// waiter's `Acquire` spin-exit on its own node. Two back-to-back crossings
+/// with plain cells handed around verify:
+///
+/// - generation 1 publishes every participant's pre-barrier write to every
+///   participant (a missing edge is a loom data race);
+/// - exactly one `wait` per generation returns `true`;
+/// - the reset cannot double-count: a stale arrival count trips the
+///   `debug_assert` inside `wait`, and the monotone `release_gen` keeps an
+///   early climber of generation 2 from sailing through a stale value (the
+///   failure mode a sense bit would have — it surfaces here as a deadlock).
+#[test]
+fn tree_barrier_release_publication() {
+    // Three participants over a two-level tree cross twice, and every failed
+    // spin yields — full exploration at the default preemption bound of 3
+    // exceeds the execution backstop. Bound 2 keeps the search exhaustive
+    // over schedules with up to two involuntary switches (yield-driven
+    // blocking switches are still explored fully), which is where the
+    // reset/sense hazards this model guards against live.
+    let builder = loom::model::Builder {
+        preemption_bound: Some(2),
+        max_iterations: 400_000,
+    };
+    builder.check(|| {
+        // spin_limit 0: always yield on a failed check so the model
+        // scheduler can run the release-wave writer.
+        let bar = Arc::new(TreeBarrier::with_shape(3, 2, 0));
+        let cells: Arc<Vec<UnsafeCell<u64>>> =
+            Arc::new((0..3).map(|_| UnsafeCell::new(0)).collect());
+        let leaders = Arc::new(AtomicUsize::new(0));
+
+        // Each participant: write its own cell, cross (gen 1), read every
+        // cell — all writes are sequenced before the first crossing, so the
+        // reads are safe from any interleaving and verify exactly the
+        // barrier's publication edge — then cross again (gen 2), which
+        // exercises the arrival reset and the monotone generation clock (a
+        // stale count trips the debug_assert; a stale release value shows
+        // up as a deadlock or a double leader).
+        let cross2 =
+            |id: usize, bar: &TreeBarrier, cells: &[UnsafeCell<u64>], leaders: &AtomicUsize| {
+                let mut w = bar.waiter(id);
+                cells[id].with_mut(|p| {
+                    // SAFETY: participant `id` owns its cell before the first
+                    // crossing; others read it only after the release wave.
+                    unsafe { *p = id as u64 + 1 }
+                });
+                if bar.wait(&mut w) {
+                    leaders.fetch_add(1, Ordering::Relaxed);
+                }
+                for (i, c) in cells.iter().enumerate() {
+                    let v = c.with(|p| {
+                        // SAFETY: ordered after participant `i`'s write by the
+                        // arrival chain + release broadcast of generation 1,
+                        // and no participant writes after its crossing.
+                        unsafe { *p }
+                    });
+                    assert_eq!(
+                        v,
+                        i as u64 + 1,
+                        "participant {i}'s pre-barrier write not published"
+                    );
+                }
+                if bar.wait(&mut w) {
+                    leaders.fetch_add(1, Ordering::Relaxed);
+                }
+            };
+
+        let handles: Vec<_> = (1..3)
+            .map(|id| {
+                let bar = Arc::clone(&bar);
+                let cells = Arc::clone(&cells);
+                let leaders = Arc::clone(&leaders);
+                thread::spawn(move || cross2(id, &bar, &cells, &leaders))
+            })
+            .collect();
+        cross2(0, &bar, &cells, &leaders);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            leaders.load(Ordering::Relaxed),
+            2,
+            "each tree generation must elect exactly one root winner"
+        );
     });
 }
 

@@ -15,8 +15,8 @@
 //! partition exactly, so those two are digest-compatible — also asserted.
 
 use unison_core::{
-    kernel, KernelKind, NodeId, PartitionMode, PartitionPipeline, Rng, RunConfig, SchedConfig,
-    SchedMetric, SchedPolicyKind, SimCtx, SimNode, Time, WorldBuilder,
+    kernel, FelImpl, FusionConfig, KernelKind, NodeId, PartitionMode, PartitionPipeline, Rng,
+    RunConfig, SchedConfig, SchedMetric, SchedPolicyKind, SimCtx, SimNode, Time, WorldBuilder,
 };
 
 /// A token with its own deterministic randomness (the kernels.rs model).
@@ -96,6 +96,15 @@ fn world() -> unison_core::World<Router> {
 type Digest = (Vec<(u64, u64)>, u64);
 
 fn run(kernel_kind: KernelKind, partition: PartitionMode, sched: SchedConfig) -> Digest {
+    run_fel(kernel_kind, partition, sched, FelImpl::default())
+}
+
+fn run_fel(
+    kernel_kind: KernelKind,
+    partition: PartitionMode,
+    sched: SchedConfig,
+    fel: FelImpl,
+) -> Digest {
     let (w, report) = kernel::run(
         world(),
         &RunConfig {
@@ -105,7 +114,7 @@ fn run(kernel_kind: KernelKind, partition: PartitionMode, sched: SchedConfig) ->
             sched,
             metrics: Default::default(),
             telemetry: Default::default(),
-            fel: Default::default(),
+            fel,
             fault: Default::default(),
         },
     )
@@ -149,6 +158,7 @@ fn every_policy_thread_metric_combination_is_bit_identical() {
                             metric,
                             period: Some(4),
                             policy,
+                            ..Default::default()
                         },
                     );
                     assert_eq!(
@@ -196,6 +206,7 @@ fn hybrid_kernel_is_policy_invariant() {
                 metric: SchedMetric::ByLastRoundTime,
                 period: Some(4),
                 policy,
+                ..Default::default()
             },
         )
     };
@@ -271,6 +282,7 @@ fn steal_deque_reports_scheduler_activity() {
                 metric: SchedMetric::ByLastRoundTime,
                 period: Some(4),
                 policy: SchedPolicyKind::StealDeque,
+                ..Default::default()
             },
             metrics: Default::default(),
             telemetry: Default::default(),
@@ -305,4 +317,109 @@ fn steal_deque_reports_scheduler_activity() {
     assert_eq!(ljf.sched.steals, 0);
     assert_eq!(ljf.sched.affinity_hits, 0);
     assert!(ljf.sched.claims > 0);
+}
+
+/// Round fusion is a pure scheduling optimization: for every
+/// {partitioner} × {threads} × {FEL} cell, the fusion-on digest is
+/// bit-identical to the fusion-off digest (DESIGN.md §4.9 — a fused round
+/// runs the same four phases through the same mailbox commit path, just
+/// without waking the workers).
+#[test]
+fn fusion_on_off_digests_are_bit_identical() {
+    for (pname, pmode) in partitioners() {
+        for threads in [1usize, 2, 4] {
+            for fel in [FelImpl::Ladder, FelImpl::BinaryHeap] {
+                let on = run_fel(
+                    KernelKind::Unison { threads },
+                    pmode.clone(),
+                    SchedConfig::default(),
+                    fel,
+                );
+                let off = run_fel(
+                    KernelKind::Unison { threads },
+                    pmode.clone(),
+                    SchedConfig {
+                        fusion: FusionConfig::off(),
+                        ..Default::default()
+                    },
+                    fel,
+                );
+                assert!(on.1 > 0, "{pname}: run executed no events");
+                assert_eq!(
+                    on,
+                    off,
+                    "fusion changed the digest: partitioner={pname} threads={threads} \
+                     fel={}",
+                    fel.name()
+                );
+            }
+        }
+    }
+}
+
+/// Fusion engages on this low-load workload, the report counts fused
+/// rounds, and the per-round profile's `fused` flags agree with the
+/// aggregate counter.
+#[test]
+fn fused_rounds_are_counted_and_profiled() {
+    let (_, report) = kernel::run(world(), &RunConfig::unison(2).with_per_round_metrics()).unwrap();
+    assert!(
+        report.fused_rounds > 0,
+        "fusion never engaged on a low-load workload (threshold too small?)"
+    );
+    assert!(
+        report.fused_rounds < report.rounds,
+        "cross-LP traffic must force at least one parallel round"
+    );
+    let profile = report.rounds_profile.as_ref().expect("per-round profile");
+    let flagged = profile.iter().filter(|r| r.fused).count() as u64;
+    assert_eq!(
+        flagged, report.fused_rounds,
+        "profile flags disagree with counter"
+    );
+    // Fusion off: the counter stays at zero and no round is flagged.
+    let (_, off) = kernel::run(
+        world(),
+        &RunConfig::unison(2)
+            .without_fusion()
+            .with_per_round_metrics(),
+    )
+    .unwrap();
+    assert_eq!(off.fused_rounds, 0);
+    assert!(off
+        .rounds_profile
+        .as_ref()
+        .expect("per-round profile")
+        .iter()
+        .all(|r| !r.fused));
+}
+
+/// The fallback contract: a cross-LP send landing inside a fused window
+/// forces the *next* round back onto the parallel path (the kernel cannot
+/// prove the drained events stay cheap, so it re-engages the workers for
+/// exactly one round before re-evaluating). Pinned via the per-round
+/// profile: every fused round that drained mailbox events is followed by
+/// an unfused round, and the case actually occurs on this ring workload.
+#[test]
+fn cross_lp_send_in_fused_window_forces_parallel_fallback() {
+    let (_, report) = kernel::run(world(), &RunConfig::unison(2).with_per_round_metrics()).unwrap();
+    let profile = report.rounds_profile.as_ref().expect("per-round profile");
+    let mut fused_with_recv = 0u64;
+    for pair in profile.windows(2) {
+        let recv: u64 = pair[0].lp_recv.iter().map(|&r| u64::from(r)).sum();
+        if pair[0].fused && recv > 0 {
+            fused_with_recv += 1;
+            assert!(
+                !pair[1].fused,
+                "round after a fused round with {recv} cross-LP receive(s) \
+                 (window {:?}..{:?}) must fall back to the parallel path",
+                pair[0].window_start, pair[0].window_end
+            );
+        }
+    }
+    assert!(
+        fused_with_recv > 0,
+        "vacuous test: no fused round ever drained a cross-LP send on the \
+         ring workload"
+    );
 }

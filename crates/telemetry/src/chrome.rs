@@ -28,7 +28,8 @@ fn cat(kind: SpanKind) -> &'static str {
         | SpanKind::WindowUpdate
         | SpanKind::Advance
         | SpanKind::Merge
-        | SpanKind::Grant => "phase",
+        | SpanKind::Grant
+        | SpanKind::FusedRound => "phase",
         SpanKind::BarrierWait | SpanKind::StallWait => "sync",
         SpanKind::MailboxFlush => "mailbox",
         SpanKind::LpTask => "lp",
@@ -58,6 +59,10 @@ fn span_args(span: &Span) -> Value {
         SpanKind::BarrierWait => pairs.push(("barrier", Value::Num(span.arg as f64))),
         SpanKind::Grant => pairs.push(("grants", Value::Num(span.arg as f64))),
         SpanKind::StallWait => pairs.push(("stalls", Value::Num(span.arg as f64))),
+        SpanKind::FusedRound => {
+            pairs.push(("load", Value::Num(span.arg as f64)));
+            pairs.push(("cross_lp_recv", Value::Num(span.arg2 as f64)));
+        }
         SpanKind::LpTask => {
             pairs.push(("events", Value::Num(span.arg as f64)));
             pairs.push(("estimate", Value::Num(span.arg2 as f64)));

@@ -120,7 +120,10 @@ impl<'a> Timeline<'a> {
                         | SpanKind::Advance
                         | SpanKind::Merge
                         | SpanKind::Grant => wait.accounted_ns += s.dur_ns,
-                        SpanKind::LpTask | SpanKind::MailboxFlush => {}
+                        // Whole-round envelopes and per-LP spans nest inside
+                        // (or around) the phase spans — counting them would
+                        // double-count.
+                        SpanKind::LpTask | SpanKind::MailboxFlush | SpanKind::FusedRound => {}
                     }
                 }
                 wait

@@ -4,8 +4,8 @@
 //! round-trips through the crate's own parser bit-identically.
 
 use unison_core::{
-    DataRate, KernelKind, MetricsLevel, PartitionMode, RunConfig, SchedConfig, SchedMetric,
-    SchedPolicyKind, TelemetryConfig, Time,
+    DataRate, FusionConfig, KernelKind, MetricsLevel, PartitionMode, RunConfig, SchedConfig,
+    SchedMetric, SchedPolicyKind, TelemetryConfig, Time,
 };
 use unison_netsim::{NetworkBuilder, TransportKind};
 use unison_telemetry::{chrome_trace_json, json, validate_chrome_trace, Timeline};
@@ -109,6 +109,7 @@ fn timeline_steal_counters_are_consistent_with_the_report() {
             metric: SchedMetric::ByLastRoundTime,
             period: Some(1), // log a decision every round
             policy: SchedPolicyKind::StealDeque,
+            ..Default::default()
         },
     );
     assert_eq!(report.sched.policy, "steal-deque");
@@ -225,6 +226,69 @@ fn async_cons_report_and_trace_are_consistent() {
     let text = unison_telemetry::report_string(&report);
     assert!(text.contains("asynchronous progress"), "{text}");
     assert!(!text.contains("rounds 0"), "stale rounds claim: {text}");
+}
+
+/// Round fusion's telemetry surface (ISSUE 9, satellite f): every fused
+/// round emits exactly one `fused-round` envelope span on the control
+/// thread, so the trace's span count for that kind equals the report's
+/// `fused_rounds` counter — and the envelope carries its load/drain args
+/// through the Chrome export.
+#[test]
+fn fused_round_spans_match_the_report_counter() {
+    // An unbounded threshold makes the fusion predicate pass on every
+    // round that is not a forced fallback, so the counter is non-zero on
+    // any multi-round run.
+    let report = run_profiled_sched(
+        2,
+        SchedConfig {
+            fusion: FusionConfig {
+                enabled: true,
+                threshold: u64::MAX,
+            },
+            ..Default::default()
+        },
+    );
+    assert!(report.rounds > 0);
+    assert!(
+        report.fused_rounds > 0,
+        "an unbounded threshold must fuse at least the first round"
+    );
+    let tel = report.telemetry.as_ref().expect("telemetry attached");
+    let fused_spans: usize = tel
+        .workers
+        .iter()
+        .flat_map(|w| &w.spans)
+        .filter(|s| s.kind.name() == "fused-round")
+        .count();
+    assert_eq!(
+        fused_spans as u64, report.fused_rounds,
+        "one fused-round envelope per fused round"
+    );
+
+    // The envelope's args survive the Chrome export, and the trace with
+    // the new span kind still validates and round-trips.
+    let json_text = chrome_trace_json(tel);
+    validate_chrome_trace(&json_text).expect("trace with fused-round spans must validate");
+    assert!(json_text.contains("fused-round"), "span kind missing");
+    assert!(json_text.contains("cross_lp_recv"), "envelope args missing");
+    let parsed = json::parse(&json_text).expect("own parser accepts own output");
+    assert_eq!(parsed.to_json(), json_text, "serializer not a fixpoint");
+
+    // Fusion off: no counter, no spans.
+    let off = run_profiled_sched(
+        2,
+        SchedConfig {
+            fusion: FusionConfig::off(),
+            ..Default::default()
+        },
+    );
+    assert_eq!(off.fused_rounds, 0);
+    let off_tel = off.telemetry.as_ref().expect("telemetry attached");
+    assert!(off_tel
+        .workers
+        .iter()
+        .flat_map(|w| &w.spans)
+        .all(|s| s.kind.name() != "fused-round"));
 }
 
 #[test]

@@ -2,7 +2,7 @@
 //! static-analysis passes enforcing the concurrency-safety conventions of
 //! the lock-free kernel.
 //!
-//! - [`lint`] — six convention rules (`cargo xtask lint`).
+//! - [`lint`] — eight convention rules (`cargo xtask lint`).
 //! - [`atomics`] — the memory-ordering protocol analyzer checking every
 //!   atomic field and call site against `crates/core/ATOMICS.toml`
 //!   (`cargo xtask atomics`).

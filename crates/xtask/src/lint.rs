@@ -1,6 +1,6 @@
 //! The workspace lint rules (see `cargo xtask lint`).
 //!
-//! Seven rules, all motivated by the kernel's concurrency- and crash-safety
+//! Eight rules, all motivated by the kernel's concurrency- and crash-safety
 //! contracts (DESIGN.md):
 //!
 //! 1. **`safety-comment`** — every `unsafe` block or `unsafe impl` must be
@@ -51,11 +51,23 @@
 //!    zero-cost clause (DESIGN.md §4.7): default builds compile every
 //!    injection site out, so production hot paths carry no fault-plan
 //!    checks. Test modules are exempt.
+//! 8. **`atomic-padding`** — atomic storage *declared* in the kernel hot
+//!    paths (`crates/core/src/kernel/`, `crates/core/src/sync.rs`) must be
+//!    wrapped in `CachePadded`, or the line must carry a `// PADDING:`
+//!    comment stating why an unpadded slot cannot false-share (cold path,
+//!    all waiters deliberately share the line, or padding already applied
+//!    at an enclosing level). Borrowed atomics (`&AtomicBool`,
+//!    `&'a [AtomicU64]`) are exempt — the padding decision lives at the
+//!    owner's declaration — as are value expressions (`AtomicU64::new(…)`),
+//!    `use` items, and test modules. This pins the false-sharing audit the
+//!    round-fusion work introduced (DESIGN.md §4.9): a new per-worker
+//!    counter dropped next to a neighbour's hot word silently costs more
+//!    than a barrier crossing.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-use crate::lexer::{self, Line};
+use crate::lexer::{self, Line, TokKind};
 
 /// One rule violation.
 #[derive(Debug)]
@@ -100,6 +112,12 @@ fn unsafe_allowed(rel: &str) -> bool {
         // `steal_deque_claims_each_position_exactly_once` in
         // `crates/core/tests/loom_models.rs`.
         "crates/core/src/stealdeque.rs",
+        // SAFETY: `pin.rs` contains exactly one unsafe block: the raw
+        // `sched_setaffinity` syscall (the workspace carries no libc). The
+        // asm reads a local mask array and clobbers only the registers the
+        // Linux x86_64 syscall ABI documents; it never touches simulation
+        // state.
+        "crates/core/src/pin.rs",
         "crates/loom/src/cell.rs",
     ];
     EXACT.contains(&rel)
@@ -154,6 +172,28 @@ const FAULT_HOOKS: &[&str] = &[
 /// hooks' definitions and their unit tests live there, behind the feature).
 fn fault_gate_checked(rel: &str) -> bool {
     in_core_src(rel) && rel != "crates/core/src/fault.rs"
+}
+
+/// The atomic type names covered by rule 8.
+const ATOMIC_TYPES: &[&str] = &[
+    "AtomicBool",
+    "AtomicU8",
+    "AtomicU16",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicUsize",
+    "AtomicI8",
+    "AtomicI16",
+    "AtomicI32",
+    "AtomicI64",
+    "AtomicIsize",
+    "AtomicPtr",
+];
+
+/// Files subject to rule 8: the kernel hot paths, where every atomic word
+/// is potentially contended by all workers every round.
+fn padding_checked(rel: &str) -> bool {
+    rel.starts_with("crates/core/src/kernel/") || rel == "crates/core/src/sync.rs"
 }
 
 /// The significant token following the `unsafe` keyword at `(line, col)`:
@@ -390,6 +430,57 @@ pub fn lint_file(rel: &str, src: &str) -> Vec<Finding> {
                             ),
                         });
                     }
+                }
+            }
+        }
+
+        // Rule 8: atomics declared on the kernel hot paths must be
+        // cache-padded (or carry a reviewed `// PADDING:` justification).
+        if padding_checked(rel) && !in_tests && !lexer::has_token(&l.code, "CachePadded") {
+            let toks = lexer::tokenize_code(&l.code);
+            let is_use = toks
+                .iter()
+                .take(2) // `use …` or `pub use …`
+                .any(|t| t.text == "use");
+            if !is_use {
+                for (ti, t) in toks.iter().enumerate() {
+                    if t.kind != TokKind::Ident || !ATOMIC_TYPES.contains(&t.text.as_str()) {
+                        continue;
+                    }
+                    // `AtomicU64::new(…)` is a value expression; the storage
+                    // it initializes is declared (and checked) elsewhere.
+                    if toks.get(ti + 1).is_some_and(|n| n.text == "::") {
+                        continue;
+                    }
+                    // `&AtomicBool` / `&'a [AtomicU64]` / `&mut AtomicU64`:
+                    // borrowed storage — padding is the owner's decision.
+                    let mut j = ti;
+                    while j > 0
+                        && (toks[j - 1].text == "["
+                            || toks[j - 1].text == "mut"
+                            || toks[j - 1].kind == TokKind::Lifetime)
+                    {
+                        j -= 1;
+                    }
+                    if j > 0 && toks[j - 1].text == "&" {
+                        continue;
+                    }
+                    if has_marker_comment(&lines, i, "PADDING:") {
+                        continue;
+                    }
+                    findings.push(Finding {
+                        path: rel.to_string(),
+                        line: i + 1,
+                        rule: "atomic-padding",
+                        msg: format!(
+                            "unpadded `{}` declared in kernel hot-path code: wrap it in \
+                             `CachePadded` to prevent false sharing, or add a \
+                             `// PADDING:` comment stating why an unpadded slot is safe \
+                             (cold path, deliberately shared line, or padded at an \
+                             enclosing level)",
+                            t.text
+                        ),
+                    });
                 }
             }
         }

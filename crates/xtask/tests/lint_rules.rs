@@ -300,3 +300,48 @@ fn string_line_continuations_keep_line_numbers_aligned() {
     assert_eq!(rules_of(&f), vec!["no-hash-collections"], "{f:?}");
     assert_eq!(f[0].line, 5, "continuation must not shift line numbers");
 }
+
+#[test]
+fn unpadded_kernel_atomics_are_flagged() {
+    // Exactly three declaration sites: the two struct fields and the
+    // `Vec<AtomicU64>` return type. Constructor expressions and the
+    // CachePadded field must not report.
+    let f = lint_file(
+        "crates/core/src/kernel/fixture.rs",
+        &fixture("atomic_padding_unpadded.rs"),
+    );
+    assert_eq!(
+        rules_of(&f),
+        vec!["atomic-padding", "atomic-padding", "atomic-padding"],
+        "{f:?}"
+    );
+    assert!(f[0].msg.contains("AtomicBool"), "{f:?}");
+    assert!(f[1].msg.contains("AtomicU64"), "{f:?}");
+}
+
+#[test]
+fn atomic_padding_exemptions_pass() {
+    // CachePadded wrappers, borrowed storage, `::new` value expressions,
+    // `// PADDING:` markers (leading and trailing), and test modules.
+    let f = lint_file(
+        "crates/core/src/kernel/fixture.rs",
+        &fixture("atomic_padding_ok.rs"),
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn atomic_padding_only_covers_kernel_and_sync() {
+    // The same violating source is clean outside the rule's scope — core
+    // files off the hot path and other crates are not audited.
+    for rel in ["crates/core/src/metrics.rs", "crates/bench/src/fixture.rs"] {
+        let f = lint_file(rel, &fixture("atomic_padding_unpadded.rs"));
+        assert!(f.is_empty(), "{rel}: {f:?}");
+    }
+    // `sync.rs` itself IS in scope.
+    let f = lint_file(
+        "crates/core/src/sync.rs",
+        &fixture("atomic_padding_unpadded.rs"),
+    );
+    assert!(!f.is_empty(), "sync.rs must be audited");
+}

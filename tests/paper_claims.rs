@@ -121,6 +121,7 @@ fn claim_sync_time_grows_with_incast_ratio() {
             .map(|r| unison::core::RoundRecord {
                 window_start: r.window_start,
                 window_end: r.window_end,
+                fused: r.fused,
                 lp_cost_ns: r.lp_events.iter().map(|&e| e as f32 * 100.0).collect(),
                 lp_events: r.lp_events.clone(),
                 lp_recv: r.lp_recv.clone(),
@@ -221,6 +222,7 @@ fn claim_load_adaptive_scheduling_beats_none() {
         .map(|r| unison::core::RoundRecord {
             window_start: r.window_start,
             window_end: r.window_end,
+            fused: r.fused,
             lp_cost_ns: r.lp_events.iter().map(|&e| e as f32 * 100.0).collect(),
             lp_events: r.lp_events.clone(),
             lp_recv: r.lp_recv.clone(),
