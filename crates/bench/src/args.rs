@@ -1,0 +1,65 @@
+//! Unified command-line parsing for the experiment binaries.
+//!
+//! Every figure binary historically re-scanned `std::env::args()` with its
+//! own loop; the shared flag vocabulary now lives in one place, so a flag
+//! means the same thing — and is parsed the same way — everywhere:
+//!
+//! - `--scale quick|full|large` (with `--full` as shorthand): experiment
+//!   scale, see [`Scale`];
+//! - `--bench-json <path>`: machine-readable report destination
+//!   ([`crate::harness::bench_json_path`]);
+//! - `--profile <dir>`: per-run Chrome-trace telemetry export
+//!   ([`crate::harness::profile_dir`]);
+//! - `--fault-profile`: the resilience-overhead section of
+//!   `bench_kernels`;
+//! - `unison-run`'s own `--check`, `--threads <n>` and `--json <path>`.
+
+use std::path::PathBuf;
+
+use crate::harness::Scale;
+
+/// True iff the bare flag `name` appears anywhere on the command line.
+pub fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+/// The operand following `name` (the `--flag value` form), if any.
+pub fn value_of(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// [`value_of`], interpreted as a filesystem path.
+pub fn path_of(name: &str) -> Option<PathBuf> {
+    value_of(name).map(PathBuf::from)
+}
+
+/// Parses `--scale quick|full|large` (with `--full` kept as shorthand for
+/// `--scale full`), exiting with a usage message on an unknown value.
+pub fn scale() -> Scale {
+    let mut scale = if flag("--full") {
+        Scale::Full
+    } else {
+        Scale::Quick
+    };
+    if flag("--scale") {
+        scale = match value_of("--scale").as_deref() {
+            Some("quick") => Scale::Quick,
+            Some("full") => Scale::Full,
+            Some("large") => Scale::Large,
+            other => {
+                eprintln!(
+                    "--scale expects quick|full|large, got {:?}",
+                    other.unwrap_or("<missing>")
+                );
+                std::process::exit(2);
+            }
+        };
+    }
+    scale
+}

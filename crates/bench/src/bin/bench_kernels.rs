@@ -168,7 +168,7 @@ fn fault_profile_json(scenario: &Scenario) -> Option<String> {
     };
     use unison_netsim::{NetNode, NetworkBuilder};
 
-    if !std::env::args().any(|a| a == "--fault-profile") {
+    if !unison_bench::args::flag("--fault-profile") {
         return None;
     }
     let threads = 2usize;
@@ -275,7 +275,7 @@ fn fault_profile_json(scenario: &Scenario) -> Option<String> {
 /// feature instead of silence.
 #[cfg(not(feature = "fault-profile"))]
 fn fault_profile_json(_scenario: &Scenario) -> Option<String> {
-    if std::env::args().any(|a| a == "--fault-profile") {
+    if unison_bench::args::flag("--fault-profile") {
         eprintln!(
             "bench_kernels: built without the `fault-profile` feature; \
              rebuild with --features fault-profile to measure recovery overhead"

@@ -3,6 +3,10 @@
 //! stand-in, DESIGN.md §3.4) on fat-tree 16 / 64 / 128 with 100 Mbps,
 //! 500 µs links.
 //!
+//! The base row (fat-tree 16, quick window) is the committed
+//! `scenarios/fig08a.toml`, digest-pinned by the golden corpus test; the
+//! wider topologies and the full-scale window mutate the parsed spec.
+//!
 //! Expected shape: the surrogate's time is proportional to packets, so it
 //! loses at small scale and becomes competitive with sequential DES at
 //! large scale — while Unison beats everything with full fidelity.
@@ -10,11 +14,13 @@
 use unison_bench::harness::{header, row, secs, Scale, Scenario};
 use unison_bench::surrogate;
 use unison_core::{DataRate, PartitionMode, PerfModel, SchedConfig, Time};
-use unison_topology::{fat_tree_clusters, manual};
-use unison_traffic::{SizeDist, TrafficConfig};
+use unison_scenario::{parse_scenario, TopoKind};
+use unison_topology::manual;
 
 fn main() {
     let scale = Scale::from_args();
+    let base = parse_scenario(include_str!("../../../../scenarios/fig08a.toml"))
+        .expect("committed scenario parses");
     let configs: Vec<(&str, usize, usize)> = vec![
         ("fat-tree 16", 4, 4),
         ("fat-tree 64", 8, 8),
@@ -38,19 +44,24 @@ fn main() {
         &widths,
     );
     for (name, clusters, hosts) in configs {
-        let topo = fat_tree_clusters(clusters, hosts)
-            .with_rate(DataRate::mbps(100))
-            .with_delay(Time::from_micros(500));
-        let traffic = TrafficConfig::random_uniform(0.5)
-            .with_seed(11)
-            .with_sizes(SizeDist::Grpc)
-            .with_window(Time::ZERO, window);
-        let host_rate = DataRate::mbps(100);
-        let flows = traffic.generate(&topo, host_rate);
-        let scenario = Scenario::new(topo.clone(), traffic, window + Time::from_millis(20));
+        let mut spec = base.clone();
+        spec.topology.kind = TopoKind::FatTreeClusters {
+            clusters,
+            hosts_per_cluster: hosts,
+        };
+        if let Some(t) = spec.traffic.as_mut() {
+            t.duration = window;
+        }
+        spec.run.stop = window + Time::from_millis(20);
 
-        let base = scenario.profile(PartitionMode::Manual(manual::by_cluster(&topo)));
-        let model_b = PerfModel::new(&base.profile);
+        let topo = spec.build_topology();
+        let traffic = spec.traffic_config().expect("fig08a has [traffic]");
+        let host_rate = spec.topology.rate.unwrap_or(DataRate::mbps(100));
+        let flows = traffic.generate(&topo, host_rate);
+        let scenario = Scenario::from_spec(&spec);
+
+        let base_run = scenario.profile(PartitionMode::Manual(manual::by_cluster(&topo)));
+        let model_b = PerfModel::new(&base_run.profile);
         let auto = scenario.profile(PartitionMode::Auto);
         let model_u = PerfModel::new(&auto.profile);
         let dqn = surrogate::predict(&topo, &flows, window);
@@ -60,7 +71,7 @@ fn main() {
                 name.to_string(),
                 dqn.packets.to_string(),
                 secs(model_b.barrier().total_ns),
-                secs(model_b.nullmsg(&base.neighbors).total_ns),
+                secs(model_b.nullmsg(&base_run.neighbors).total_ns),
                 format!("{:.3}", dqn.inference_secs),
                 secs(model_b.sequential().total_ns),
                 secs(model_u.unison(threads, SchedConfig::default()).total_ns),

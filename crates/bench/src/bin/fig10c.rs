@@ -2,20 +2,23 @@
 //! routing and web-search traffic at 50% load — sequential DES vs Unison
 //! with 8 threads.
 //!
+//! The base row (GEANT, quick window) is the committed
+//! `scenarios/fig10c.toml`, digest-pinned by the golden corpus test; the
+//! ChinaNet row and the full-scale window mutate the parsed spec.
+//!
 //! No symmetric manual partition exists for these irregular graphs (the
 //! paper opts the baselines out for the same reason). Expected shape:
 //! Unison several-fold faster (paper: >10x incl. cache effects).
 
 use unison_bench::harness::{export_profile, header, profile_telemetry, row, secs, Scale};
-use unison_core::{KernelKind, MetricsLevel, RunConfig};
-use unison_core::{PartitionMode, PerfModel, SchedConfig, Time};
+use unison_core::{KernelKind, MetricsLevel, PerfModel, SchedConfig, Time};
 use unison_netsim::NetworkBuilder;
-use unison_netsim::RoutingKind;
-use unison_topology::{chinanet, geant};
-use unison_traffic::{SizeDist, TrafficConfig};
+use unison_scenario::{parse_scenario, TopoKind};
 
 fn main() {
     let scale = Scale::from_args();
+    let base = parse_scenario(include_str!("../../../../scenarios/fig10c.toml"))
+        .expect("committed scenario parses");
     let window = scale.pick(Time::from_millis(30), Time::from_millis(120));
 
     println!("Figure 10c: WAN with RIP routing, sequential vs Unison(8)");
@@ -24,31 +27,22 @@ fn main() {
         &["network", "#lp", "seq(s)", "unison(s)", "speedup"],
         &widths,
     );
-    for topo in [geant(), chinanet()] {
-        let traffic = TrafficConfig::random_uniform(0.5)
-            .with_seed(17)
-            .with_sizes(SizeDist::WebSearch)
-            .with_window(Time::from_millis(20), window);
-        // RIP needs its own builder (routing kind), so assemble manually.
-        let sim = NetworkBuilder::new(&topo)
-            .routing(RoutingKind::Rip {
-                update_interval: Time::from_millis(10),
-            })
-            .traffic(&traffic)
-            .stop_at(Time::from_millis(20) + window + Time::from_millis(10))
-            .build();
-        let res = sim
-            .run_with(&RunConfig {
-                watchdog: Default::default(),
-                kernel: KernelKind::Unison { threads: 1 },
-                partition: PartitionMode::Auto,
-                sched: unison_core::SchedConfig::default(),
-                metrics: MetricsLevel::PerRound,
-                telemetry: profile_telemetry(),
-                fel: Default::default(),
-                fault: Default::default(),
-            })
-            .expect("profiled run");
+    for kind in [TopoKind::Geant, TopoKind::Chinanet] {
+        let mut spec = base.clone();
+        spec.topology.kind = kind;
+        if let Some(t) = spec.traffic.as_mut() {
+            t.duration = window;
+        }
+        spec.run.stop = Time::from_millis(20) + window + Time::from_millis(10);
+
+        let topo = spec.build_topology();
+        // Profile on the instrumented single-thread engine; the scenario's
+        // RIP routing and traffic come along via the builder.
+        let mut cfg = spec.run_config_with_kernel(&topo, KernelKind::Unison { threads: 1 });
+        cfg.metrics = MetricsLevel::PerRound;
+        cfg.telemetry = profile_telemetry();
+        let sim = NetworkBuilder::from_scenario(&topo, &spec).build();
+        let res = sim.run_with(&cfg).expect("profiled run");
         export_profile(&res.kernel);
         let profile = res.kernel.rounds_profile.as_deref().unwrap_or(&[]);
         let model = PerfModel::new(profile);

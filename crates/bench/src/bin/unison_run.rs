@@ -1,0 +1,179 @@
+//! `unison-run`: execute one declarative scenario file (DESIGN.md §4.10).
+//!
+//! ```sh
+//! cargo run --release -p unison-bench --bin unison-run -- scenarios/quickstart.toml
+//! ```
+//!
+//! The scenario file carries the whole experiment — topology, traffic,
+//! transport, queues, routing, kernel, partitioning, scheduling, faults —
+//! so two invocations of the same file produce bit-identical final model
+//! state; the digest printed at the end is the proof, and the golden
+//! corpus test pins it for every committed file under `scenarios/`.
+//!
+//! Flags:
+//! - `--check` — parse and validate only, no simulation (CI runs this over
+//!   the whole corpus);
+//! - `--threads <n>` — override the worker count of the thread-scalable
+//!   kernels (unison, async_cons) without editing the file;
+//! - `--profile <dir>` — record telemetry and export one Chrome-trace JSON
+//!   per run into `<dir>`;
+//! - `--json <path>` — additionally write a machine-readable report.
+
+use std::process::ExitCode;
+
+use unison_bench::args;
+use unison_bench::harness::{export_profile, profile_telemetry};
+use unison_core::KernelKind;
+use unison_netsim::{world_digest, NetworkBuilder};
+use unison_scenario::parse_scenario;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: unison-run <scenario.toml> [--check] [--threads <n>] \
+         [--profile <dir>] [--json <path>]"
+    );
+    std::process::exit(2)
+}
+
+/// The one positional operand: the scenario file path.
+fn scenario_path() -> String {
+    let value_flags = ["--threads", "--profile", "--json"];
+    let mut path = None;
+    let mut iter = std::env::args().skip(1);
+    while let Some(a) = iter.next() {
+        if value_flags.contains(&a.as_str()) {
+            iter.next();
+        } else if a == "--check" {
+        } else if a.starts_with("--") {
+            eprintln!("unison-run: unknown flag `{a}`");
+            usage();
+        } else if path.is_none() {
+            path = Some(a);
+        } else {
+            eprintln!("unison-run: more than one scenario file given");
+            usage();
+        }
+    }
+    path.unwrap_or_else(|| usage())
+}
+
+/// Minimal JSON string escaping (names come from scenario files).
+fn json_str(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let path = scenario_path();
+    let src = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("unison-run: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = match parse_scenario(&src) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("unison-run: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let topo = spec.build_topology();
+    let mut cfg = spec.run_config(&topo);
+
+    if args::flag("--check") {
+        println!(
+            "OK {path}: `{}` on {} ({} nodes, {} links, {} hosts), kernel {:?}, stop {}",
+            spec.name,
+            topo.name,
+            topo.node_count(),
+            topo.links.len(),
+            topo.hosts().len(),
+            cfg.kernel,
+            spec.run.stop,
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(t) = args::value_of("--threads") {
+        let threads: usize = match t.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("unison-run: --threads expects a positive integer, got `{t}`");
+                return ExitCode::from(2);
+            }
+        };
+        cfg.kernel = match cfg.kernel {
+            KernelKind::Unison { .. } => KernelKind::Unison { threads },
+            KernelKind::AsyncCons { .. } => KernelKind::AsyncCons { threads },
+            other => {
+                eprintln!(
+                    "unison-run: --threads only applies to the unison/async_cons \
+                     kernels; this scenario runs {other:?}"
+                );
+                return ExitCode::from(2);
+            }
+        };
+    }
+    cfg.telemetry = profile_telemetry();
+
+    let sim = NetworkBuilder::from_scenario(&topo, &spec).build();
+    let res = match sim.run_with(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("unison-run: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    export_profile(&res.kernel);
+    let digest = world_digest(&res.world);
+
+    let r = &res.kernel;
+    println!("scenario: {} ({path})", spec.name);
+    println!(
+        "topology: {} ({} nodes, {} links)",
+        topo.name,
+        topo.node_count(),
+        topo.links.len()
+    );
+    println!(
+        "kernel:   {} — {} events, {} rounds, {} LPs, lookahead {}, wall {:?}",
+        r.kernel, r.events, r.rounds, r.lp_count, r.lookahead, r.wall
+    );
+    println!("flows:    {}", res.flows.one_line());
+    println!("digest:   {digest:016x}");
+
+    if let Some(json_path) = args::path_of("--json") {
+        let json = format!(
+            "{{\n  \"schema\": \"unison-run/v1\",\n  \"scenario\": \"{}\",\n  \
+             \"file\": \"{}\",\n  \"topology\": \"{}\",\n  \"kernel\": \"{}\",\n  \
+             \"threads\": {},\n  \"events\": {},\n  \"rounds\": {},\n  \
+             \"lp_count\": {},\n  \"wall_ns\": {},\n  \"end_time_ns\": {},\n  \
+             \"completed_flows\": {},\n  \"digest\": \"{digest:016x}\"\n}}\n",
+            json_str(&spec.name),
+            json_str(&path),
+            json_str(&topo.name),
+            json_str(&r.kernel),
+            r.threads,
+            r.events,
+            r.rounds,
+            r.lp_count,
+            r.wall.as_nanos(),
+            r.end_time.as_nanos(),
+            res.flows.completed_flows(),
+        );
+        if let Err(e) = std::fs::write(&json_path, &json) {
+            eprintln!("unison-run: write {}: {e}", json_path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("unison-run: wrote {}", json_path.display());
+    }
+    ExitCode::SUCCESS
+}

@@ -28,29 +28,9 @@ pub enum Scale {
 
 impl Scale {
     /// Parses the process arguments: `--scale quick|full|large`, with
-    /// `--full` kept as shorthand for `--scale full`.
+    /// `--full` kept as shorthand for `--scale full` (see [`crate::args`]).
     pub fn from_args() -> Scale {
-        let mut scale = Scale::Quick;
-        let mut args = std::env::args();
-        while let Some(a) = args.next() {
-            match a.as_str() {
-                "--full" => scale = Scale::Full,
-                "--scale" => match args.next().as_deref() {
-                    Some("quick") => scale = Scale::Quick,
-                    Some("full") => scale = Scale::Full,
-                    Some("large") => scale = Scale::Large,
-                    other => {
-                        eprintln!(
-                            "--scale expects quick|full|large, got {:?}",
-                            other.unwrap_or("<missing>")
-                        );
-                        std::process::exit(2);
-                    }
-                },
-                _ => {}
-            }
-        }
-        scale
+        crate::args::scale()
     }
 
     /// The JSON/report label.
@@ -78,13 +58,7 @@ impl Scale {
 /// thread count) to this file; the committed `BENCH_kernels.json` at the
 /// repository root is one such snapshot.
 pub fn bench_json_path() -> Option<PathBuf> {
-    let mut args = std::env::args();
-    while let Some(a) = args.next() {
-        if a == "--bench-json" {
-            return args.next().map(PathBuf::from);
-        }
-    }
-    None
+    crate::args::path_of("--bench-json")
 }
 
 /// Directory given with `--profile <dir>`, if any. When set, every kernel
@@ -93,13 +67,7 @@ pub fn bench_json_path() -> Option<PathBuf> {
 /// the directory. Open the files in Perfetto (ui.perfetto.dev) or
 /// `chrome://tracing`.
 pub fn profile_dir() -> Option<PathBuf> {
-    let mut args = std::env::args();
-    while let Some(a) = args.next() {
-        if a == "--profile" {
-            return args.next().map(PathBuf::from);
-        }
-    }
-    None
+    crate::args::path_of("--profile")
 }
 
 /// Telemetry configuration for harness runs: enabled iff `--profile` was
@@ -163,6 +131,30 @@ impl Scenario {
             transport: TransportKind::NewReno,
             queue: None,
             stop,
+        }
+    }
+
+    /// Builds the harness workload from a parsed scenario file
+    /// (DESIGN.md §4.10): the subset the profiling figures use — topology,
+    /// generated traffic, transport kind, queue override and stop time.
+    /// Explicit `[[flow]]`/`[[on_off]]` injections and per-field transport
+    /// overrides are the full builder's territory
+    /// (`NetworkBuilder::from_scenario`); the figures don't use them.
+    pub fn from_spec(spec: &unison_scenario::ScenarioSpec) -> Self {
+        Scenario {
+            topo: spec.build_topology(),
+            traffic: spec
+                .traffic_config()
+                .unwrap_or_else(|| TrafficConfig::random_uniform(0.0)),
+            transport: match spec.transport.kind {
+                unison_scenario::TransportKindSpec::NewReno => TransportKind::NewReno,
+                unison_scenario::TransportKindSpec::Dctcp => TransportKind::Dctcp,
+            },
+            queue: spec
+                .queue
+                .as_ref()
+                .map(unison_netsim::scenario::queue_config_of),
+            stop: spec.run.stop,
         }
     }
 

@@ -8,6 +8,7 @@
 //! structure over that matrix. Single-thread quantities (absolute event
 //! rate, locality) are measured for real.
 
+pub mod args;
 pub mod harness;
 pub mod surrogate;
 

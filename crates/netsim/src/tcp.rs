@@ -304,6 +304,10 @@ impl TcpSender {
         if ack > self.snd_una {
             let acked = ack - self.snd_una;
             self.snd_una = ack;
+            // After an RTO rewound snd_nxt (go-back-N), a late ACK for
+            // pre-timeout data can acknowledge past it; keep the invariant
+            // snd_nxt >= snd_una so flight() never underflows.
+            self.snd_nxt = self.snd_nxt.max(ack);
             self.dup_acks = 0;
             if !echo_retx {
                 let sample = now.saturating_sub(echo_ts);

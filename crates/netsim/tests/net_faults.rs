@@ -7,10 +7,11 @@
 //! the transport visibly rides out each failure.
 
 use unison_core::{
-    kernel, DataRate, KernelKind, MetricsLevel, PartitionMode, RunConfig, SchedConfig, Snapshot,
-    SnapshotWriter, Time, World,
+    kernel, DataRate, KernelKind, MetricsLevel, PartitionMode, RunConfig, SchedConfig, Time,
 };
-use unison_netsim::{install_faults, FlowReport, NetFault, NetNode, NetSim, NetworkBuilder};
+use unison_netsim::{
+    install_faults, world_digest as digest, FlowReport, NetFault, NetSim, NetworkBuilder,
+};
 use unison_topology::spine_leaf;
 use unison_traffic::FlowSpec;
 
@@ -18,20 +19,6 @@ use unison_traffic::FlowSpec;
 /// (4–5 under leaf 2, 6–7 under leaf 3).
 const SPINE: usize = 0;
 const LEAF: usize = 2;
-
-/// FNV-1a over the canonical node encodings: any diverging bit of model
-/// state — socket, queue, RNG, routing table, monitor — changes the hash.
-fn digest(world: &World<NetNode>) -> u64 {
-    let mut w = SnapshotWriter::new();
-    for n in world.nodes() {
-        n.save(&mut w);
-    }
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in w.into_bytes() {
-        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h
-}
 
 /// A pinned two-LP partition: LP identity enters the deterministic
 /// tie-break keys, so digests compare across kernels only under the same

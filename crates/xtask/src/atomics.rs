@@ -632,12 +632,16 @@ pub fn parse_manifest(src: &str) -> Result<Manifest, String> {
     for table in &tables {
         match table.name.as_str() {
             "" => {
-                if let Some((k, _, line)) = table.entries.first() {
-                    return Err(format!("line {line}: key `{k}` outside any table"));
+                if let Some(e) = table.entries.first() {
+                    return Err(format!(
+                        "line {}: key `{}` outside any table",
+                        e.line, e.key
+                    ));
                 }
             }
             "scope" => {
-                for (k, _, line) in &table.entries {
+                for e in &table.entries {
+                    let (k, line) = (&e.key, e.line);
                     match k.as_str() {
                         "enforce" => {
                             manifest.enforce = table.get_array("enforce").unwrap_or_default()
@@ -663,8 +667,9 @@ pub fn parse_manifest(src: &str) -> Result<Manifest, String> {
                     loom: None,
                     line: table.line,
                 };
-                for (k, v, line) in &table.entries {
-                    let as_str = || match v {
+                for e in &table.entries {
+                    let (k, line) = (&e.key, e.line);
+                    let as_str = || match &e.value {
                         toml_lite::Value::Str(s) => Ok(s.clone()),
                         _ => Err(format!("line {line}: `{k}` must be a string")),
                     };

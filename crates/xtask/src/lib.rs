@@ -2,16 +2,20 @@
 //! static-analysis passes enforcing the concurrency-safety conventions of
 //! the lock-free kernel.
 //!
-//! - [`lint`] — eight convention rules (`cargo xtask lint`).
+//! - [`lint`] — nine convention rules (`cargo xtask lint`).
 //! - [`atomics`] — the memory-ordering protocol analyzer checking every
 //!   atomic field and call site against `crates/core/ATOMICS.toml`
 //!   (`cargo xtask atomics`).
 //!
 //! Both passes share the tokenizer in [`lexer`]; fixtures demonstrating
 //! each failure mode live under `crates/xtask/fixtures/` and are exercised
-//! by this crate's tests.
+//! by this crate's tests. The TOML-subset parser both the atomics manifest
+//! and the scenario corpus use lives in `unison-scenario` (it started here
+//! and was promoted when scenario files needed it); the old module path is
+//! kept as a re-export.
 
 pub mod atomics;
 pub mod lexer;
 pub mod lint;
-pub mod toml_lite;
+
+pub use unison_scenario::toml as toml_lite;

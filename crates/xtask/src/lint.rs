@@ -1,7 +1,7 @@
 //! The workspace lint rules (see `cargo xtask lint`).
 //!
-//! Eight rules, all motivated by the kernel's concurrency- and crash-safety
-//! contracts (DESIGN.md):
+//! Nine rules, motivated by the kernel's concurrency-, crash-safety-, and
+//! reproducibility contracts (DESIGN.md):
 //!
 //! 1. **`safety-comment`** — every `unsafe` block or `unsafe impl` must be
 //!    immediately preceded by a `// SAFETY:` comment (attributes may sit
@@ -63,6 +63,13 @@
 //!    round-fusion work introduced (DESIGN.md §4.9): a new per-worker
 //!    counter dropped next to a neighbour's hot word silently costs more
 //!    than a barrier crossing.
+//! 9. **`scenario-validate`** — every `scenarios/*.toml` file must parse
+//!    and validate against the scenario contract (DESIGN.md §4.10). The
+//!    corpus is pinned by golden digests in CI, so a file that stops
+//!    parsing — or parses with a typo'd key that strict parsing would
+//!    reject — must fail the lint gate, not be discovered at run time.
+//!    Non-scenario TOML (crate manifests, `ATOMICS.toml`) is out of scope;
+//!    only the `scenarios/` directory is checked.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -589,13 +596,66 @@ pub fn collect_sources(root: &Path) -> std::io::Result<Vec<(String, String)>> {
     Ok(sources)
 }
 
-/// Runs all rules over every `.rs` file under `root`.
+/// Rule 9 over one scenario file: the file must parse and validate against
+/// the scenario contract. `rel` is the workspace-relative path.
+pub fn lint_scenario_file(rel: &str, src: &str) -> Vec<Finding> {
+    match unison_scenario::parse_scenario(src) {
+        Ok(_) => Vec::new(),
+        Err(e) => vec![Finding {
+            path: rel.to_string(),
+            line: e.line,
+            rule: "scenario-validate",
+            msg: format!(
+                "scenario fails validation (col {}): {} — committed scenarios are \
+                 digest-pinned in CI and must stay loadable (DESIGN.md §4.10)",
+                e.col, e.msg
+            ),
+        }],
+    }
+}
+
+/// Collects and checks every `.toml` under `<root>/scenarios/` (rule 9).
+/// Returns the findings and the number of scenario files checked.
+fn lint_scenarios(root: &Path) -> std::io::Result<(Vec<Finding>, usize)> {
+    let dir = root.join("scenarios");
+    let mut findings = Vec::new();
+    let mut checked = 0;
+    if !dir.is_dir() {
+        return Ok((findings, checked));
+    }
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.path());
+    for e in entries {
+        let path = e.path();
+        if path.extension().is_none_or(|x| x != "toml") {
+            continue;
+        }
+        // The golden-digest table is corpus metadata, not a scenario.
+        if path.file_name().is_some_and(|n| n == "goldens.toml") {
+            continue;
+        }
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&path)?;
+        findings.extend(lint_scenario_file(&rel, &src));
+        checked += 1;
+    }
+    Ok((findings, checked))
+}
+
+/// Runs all rules over every `.rs` file under `root`, plus the scenario
+/// corpus check (rule 9) over `scenarios/*.toml`.
 pub fn lint_workspace(root: &Path) -> std::io::Result<(Vec<Finding>, usize)> {
     let sources = collect_sources(root)?;
     let mut findings = Vec::new();
     for (rel, src) in &sources {
         findings.extend(lint_file(rel, src));
     }
+    let (scenario_findings, scenario_count) = lint_scenarios(root)?;
+    findings.extend(scenario_findings);
 
     // Rule 5: group `src/` files by crate and check the root attribute.
     let mut crate_prefixes: Vec<String> = sources
@@ -621,7 +681,7 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<(Vec<Finding>, usize)> {
     }
 
     findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
-    Ok((findings, sources.len()))
+    Ok((findings, sources.len() + scenario_count))
 }
 
 /// Ascends from `start` to the directory whose `Cargo.toml` declares

@@ -345,3 +345,21 @@ fn atomic_padding_only_covers_kernel_and_sync() {
     );
     assert!(!f.is_empty(), "sync.rs must be audited");
 }
+
+#[test]
+fn valid_scenario_files_pass() {
+    let f = xtask::lint::lint_scenario_file("scenarios/fixture.toml", &fixture("scenario_ok.toml"));
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn invalid_scenario_files_are_flagged_with_spans() {
+    let f = xtask::lint::lint_scenario_file(
+        "scenarios/fixture.toml",
+        &fixture("scenario_bad_key.toml"),
+    );
+    assert_eq!(rules_of(&f), vec!["scenario-validate"], "{f:?}");
+    assert!(f[0].msg.contains("unknown key `thread`"), "{f:?}");
+    // The span points at the typo'd key, not the file head.
+    assert_eq!(f[0].line, 14, "{f:?}");
+}

@@ -3,70 +3,56 @@
 //! a shared bottleneck — per-flow throughput, Jain fairness index and
 //! average queue delay.
 //!
+//! The DCTCP arm is the committed `scenarios/datacenter_dctcp.toml`
+//! (digest-pinned by the golden corpus test); the NewReno comparison rows
+//! reuse the same spec with the transport/queue sections swapped.
+//!
 //! Run with: `cargo run --release --example datacenter_dctcp`
 
-use unison::core::{DataRate, KernelKind, Time};
-use unison::netsim::{NetworkBuilder, QueueConfig, TcpConfig, TransportKind};
-use unison::topology::dumbbell;
-use unison::traffic::FlowSpec;
+use unison::netsim::NetworkBuilder;
+use unison::scenario::{parse_scenario, QueueSpec, TcpProfile, TransportKindSpec, TransportSpec};
 
 fn main() {
-    let topo = dumbbell(
-        8,
-        8,
-        DataRate::gbps(1),
-        DataRate::gbps(1),
-        Time::from_micros(20),
-    );
-    let hosts = topo.hosts();
-    // 8 long flows share the bottleneck.
-    let flows: Vec<FlowSpec> = (0..8)
-        .map(|i| FlowSpec {
-            src: hosts[i],
-            dst: hosts[8 + i],
-            bytes: 2_000_000,
-            start: Time::from_micros(50 * i as u64),
-        })
-        .collect();
+    let dctcp = parse_scenario(include_str!("../scenarios/datacenter_dctcp.toml"))
+        .expect("committed scenario parses");
+
+    // Datacenter-tuned NewReno (1 ms minimum RTO — the default 200 ms is
+    // the ns-3/WAN setting and would stall whole windows here), first with
+    // a deep DropTail buffer, then with classic RED.
+    let reno_dcn = TransportSpec {
+        kind: TransportKindSpec::NewReno,
+        profile: TcpProfile::Dcn,
+        ..TransportSpec::default()
+    };
+    let mut deep_droptail = dctcp.clone();
+    deep_droptail.transport = reno_dcn.clone();
+    deep_droptail.queue = Some(QueueSpec::DropTail {
+        limit_bytes: 400_000,
+    });
+    let mut red = dctcp.clone();
+    red.transport = reno_dcn;
+    red.queue = Some(QueueSpec::Red {
+        limit_bytes: 400_000,
+        min_th: 30_000,
+        max_th: 90_000,
+        max_p: 0.1,
+        w_q: 0.002,
+        mark_ecn: false,
+    });
 
     println!(
         "{:<28} {:>10} {:>8} {:>12} {:>8} {:>8}",
         "transport/queue", "tput(Mbps)", "Jain", "qdelay(us)", "drops", "marks"
     );
     println!("{}", "-".repeat(80));
-    // Datacenter-tuned stacks: 1 ms minimum RTO (the default 200 ms is the
-    // ns-3/WAN setting and would stall whole windows here).
-    let reno_dcn = TcpConfig::newreno_dcn();
-    let dctcp_dcn = TcpConfig {
-        kind: TransportKind::Dctcp,
-        ..TcpConfig::newreno_dcn()
-    };
-    for (name, tcp, queue) in [
-        (
-            "NewReno + deep DropTail",
-            reno_dcn,
-            QueueConfig::DropTail {
-                limit_bytes: 400_000,
-            },
-        ),
-        (
-            "NewReno + RED",
-            reno_dcn,
-            QueueConfig::red(400_000, 30_000, 90_000, false),
-        ),
-        (
-            "DCTCP (K = 8 kB)",
-            dctcp_dcn,
-            QueueConfig::dctcp(400_000, 8_000),
-        ),
+    for (name, spec) in [
+        ("NewReno + deep DropTail", &deep_droptail),
+        ("NewReno + RED", &red),
+        ("DCTCP (K = 8 kB)", &dctcp),
     ] {
-        let sim = NetworkBuilder::new(&topo)
-            .tcp_config(tcp)
-            .queue(queue)
-            .flows(flows.clone())
-            .stop_at(Time::from_millis(400))
-            .build();
-        let res = sim.run(KernelKind::Unison { threads: 2 });
+        let topo = spec.build_topology();
+        let sim = NetworkBuilder::from_scenario(&topo, spec).build();
+        let res = sim.run_with(&spec.run_config(&topo)).expect("dctcp run");
         println!(
             "{:<28} {:>10.1} {:>8.3} {:>12.1} {:>8} {:>8}",
             name,

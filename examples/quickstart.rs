@@ -1,38 +1,35 @@
-//! Quickstart: build a fat-tree datacenter, generate web-search traffic,
-//! and run the same model on the Unison kernel — then on every other
-//! kernel, unchanged (the user-transparency property).
+//! Quickstart: run the committed `scenarios/quickstart.toml` — a fat-tree
+//! datacenter under web-search-style traffic — on the Unison kernel, then
+//! on every other kernel, unchanged (the user-transparency property).
 //!
-//! Run with: `cargo run --release --example quickstart`
+//! The scenario file carries the whole experiment (DESIGN.md §4.10); the
+//! `unison-run` CLI executes the same file directly:
+//!
+//!     cargo run --release --example quickstart
+//!     cargo run --release -p unison-bench --bin unison-run -- scenarios/quickstart.toml
 
-use unison::core::{KernelKind, Time};
-use unison::netsim::{NetworkBuilder, TransportKind};
-use unison::topology::fat_tree;
-use unison::traffic::{SizeDist, TrafficConfig};
+use unison::core::KernelKind;
+use unison::netsim::NetworkBuilder;
+use unison::scenario::parse_scenario;
 
 fn main() {
-    // A k=4 fat-tree: 16 hosts, 20 switches, 100 Gbps links, 3 µs delays.
-    let topo = fat_tree(4);
+    // One declarative file: topology, traffic, transport, kernel.
+    let spec = parse_scenario(include_str!("../scenarios/quickstart.toml"))
+        .expect("committed scenario parses");
+    let topo = spec.build_topology();
     println!(
-        "topology: {} ({} nodes, {} links)",
+        "scenario: {}\ntopology: {} ({} nodes, {} links)",
+        spec.name,
         topo.name,
         topo.node_count(),
         topo.links.len()
     );
 
-    // 30% load of gRPC-style flows for 2 simulated milliseconds.
-    let traffic = TrafficConfig::random_uniform(0.3)
-        .with_seed(7)
-        .with_sizes(SizeDist::Grpc)
-        .with_window(Time::ZERO, Time::from_millis(2));
-
     // Zero configuration: no manual partitioning, no result aggregation.
-    let sim = NetworkBuilder::new(&topo)
-        .transport(TransportKind::NewReno)
-        .traffic(&traffic)
-        .stop_at(Time::from_millis(6))
-        .build();
-
-    let result = sim.run(KernelKind::Unison { threads: 2 });
+    let sim = NetworkBuilder::from_scenario(&topo, &spec).build();
+    let result = sim
+        .run_with(&spec.run_config(&topo))
+        .expect("quickstart run");
     println!("\n== Unison (2 threads) ==");
     println!(
         "events: {}  rounds: {}  LPs: {}  lookahead: {}  wall: {:?}",
@@ -50,7 +47,7 @@ fn main() {
         result.flows.jain_index()
     );
 
-    // The same model, different kernels — nothing else changes.
+    // The same scenario, different kernels — nothing else changes.
     for kernel in [
         KernelKind::Sequential { compat_keys: false },
         KernelKind::Sequential { compat_keys: true },
@@ -60,12 +57,10 @@ fn main() {
             threads_per_host: 2,
         },
     ] {
-        let sim = NetworkBuilder::new(&topo)
-            .transport(TransportKind::NewReno)
-            .traffic(&traffic)
-            .stop_at(Time::from_millis(6))
-            .build();
-        let r = sim.run(kernel);
+        let sim = NetworkBuilder::from_scenario(&topo, &spec).build();
+        let r = sim
+            .run_with(&spec.run_config_with_kernel(&topo, kernel))
+            .expect("kernel sweep run");
         println!(
             "{:<22} events={}  completed={}  wall={:?}",
             r.kernel.kernel,

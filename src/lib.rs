@@ -15,6 +15,9 @@
 //!   dumbbell, WAN graphs) and manual partition schemes for the baselines.
 //! - [`traffic`]: workload generation (web-search / gRPC CDFs, incast mixes,
 //!   Poisson flow arrivals) on a deterministic RNG.
+//! - [`scenario`]: the declarative scenario layer — one `scenarios/*.toml`
+//!   file per experiment, parsed into an AST that builds the topology,
+//!   traffic, and run configuration (consumed by `unison-run`).
 //! - [`stats`]: summary statistics, histograms and percentile estimation.
 //!
 //! # Quick start
@@ -40,6 +43,7 @@
 
 pub use unison_core as core;
 pub use unison_netsim as netsim;
+pub use unison_scenario as scenario;
 pub use unison_stats as stats;
 pub use unison_topology as topology;
 pub use unison_traffic as traffic;
